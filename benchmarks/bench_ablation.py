@@ -1,0 +1,42 @@
+"""Ablation benchmark: the looseness of each proof step (Lemmas 4-8).
+
+DESIGN.md calls out the chain of sufficiency steps (52)-(59) that turns the
+exact Theorem 1 condition into the neat Theorem 2/3 bound.  This benchmark
+computes, per adversarial fraction nu, the minimal c each intermediate step
+requires, quantifying how much slack every lemma adds on top of the neat bound
+— and, alongside it, the security-margin comparison against the PSS baseline
+and the attack threshold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    implication_chain_ablation,
+    render_table,
+    security_margin_sweep,
+)
+
+NU_GRID = [0.05, 0.1, 0.2, 0.3, 0.4, 0.45]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_implication_chain_ablation(benchmark):
+    """Per-step c thresholds of the Lemma 4-8 chain (Delta = 10, n = 1e5)."""
+    rows = benchmark(implication_chain_ablation, NU_GRID, 10, 100_000, 0.1, 0.01)
+    print("\nPer-step c thresholds of the Theorem 1 -> Theorem 2 implication chain")
+    print(render_table(rows))
+    for row in rows:
+        steps = [row[key] for key in sorted(row) if key.startswith("step_")]
+        assert steps == sorted(steps)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_security_margin_comparison(benchmark):
+    """Required c per analysis (ours vs PSS) and the attack threshold, per nu."""
+    rows = benchmark(security_margin_sweep, NU_GRID)
+    print("\nRequired c: the paper's bound vs PSS vs the attack threshold")
+    print(render_table(rows))
+    for row in rows:
+        assert row["improvement_factor"] > 1.0

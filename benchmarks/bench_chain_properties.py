@@ -1,0 +1,83 @@
+"""Benchmark / regeneration of the chain-growth and chain-quality extension.
+
+The paper analyses consistency only and lists chain growth / chain quality as
+future work (Section II).  This benchmark evaluates the standard Δ-delay-model
+lower bounds implemented in ``repro.core.chain_properties`` and compares them
+against the simulator under the worst-case-delay and selfish-mining
+adversaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core.chain_properties import estimate_chain_properties
+from repro.params import parameters_from_c
+from repro.simulation import (
+    MaxDelayAdversary,
+    NakamotoSimulation,
+    SelfishMiningAdversary,
+)
+
+NU_GRID = [0.1, 0.2, 0.3, 0.4]
+
+
+@pytest.mark.benchmark(group="chain-properties")
+def test_analytical_estimates(benchmark):
+    """Time the closed-form growth/quality estimates across nu."""
+
+    def sweep():
+        rows = []
+        for nu in NU_GRID:
+            params = parameters_from_c(c=3.0, n=1_000, delta=4, nu=nu)
+            estimates = estimate_chain_properties(params)
+            rows.append(
+                {
+                    "nu": nu,
+                    "growth lower bound (blocks/round)": estimates.growth_per_round,
+                    "quality lower bound": estimates.quality_fraction,
+                    "block interval (rounds)": estimates.block_interval_rounds,
+                    "consistent (neat bound)": estimates.consistent,
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print("\nChain growth / quality lower bounds (c = 3, Delta = 4)")
+    print(render_table(rows))
+
+
+@pytest.mark.benchmark(group="chain-properties")
+def test_growth_and_quality_against_simulation(benchmark):
+    """Measured growth (max-delay adversary) and quality (selfish mining) vs bounds."""
+    params = parameters_from_c(c=3.0, n=1_000, delta=4, nu=0.3)
+    estimates = estimate_chain_properties(params)
+
+    def run():
+        growth_run = NakamotoSimulation(
+            params, adversary=MaxDelayAdversary(4), rng=np.random.default_rng(1)
+        ).run(8_000)
+        quality_run = NakamotoSimulation(
+            params, adversary=SelfishMiningAdversary(4), rng=np.random.default_rng(2)
+        ).run(8_000)
+        return growth_run, quality_run
+
+    growth_run, quality_run = benchmark(run)
+    rows = [
+        {
+            "quantity": "chain growth (blocks/round)",
+            "lower bound": estimates.growth_per_round,
+            "measured (max-delay adversary)": growth_run.growth_rate,
+        },
+        {
+            "quantity": "chain quality (honest fraction)",
+            "lower bound": estimates.quality_fraction,
+            "measured (selfish mining)": quality_run.quality,
+        },
+    ]
+    print("\nChain properties: analytical lower bounds vs simulation (nu = 0.3)")
+    print(render_table(rows))
+    assert growth_run.growth_rate >= estimates.growth_per_round * 0.85
+    assert quality_run.quality >= estimates.quality_fraction - 0.05

@@ -1,0 +1,89 @@
+"""Benchmark / regeneration of the concentration-bound machinery (Section V-B/V-C).
+
+Evaluates the Chernoff-Hoeffding lower-tail bound for the convergence
+opportunity count (Inequality 47), the relative-entropy upper-tail bound for
+the adversarial block count (Inequalities 48-49) and their union (display 25)
+across window lengths T, demonstrating the "overwhelming probability in T"
+decay that defines consistency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core.concentration import (
+    consistency_failure_bound,
+    window_for_target_failure,
+)
+from repro.core.suffix_chain import SuffixChain
+from repro.markov import mixing_time
+from repro.params import parameters_from_c
+
+PARAMS = parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
+
+
+def _mixing_time() -> float:
+    return float(mixing_time(SuffixChain(PARAMS).to_markov_chain(), epsilon=0.125))
+
+
+@pytest.mark.benchmark(group="concentration")
+def test_failure_bound_decay_in_window_length(benchmark):
+    """The union bound of display (25) across window lengths."""
+    tau = _mixing_time()
+
+    def sweep():
+        return [
+            consistency_failure_bound(PARAMS, rounds, delta1=0.5, mixing_time=tau)
+            for rounds in (10_000, 50_000, 250_000, 1_000_000, 4_000_000)
+        ]
+
+    bounds = benchmark(sweep)
+    rows = [
+        {
+            "window T": bound.rounds,
+            "P[C too small] bound": bound.convergence_tail,
+            "P[A too large] bound": bound.adversary_tail,
+            "union bound": bound.total,
+            "guaranteed C - A gap": bound.guaranteed_gap,
+        }
+        for bound in bounds
+    ]
+    print("\nConsistency failure-probability bounds (Inequalities 47-49, display 25)")
+    print(render_table(rows))
+
+    totals = [bound.total for bound in bounds]
+    assert totals == sorted(totals, reverse=True)
+    assert totals[-1] < totals[0]
+
+
+@pytest.mark.benchmark(group="concentration")
+def test_window_for_one_percent_failure(benchmark):
+    """Invert the bound: the smallest window with failure probability <= 1%."""
+    tau = _mixing_time()
+    window = benchmark(
+        window_for_target_failure, PARAMS, 0.5, tau, 0.01
+    )
+    achieved = consistency_failure_bound(PARAMS, window, 0.5, tau).total
+    print(f"\nSmallest T with failure bound <= 1%: {window} rounds "
+          f"(achieved bound {achieved:.3e})")
+    assert achieved <= 0.01
+
+
+@pytest.mark.benchmark(group="concentration")
+def test_failure_bound_across_delta1(benchmark):
+    """Sensitivity of the bound to the Theorem 1 margin constant delta1."""
+    tau = _mixing_time()
+
+    def sweep():
+        return {
+            delta1: consistency_failure_bound(
+                PARAMS, 1_000_000, delta1=delta1, mixing_time=tau
+            ).total
+            for delta1 in (0.05, 0.1, 0.25, 0.5, 1.0)
+        }
+
+    totals = benchmark(sweep)
+    rows = [{"delta1": key, "union bound at T=1e6": value} for key, value in totals.items()]
+    print("\nFailure bound versus delta1 (T = 1e6)")
+    print(render_table(rows))

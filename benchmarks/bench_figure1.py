@@ -1,0 +1,64 @@
+"""Benchmark / regeneration of Figure 1 (the paper's only figure).
+
+Regenerates the three curves — the paper's neat bound (magenta), the PSS
+consistency bound (blue) and the PSS Remark 8.5 attack (red) — over the
+paper's c-range [0.1, 100] with n = 1e5 and Delta = 1e13, verifies the
+qualitative orderings the paper reads off the figure, and prints the series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import figure1_checks, figure1_series, render_table
+from repro.analysis.figure1 import default_c_grid
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_full_series(benchmark):
+    """Time the regeneration of the full Figure 1 series (60 c-points)."""
+    series = benchmark(figure1_series)
+    checks = figure1_checks(series)
+    assert checks["ours_above_pss"]
+    assert checks["ours_below_attack"]
+    assert checks["curves_monotone"]
+
+    rows = series.as_rows()
+    printable = rows[:: max(len(rows) // 12, 1)]
+    print("\nFigure 1 — maximum tolerable adversarial fraction nu vs c")
+    print(render_table(printable))
+    print(f"qualitative checks: {checks}")
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_dense_grid(benchmark):
+    """Time a denser grid (500 points), as used for smooth plotting."""
+    grid = default_c_grid(points=500)
+    series = benchmark(figure1_series, c_values=grid)
+    assert len(series.points) == 500
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_single_point_solvers(benchmark):
+    """Time the per-point root-finding behind the magenta curve."""
+    from repro.core.bounds import nu_max_neat_bound
+
+    value = benchmark(nu_max_neat_bound, 5.0)
+    assert 0.0 < value < 0.5
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_region_areas(benchmark):
+    """Quantify the figure: area of the plane certified by each analysis."""
+    from repro.analysis import region_areas, render_table
+
+    areas = benchmark(region_areas, None, 120)
+    print("\nSecurity-region areas over c in [0.1, 100] (log-uniform) x nu in (0, 0.5)")
+    print(render_table(areas.as_rows()))
+    print(
+        f"certified by PSS: {areas.certified_by_pss:.3f}, "
+        f"certified by the paper's bound: {areas.certified_by_ours:.3f} "
+        f"(improvement {areas.improvement_ratio:.2f}x); "
+        f"open gap to the attack curve: {areas.open_gap:.3f}"
+    )
+    assert areas.certified_by_ours > areas.certified_by_pss

@@ -1,0 +1,90 @@
+"""Benchmarks of the Markov-chain machinery behind Theorem 1.
+
+Covers the suffix chain C_F (closed-form vs numerical stationary
+distribution, Eqs. 37a-37d), the convergence-opportunity probability of the
+chain C_F||P (Eq. 44), and the mixing-time computation feeding the
+Chernoff-Hoeffding bound (Inequality 47).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.core.concat_chain import ConcatChain
+from repro.core.suffix_chain import SuffixChain
+from repro.markov import mixing_time, spectral_gap
+from repro.params import parameters_from_c
+
+PARAMS = parameters_from_c(c=4.0, n=1_000, delta=6, nu=0.2)
+
+
+@pytest.mark.benchmark(group="markov")
+def test_closed_form_stationary(benchmark):
+    """Time the closed-form stationary distribution of C_F (Eqs. 37a-d)."""
+    chain = SuffixChain(PARAMS)
+    closed = benchmark(chain.closed_form_stationary)
+    assert sum(closed.values()) == pytest.approx(1.0)
+
+
+@pytest.mark.benchmark(group="markov")
+def test_numerical_stationary(benchmark):
+    """Time the generic linear-algebra stationary solve on the same chain."""
+    chain = SuffixChain(PARAMS)
+    numeric = benchmark(chain.numerical_stationary)
+    closed = chain.closed_form_stationary()
+    worst = max(abs(closed[state] - numeric[state]) for state in chain.states)
+    print(f"\nC_F stationary: max |closed-form - numerical| = {worst:.3e} "
+          f"over {chain.n_states} states (Delta = {chain.delta})")
+    assert worst < 1e-9
+
+
+@pytest.mark.benchmark(group="markov")
+def test_convergence_opportunity_probability(benchmark):
+    """Time Eq. (44) (log-space product) at the paper's Delta = 1e13 scale."""
+    paper = parameters_from_c(c=10.0, n=100_000, delta=10**13, nu=0.25)
+    chain = ConcatChain(paper)
+    value = benchmark(chain.log_convergence_opportunity_probability)
+    assert np.isfinite(value)
+
+
+@pytest.mark.benchmark(group="markov")
+def test_mixing_time_of_suffix_chain(benchmark):
+    """Time the (1/8)-mixing-time computation used by Inequality (47)."""
+    markov = SuffixChain(PARAMS).to_markov_chain()
+    tau = benchmark(mixing_time, markov, 0.125)
+    rows = [
+        {
+            "delta": PARAMS.delta,
+            "states": markov.n_states,
+            "mixing_time(1/8)": tau,
+            "spectral_gap": spectral_gap(markov),
+        }
+    ]
+    print("\nC_F mixing diagnostics")
+    print(render_table(rows))
+    assert tau >= 1
+
+
+@pytest.mark.benchmark(group="markov")
+def test_mixing_time_scaling_in_delta(benchmark):
+    """Mixing time across Delta = 2..10: the input to the concentration bound."""
+
+    def sweep():
+        results = []
+        for delta in (2, 4, 6, 8, 10):
+            params = parameters_from_c(c=4.0, n=1_000, delta=delta, nu=0.2)
+            markov = SuffixChain(params).to_markov_chain()
+            results.append(
+                {
+                    "delta": delta,
+                    "states": markov.n_states,
+                    "mixing_time(1/8)": mixing_time(markov, 0.125),
+                }
+            )
+        return results
+
+    rows = benchmark(sweep)
+    print("\nC_F mixing time versus Delta")
+    print(render_table(rows))

@@ -1,0 +1,67 @@
+"""Benchmark / regeneration of Remark 1 (Inequalities 12-17).
+
+Recomputes the two (delta1, delta2) settings the paper uses at Delta = 1e13 —
+the admissible nu-ranges and the multiplicative slack factors of the
+simplified bound — and prints them next to the values the paper states.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import PAPER_SETTINGS, remark1_table, render_table
+
+
+@pytest.mark.benchmark(group="remark1")
+def test_remark1_paper_settings(benchmark):
+    """Time the recomputation of the paper's two Remark 1 rows."""
+    rows = benchmark(remark1_table)
+    assert len(rows) == 2
+
+    printable = []
+    for row, paper in zip(rows, PAPER_SETTINGS):
+        printable.append(
+            {
+                "delta1": row.delta1,
+                "delta2": row.delta2,
+                "nu_low (measured)": row.nu_low,
+                "nu_low (paper)": paper["paper_nu_low"],
+                "0.5 - nu_high (measured)": row.nu_high_gap,
+                "0.5 - nu_high (paper)": paper["paper_nu_high_gap"],
+                "slack - 1 (measured)": row.slack_excess,
+                "slack - 1 (paper)": paper["paper_slack"],
+            }
+        )
+    print("\nRemark 1 — nu-ranges and slack factors at Delta = 1e13")
+    print(render_table(printable))
+
+    # Order-of-magnitude agreement with the paper's stated values.
+    assert rows[0].slack_excess == pytest.approx(5e-5, rel=0.2)
+    assert rows[1].slack_excess == pytest.approx(2e-3, rel=0.1)
+
+
+@pytest.mark.benchmark(group="remark1")
+def test_remark1_other_delta_scales(benchmark):
+    """The same construction at other Delta values (robustness of the remark)."""
+
+    def build():
+        return {
+            delta: remark1_table(delta=delta)
+            for delta in (10**6, 10**9, 10**13, 10**15)
+        }
+
+    tables = benchmark(build)
+    rows = []
+    for delta, table in tables.items():
+        for row in table:
+            rows.append(
+                {
+                    "Delta": delta,
+                    "delta1": row.delta1,
+                    "delta2": row.delta2,
+                    "slack - 1": row.slack_excess,
+                    "0.5 - nu_high": row.nu_high_gap,
+                }
+            )
+    print("\nRemark 1 slack factors across Delta scales")
+    print(render_table(rows))

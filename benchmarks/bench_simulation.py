@@ -1,0 +1,82 @@
+"""Benchmark / regeneration of the consistency-versus-attack crossover.
+
+Figure 1's interpretation is that points above the magenta curve are
+consistent while points above the red curve are attackable.  This benchmark
+simulates the private-chain withholding attack at representative (c, nu)
+points on both sides of the curves and prints the resulting Lemma 1 margins
+and consistency-violation depths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table, simulation_sweep
+from repro.params import parameters_from_c
+from repro.simulation import NakamotoSimulation, PassiveAdversary, PrivateChainAdversary
+
+#: Scenarios straddling the bound/attack curves (Delta = 3, n = 500).
+SCENARIOS = [
+    {"c": 6.0, "nu": 0.15},   # far above the neat bound: consistent
+    {"c": 6.0, "nu": 0.30},   # above the neat bound: consistent
+    {"c": 1.0, "nu": 0.40},   # below the neat bound and below the attack curve
+    {"c": 0.5, "nu": 0.45},   # deep in the attack region
+]
+
+
+@pytest.mark.benchmark(group="simulation")
+def test_consistency_attack_crossover(benchmark):
+    """Time the four-scenario withholding-attack sweep and print the verdicts."""
+    results = benchmark(simulation_sweep, SCENARIOS, 8_000, 500, 3, 17)
+    rows = [
+        {
+            "c": scenario.c,
+            "nu": scenario.nu,
+            "neat bound satisfied": scenario.neat_bound_satisfied,
+            "attack predicted": scenario.attack_predicted,
+            "convergence opps": scenario.convergence_opportunities,
+            "adversary blocks": scenario.adversary_blocks,
+            "C - A margin": scenario.lemma1_margin,
+            "max violation depth": scenario.max_violation_depth,
+        }
+        for scenario in results
+    ]
+    print("\nWithholding-attack simulation across the (c, nu) plane")
+    print(render_table(rows))
+
+    # Shape check: safe scenarios keep a positive Lemma 1 margin; the deep
+    # attack scenario shows deep reorganisations.
+    assert results[0].lemma1_margin > 0
+    assert results[1].lemma1_margin > 0
+    assert results[-1].max_violation_depth >= 6 or results[-1].lemma1_margin < 0
+
+
+@pytest.mark.benchmark(group="simulation")
+def test_simulation_throughput_passive(benchmark):
+    """Raw simulator throughput with a passive adversary (rounds/second)."""
+    params = parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
+
+    def run():
+        return NakamotoSimulation(
+            params, adversary=PassiveAdversary(3), rng=np.random.default_rng(0)
+        ).run(5_000)
+
+    result = benchmark(run)
+    assert result.rounds == 5_000
+
+
+@pytest.mark.benchmark(group="simulation")
+def test_simulation_throughput_private_attack(benchmark):
+    """Raw simulator throughput with the withholding attacker."""
+    params = parameters_from_c(c=1.0, n=1_000, delta=3, nu=0.4)
+
+    def run():
+        return NakamotoSimulation(
+            params,
+            adversary=PrivateChainAdversary(3, target_depth=6),
+            rng=np.random.default_rng(0),
+        ).run(5_000)
+
+    result = benchmark(run)
+    assert result.rounds == 5_000

@@ -1,0 +1,43 @@
+"""Benchmark / regeneration of Table I (notation and derived quantities).
+
+Table I of the paper defines p, n, Delta, c, mu, nu, alpha, alpha_bar and
+alpha1.  This benchmark evaluates all derived quantities at the paper's
+Figure 1 operating point (n = 1e5, Delta = 1e13) and at a simulation-scale
+point, and prints both tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table, table_i
+from repro.params import parameters_from_c
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_paper_scale(benchmark):
+    """Derived quantities at the paper's operating point (log-space safe)."""
+
+    def build():
+        params = parameters_from_c(c=10.0, n=100_000, delta=10**13, nu=0.25)
+        return table_i(params), params
+
+    rows, params = benchmark(build)
+    assert len(rows) == 9
+    print("\nTable I at the paper scale (c=10, n=1e5, Delta=1e13, nu=0.25)")
+    print(render_table(rows))
+    print(f"log convergence-opportunity probability: "
+          f"{params.log_convergence_opportunity_probability:.6g}")
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_simulation_scale(benchmark):
+    """Derived quantities at the validation scale used by the simulator."""
+
+    def build():
+        params = parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
+        return table_i(params)
+
+    rows = benchmark(build)
+    print("\nTable I at the simulation scale (c=4, n=1e3, Delta=3, nu=0.2)")
+    print(render_table(rows))

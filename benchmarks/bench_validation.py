@@ -1,0 +1,111 @@
+"""Benchmark / regeneration of the theory-versus-simulation validation.
+
+Validates the analytical identities of Section V — the stationary distribution
+of C_F (Eqs. 37a-d) and the expectations E[C] = T alpha_bar^(2 Delta) alpha1
+and E[A] = T p nu n (Eqs. 26-27, 44) — against sampled traces and against the
+full protocol simulator, and prints the paper-vs-measured comparison rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    render_table,
+    validate_expectations,
+    validate_suffix_stationary,
+)
+from repro.params import parameters_from_c
+
+PARAMS = parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
+
+
+@pytest.mark.benchmark(group="validation")
+def test_suffix_stationary_validation(benchmark, rng):
+    """Closed-form vs numerical vs sampled stationary distribution of C_F."""
+    result = benchmark(
+        validate_suffix_stationary, PARAMS, 60_000, np.random.default_rng(3)
+    )
+    print("\nC_F stationary distribution validation")
+    print(
+        render_table(
+            [
+                {
+                    "delta": result.delta,
+                    "rounds": result.rounds_sampled,
+                    "max |closed - numerical|": result.max_closed_vs_numeric,
+                    "max |closed - empirical|": result.max_closed_vs_empirical,
+                    "TV(closed, empirical)": result.total_variation_empirical,
+                }
+            ]
+        )
+    )
+    assert result.agrees()
+
+
+@pytest.mark.benchmark(group="validation")
+def test_expectations_iid_validation(benchmark):
+    """Eq. (44) / Eq. (27) against i.i.d. sampled round traces."""
+    result = benchmark(
+        validate_expectations,
+        PARAMS,
+        60_000,
+        np.random.default_rng(5),
+        False,
+    )
+    print("\nExpected rates (i.i.d. trace) — Eq. 44 and Eq. 27")
+    print(
+        render_table(
+            [
+                {
+                    "quantity": "convergence opportunities / round",
+                    "theory": result.theoretical_convergence_rate,
+                    "measured": result.empirical_convergence_rate,
+                    "relative error": result.convergence_relative_error,
+                },
+                {
+                    "quantity": "adversarial blocks / round",
+                    "theory": result.theoretical_adversary_rate,
+                    "measured": result.empirical_adversary_rate,
+                    "relative error": result.adversary_relative_error,
+                },
+            ]
+        )
+    )
+    # The statistical agreement check is enforced tightly in tests/; here the
+    # benchmark may re-run the sampling many times, so only guard against
+    # gross disagreement.
+    assert result.agrees(tolerance=0.3)
+
+
+@pytest.mark.benchmark(group="validation")
+def test_expectations_full_simulation_validation(benchmark):
+    """Eq. (44) / Eq. (27) against the full protocol simulator."""
+    result = benchmark(
+        validate_expectations,
+        PARAMS,
+        20_000,
+        np.random.default_rng(7),
+        True,
+    )
+    print("\nExpected rates (full protocol simulation)")
+    print(
+        render_table(
+            [
+                {
+                    "quantity": "convergence opportunities / round",
+                    "theory": result.theoretical_convergence_rate,
+                    "measured": result.empirical_convergence_rate,
+                    "relative error": result.convergence_relative_error,
+                },
+                {
+                    "quantity": "adversarial blocks / round",
+                    "theory": result.theoretical_adversary_rate,
+                    "measured": result.empirical_adversary_rate,
+                    "relative error": result.adversary_relative_error,
+                },
+            ]
+        )
+    )
+    assert result.agrees(tolerance=0.3)

@@ -1,0 +1,18 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one of the paper's reported artefacts
+(Figure 1, Table I, Remark 1, the validation studies) and prints the resulting
+rows so the run log doubles as the reproduced table; the ``benchmark`` fixture
+additionally records how long the regeneration takes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator so benchmark results are reproducible."""
+    return np.random.default_rng(2026)

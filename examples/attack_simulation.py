@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Simulate the private-chain withholding attack across the (c, nu) plane.
+
+Run with::
+
+    python examples/attack_simulation.py [--rounds N] [--delta D] [--miners M]
+
+For a handful of (c, nu) scenarios straddling the paper's bound and the PSS
+attack curve, the script runs the round-based Nakamoto simulator against the
+withholding attacker and reports, per scenario:
+
+* whether the paper's neat bound and the PSS attack condition predict
+  consistency or a successful attack,
+* the Lemma 1 counters (convergence opportunities vs adversarial blocks), and
+* the deepest consistency violation the attack achieved.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core.bounds import neat_bound
+from repro.core.pss import pss_attack_succeeds
+from repro.params import parameters_from_c
+from repro.simulation import NakamotoSimulation, PrivateChainAdversary
+
+SCENARIOS = [
+    {"c": 8.0, "nu": 0.15},
+    {"c": 6.0, "nu": 0.30},
+    {"c": 2.0, "nu": 0.35},
+    {"c": 1.0, "nu": 0.40},
+    {"c": 0.5, "nu": 0.45},
+]
+
+
+def run_scenario(c, nu, rounds, delta, miners, seed):
+    params = parameters_from_c(c=c, n=miners, delta=delta, nu=nu)
+    adversary = PrivateChainAdversary(delta, target_depth=6)
+    result = NakamotoSimulation(
+        params, adversary=adversary, rng=np.random.default_rng(seed), snapshot_interval=200
+    ).run(rounds)
+    return {
+        "c": c,
+        "nu": nu,
+        "consistent (ours)": c > neat_bound(nu),
+        "attack predicted (PSS)": pss_attack_succeeds(c, nu),
+        "convergence opps": result.convergence_opportunities,
+        "adversary blocks": result.total_adversary_blocks,
+        "releases": result.adversary_releases,
+        "max violation depth": result.consistency.max_violation_depth,
+        "chain quality": result.quality,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=20_000)
+    parser.add_argument("--delta", type=int, default=3)
+    parser.add_argument("--miners", type=int, default=1_000)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    rows = [
+        run_scenario(
+            scenario["c"], scenario["nu"], args.rounds, args.delta, args.miners,
+            args.seed + index,
+        )
+        for index, scenario in enumerate(SCENARIOS)
+    ]
+    print(
+        f"Withholding attack over {args.rounds} rounds "
+        f"(Delta = {args.delta}, n = {args.miners})"
+    )
+    print(render_table(rows))
+    print()
+    print(
+        "Reading the table: scenarios whose c exceeds the neat bound keep a\n"
+        "positive C - A margin and show no deep reorganisations; scenarios in\n"
+        "the attack region show violation depths well beyond the 6-block target."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 1: our bound versus PSS consistency versus the PSS attack.
+
+Run with::
+
+    python examples/figure1_comparison.py [--points N] [--csv PATH]
+
+Prints the three curves (maximum tolerable adversarial fraction nu versus c)
+as a table and an ASCII sketch, and optionally writes a CSV for external
+plotting.  The parameters n = 1e5 and Delta = 1e13 follow the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+
+from repro.analysis import figure1_checks, figure1_series, render_table
+from repro.analysis.figure1 import default_c_grid
+
+
+def ascii_sketch(series, width: int = 64, height: int = 20) -> str:
+    """A rough log-x ASCII rendering of the three curves."""
+    import math
+
+    grid = [[" "] * width for _ in range(height)]
+    points = series.points
+    log_min = math.log10(points[0].c)
+    log_max = math.log10(points[-1].c)
+
+    def place(c, nu, marker):
+        column = int((math.log10(c) - log_min) / (log_max - log_min) * (width - 1))
+        row = height - 1 - int(nu / 0.5 * (height - 1))
+        row = min(max(row, 0), height - 1)
+        if grid[row][column] == " ":
+            grid[row][column] = marker
+
+    for point in points:
+        place(point.c, point.nu_min_attack, "r")   # red: attack
+        place(point.c, point.nu_max_ours, "m")      # magenta: ours
+        place(point.c, point.nu_max_pss, "b")       # blue: PSS
+    lines = ["nu"] + ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"c = {points[0].c:g} ... {points[-1].c:g} (log scale)   "
+                 "m = ours, b = PSS consistency, r = PSS attack")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=48, help="number of c grid points")
+    parser.add_argument("--csv", type=str, default=None, help="optional CSV output path")
+    args = parser.parse_args(argv)
+
+    series = figure1_series(c_values=default_c_grid(points=args.points))
+    rows = series.as_rows()
+
+    print("Figure 1 — maximum tolerable adversarial fraction versus c")
+    step = max(len(rows) // 16, 1)
+    print(render_table(rows[::step]))
+    print()
+    print(ascii_sketch(series))
+    print()
+    print("Qualitative checks:", figure1_checks(series))
+
+    if args.csv:
+        with open(args.csv, "w", newline="") as handle:
+            writer = csv.DictWriter(
+                handle, fieldnames=["c", "nu_max_ours", "nu_max_pss", "nu_min_attack"]
+            )
+            writer.writeheader()
+            writer.writerows(rows)
+        print(f"\nWrote {len(rows)} rows to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate the paper's consistency bound at one parameter point.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script configures a protocol instance (Table I quantities), asks every
+analysis implemented by the library for its verdict — the paper's neat bound,
+Theorems 1 and 2, the PSS baseline and the PSS attack — and prints a summary.
+"""
+
+from __future__ import annotations
+
+from repro import ConsistencyAnalyzer, neat_bound, parameters_from_c
+from repro.analysis import render_mapping, render_table, table_i
+from repro.core.pss import nu_max_pss_consistency, pss_attack_succeeds
+
+
+def main() -> None:
+    # A protocol where a block is expected to take c = 5 network delays to
+    # appear, with 10^5 miners, a delay cap of 10 rounds and a 25% adversary.
+    params = parameters_from_c(c=5.0, n=100_000, delta=10, nu=0.25)
+
+    print("Protocol configuration (Table I)")
+    print(render_table(table_i(params)))
+    print()
+
+    analyzer = ConsistencyAnalyzer(params)
+    verdict = analyzer.verdict()
+
+    print("Consistency verdicts")
+    print(
+        render_mapping(
+            {
+                "c (configured)": verdict.c,
+                "neat bound 2*mu/ln(mu/nu)": verdict.neat_threshold,
+                "consistent by the paper's bound": verdict.satisfies_neat_bound,
+                "Theorem 1 margin (log E[C]/E[A])": verdict.theorem1_margin_log,
+                "largest admissible delta1": verdict.theorem1_max_delta1,
+                "Theorem 2 threshold on c": verdict.theorem2_threshold,
+                "consistent by Theorem 2": verdict.satisfies_theorem2,
+                "consistent by PSS (approx.)": params.nu < nu_max_pss_consistency(params.c),
+                "PSS Remark 8.5 attack succeeds": pss_attack_succeeds(params.c, params.nu),
+            }
+        )
+    )
+    print()
+
+    # How many confirmations are "enough"?  Use the expectation machinery to
+    # show the per-window counts the proof compares.
+    window = 100_000
+    print(f"Over a window of {window} rounds:")
+    print(
+        render_mapping(
+            {
+                "expected convergence opportunities E[C]": analyzer.expected_convergence_opportunities(window),
+                "expected adversarial blocks E[A]": analyzer.expected_adversary_blocks(window),
+                "ratio E[C] / E[A]": (
+                    analyzer.expected_convergence_opportunities(window)
+                    / analyzer.expected_adversary_blocks(window)
+                ),
+            }
+        )
+    )
+    print()
+    print(
+        "The protocol is consistent whenever c exceeds "
+        f"{neat_bound(params.nu):.4f} (the paper's neat bound at nu = {params.nu})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file exists
+so that ``python setup.py develop`` (and editable installs on environments
+without the ``wheel`` package, as used in the offline CI image) keep working.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro — a reproduction of "An Analysis of Blockchain Consistency in
+Asynchronous Networks: Deriving a Neat Bound" (Jun Zhao, ICDCS 2020).
+
+The library has four layers:
+
+* :mod:`repro.params` — the protocol parameterisation of Table I;
+* :mod:`repro.core` — the paper's contribution: the neat bound
+  ``2 mu / ln(mu/nu)``, Theorems 1-3, the two Markov chains C_F and C_F||P,
+  the concentration bounds, and the PSS/Kiffer baselines;
+* :mod:`repro.markov` and :mod:`repro.simulation` — the substrates: generic
+  finite Markov chains, and a round-based Nakamoto protocol simulator in the
+  Δ-delay asynchronous model;
+* :mod:`repro.analysis` — the experiment drivers that regenerate Figure 1,
+  Remark 1 and the validation studies.
+
+Quickstart
+----------
+>>> from repro import parameters_from_c, neat_bound, nu_max_neat_bound
+>>> params = parameters_from_c(c=5.0, n=100_000, delta=10, nu=0.2)
+>>> params.c > neat_bound(params.nu)       # consistency per the paper
+True
+>>> 0.0 < nu_max_neat_bound(2.0) < 0.5     # the magenta curve of Figure 1
+True
+"""
+
+from .core import (
+    ConcatChain,
+    ConsistencyAnalyzer,
+    ConsistencyVerdict,
+    MiningProbabilities,
+    SuffixChain,
+    evaluate_bounds,
+    neat_bound,
+    nu_max_neat_bound,
+    nu_max_pss_consistency,
+    nu_min_pss_attack,
+    theorem1_condition,
+    theorem2_condition,
+)
+from .errors import (
+    AnalysisError,
+    MarkovChainError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+)
+from .params import ProtocolParameters, parameters_for_target_alpha, parameters_from_c
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ProtocolParameters",
+    "parameters_from_c",
+    "parameters_for_target_alpha",
+    "MiningProbabilities",
+    "neat_bound",
+    "nu_max_neat_bound",
+    "nu_max_pss_consistency",
+    "nu_min_pss_attack",
+    "theorem1_condition",
+    "theorem2_condition",
+    "evaluate_bounds",
+    "SuffixChain",
+    "ConcatChain",
+    "ConsistencyAnalyzer",
+    "ConsistencyVerdict",
+    "ReproError",
+    "ParameterError",
+    "MarkovChainError",
+    "SimulationError",
+    "AnalysisError",
+]

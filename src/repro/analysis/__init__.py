@@ -1,0 +1,61 @@
+"""Experiment drivers: regenerate the paper's figure, tables and validation studies.
+
+* :mod:`repro.analysis.figure1` — the three curves of Figure 1;
+* :mod:`repro.analysis.remark1` — the numerical ranges of Remark 1
+  (Inequalities 12-17);
+* :mod:`repro.analysis.tables` — plain-text rendering, including Table I;
+* :mod:`repro.analysis.validation` — theory-versus-simulation agreement;
+* :mod:`repro.analysis.sweeps` — (c, nu) sweeps and the proof-chain ablation.
+"""
+
+from .figure1 import Figure1Point, Figure1Series, default_c_grid, figure1_checks, figure1_series
+from .regions import RegionAreas, SecurityRegion, classify_point, region_areas
+from .remark1 import PAPER_SETTINGS, Remark1Row, remark1_row, remark1_table
+from .report import ReportConfig, generate_report
+from .sweeps import (
+    bound_sweep,
+    implication_chain_ablation,
+    security_margin_sweep,
+    simulation_sweep,
+)
+from .tables import format_value, render_mapping, render_table, table_i
+from .validation import (
+    ConsistencyScenario,
+    ExpectationValidation,
+    StationaryValidation,
+    validate_consistency_scenario,
+    validate_expectations,
+    validate_suffix_stationary,
+)
+
+__all__ = [
+    "Figure1Point",
+    "Figure1Series",
+    "default_c_grid",
+    "figure1_series",
+    "figure1_checks",
+    "Remark1Row",
+    "remark1_row",
+    "remark1_table",
+    "PAPER_SETTINGS",
+    "ReportConfig",
+    "generate_report",
+    "SecurityRegion",
+    "RegionAreas",
+    "classify_point",
+    "region_areas",
+    "render_table",
+    "render_mapping",
+    "format_value",
+    "table_i",
+    "StationaryValidation",
+    "ExpectationValidation",
+    "ConsistencyScenario",
+    "validate_suffix_stationary",
+    "validate_expectations",
+    "validate_consistency_scenario",
+    "bound_sweep",
+    "security_margin_sweep",
+    "simulation_sweep",
+    "implication_chain_ablation",
+]

@@ -1,0 +1,143 @@
+"""Figure 1: maximum tolerable adversarial fraction versus c.
+
+The paper's single figure compares three curves over ``c`` (log-spaced from
+0.1 to 100, with ``n = 1e5`` and ``Δ = 1e13``):
+
+* **magenta** — the paper's consistency result: the largest ``nu`` with
+  ``c > 2 mu / ln(mu/nu)``;
+* **blue** — the PSS consistency result: ``nu < (2 - c + sqrt(c^2 - 2c))/2``
+  for ``c > 2`` (zero otherwise);
+* **red** — the PSS Remark 8.5 attack: consistency is broken for
+  ``nu > (2c + 1 - sqrt(4c^2 + 1))/2``.
+
+:func:`figure1_series` regenerates the three series; :func:`figure1_checks`
+verifies the orderings the paper reads off the figure (magenta strictly above
+blue, and below red wherever blue is positive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.bounds import nu_max_neat_bound
+from ..core.pss import nu_max_pss_consistency, nu_min_pss_attack
+from ..errors import AnalysisError
+
+__all__ = [
+    "Figure1Point",
+    "Figure1Series",
+    "default_c_grid",
+    "figure1_series",
+    "figure1_checks",
+]
+
+#: The parameters the paper adopts from Figure 1 of PSS.
+PAPER_N = 100_000
+PAPER_DELTA = 10**13
+
+#: The c-range displayed in Figure 1.
+PAPER_C_MIN = 0.1
+PAPER_C_MAX = 100.0
+
+
+@dataclass(frozen=True)
+class Figure1Point:
+    """One x-position of Figure 1 and the three curve values at it."""
+
+    c: float
+    nu_max_ours: float
+    nu_max_pss: float
+    nu_min_attack: float
+
+
+@dataclass(frozen=True)
+class Figure1Series:
+    """The full set of Figure 1 curves."""
+
+    points: List[Figure1Point]
+    n: int
+    delta: int
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        """Column arrays keyed by series name (for plotting or CSV export)."""
+        return {
+            "c": np.array([point.c for point in self.points]),
+            "nu_max_ours": np.array([point.nu_max_ours for point in self.points]),
+            "nu_max_pss": np.array([point.nu_max_pss for point in self.points]),
+            "nu_min_attack": np.array([point.nu_min_attack for point in self.points]),
+        }
+
+    def as_rows(self) -> List[Dict[str, float]]:
+        """Row dictionaries (one per c) for tabulation."""
+        return [
+            {
+                "c": point.c,
+                "nu_max_ours": point.nu_max_ours,
+                "nu_max_pss": point.nu_max_pss,
+                "nu_min_attack": point.nu_min_attack,
+            }
+            for point in self.points
+        ]
+
+
+def default_c_grid(points: int = 60) -> np.ndarray:
+    """The log-spaced c-grid of Figure 1 (0.1 to 100)."""
+    if points < 2:
+        raise AnalysisError("the c grid needs at least 2 points")
+    return np.logspace(np.log10(PAPER_C_MIN), np.log10(PAPER_C_MAX), points)
+
+
+def figure1_series(
+    c_values: Optional[Sequence[float]] = None,
+    n: int = PAPER_N,
+    delta: int = PAPER_DELTA,
+) -> Figure1Series:
+    """Regenerate the three curves of Figure 1.
+
+    ``n`` and ``delta`` only matter for translating ``c`` into a hardness ``p``
+    (the three closed-form curves depend on ``c`` alone), so the paper's
+    values are kept as defaults purely for fidelity of the record.
+    """
+    grid = default_c_grid() if c_values is None else np.asarray(c_values, dtype=float)
+    points = [
+        Figure1Point(
+            c=float(c),
+            nu_max_ours=nu_max_neat_bound(float(c)),
+            nu_max_pss=nu_max_pss_consistency(float(c)),
+            nu_min_attack=nu_min_pss_attack(float(c)),
+        )
+        for c in grid
+    ]
+    return Figure1Series(points=points, n=n, delta=delta)
+
+
+def figure1_checks(series: Figure1Series) -> Dict[str, bool]:
+    """The qualitative facts the paper reads off Figure 1.
+
+    * ``ours_above_pss``: the magenta curve is strictly above the blue curve
+      wherever the blue curve is positive (our bound tolerates strictly more
+      adversarial power than PSS);
+    * ``ours_below_attack``: the magenta curve never exceeds the red attack
+      curve (no claimed-consistent point is known-attackable);
+    * ``curves_monotone``: every curve is non-decreasing in ``c``.
+    """
+    ours = np.array([point.nu_max_ours for point in series.points])
+    pss = np.array([point.nu_max_pss for point in series.points])
+    attack = np.array([point.nu_min_attack for point in series.points])
+
+    positive_pss = pss > 0.0
+    ours_above_pss = bool(np.all(ours[positive_pss] > pss[positive_pss]))
+    ours_below_attack = bool(np.all(ours <= attack + 1e-12))
+    curves_monotone = bool(
+        np.all(np.diff(ours) >= -1e-12)
+        and np.all(np.diff(pss) >= -1e-12)
+        and np.all(np.diff(attack) >= -1e-12)
+    )
+    return {
+        "ours_above_pss": ours_above_pss,
+        "ours_below_attack": ours_below_attack,
+        "curves_monotone": curves_monotone,
+    }

@@ -1,0 +1,151 @@
+"""Partitioning the (c, nu) plane into security regions.
+
+Figure 1 implicitly divides the parameter plane into four regions:
+
+* **pss-consistent** — below the blue curve: already certified by PSS;
+* **ours-only** — between the blue and magenta curves: certified consistent by
+  the paper's bound but not by PSS (the paper's improvement);
+* **gap** — between the magenta curve and the red attack curve: neither proven
+  consistent nor known attackable (the open problem the paper's introduction
+  poses as a future direction);
+* **attackable** — above the red curve: the PSS Remark 8.5 attack breaks
+  consistency.
+
+This module classifies individual points and integrates the region areas over
+the paper's c-range, which turns the figure's visual "the magenta line is well
+above the blue line" into numbers (what fraction of the plane each analysis
+certifies).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.bounds import nu_max_neat_bound
+from ..core.pss import nu_max_pss_consistency, nu_min_pss_attack
+from ..errors import AnalysisError
+from .figure1 import default_c_grid
+
+__all__ = ["SecurityRegion", "classify_point", "RegionAreas", "region_areas"]
+
+
+class SecurityRegion(enum.Enum):
+    """The four security regions of the (c, nu) plane."""
+
+    PSS_CONSISTENT = "pss-consistent"
+    OURS_ONLY = "ours-only"
+    GAP = "gap"
+    ATTACKABLE = "attackable"
+
+
+def classify_point(c: float, nu: float) -> SecurityRegion:
+    """Classify one (c, nu) point into its security region.
+
+    Boundary points are resolved conservatively: a point exactly on a
+    consistency curve is *not* counted as certified (the theorems use strict
+    inequalities), and a point exactly on the attack curve is counted as
+    attackable.
+    """
+    if c <= 0.0:
+        raise AnalysisError(f"c must be positive, got {c!r}")
+    if not (0.0 < nu < 0.5):
+        raise AnalysisError(f"nu must lie in (0, 1/2), got {nu!r}")
+    if nu >= nu_min_pss_attack(c):
+        return SecurityRegion.ATTACKABLE
+    if nu < nu_max_pss_consistency(c):
+        return SecurityRegion.PSS_CONSISTENT
+    if nu < nu_max_neat_bound(c):
+        return SecurityRegion.OURS_ONLY
+    return SecurityRegion.GAP
+
+
+@dataclass(frozen=True)
+class RegionAreas:
+    """Fractions of the sampled (c, nu) rectangle occupied by each region.
+
+    ``fractions`` sums to 1 (up to grid resolution); ``improvement_ratio`` is
+    the certified area including the paper's bound divided by the area PSS
+    alone certifies — a single-number summary of the paper's gain.
+    """
+
+    c_min: float
+    c_max: float
+    grid_points: int
+    fractions: Dict[SecurityRegion, float]
+
+    @property
+    def certified_by_pss(self) -> float:
+        """Fraction certified consistent by PSS alone."""
+        return self.fractions[SecurityRegion.PSS_CONSISTENT]
+
+    @property
+    def certified_by_ours(self) -> float:
+        """Fraction certified consistent by the paper's bound (a superset of PSS)."""
+        return (
+            self.fractions[SecurityRegion.PSS_CONSISTENT]
+            + self.fractions[SecurityRegion.OURS_ONLY]
+        )
+
+    @property
+    def open_gap(self) -> float:
+        """Fraction neither certified nor known attackable (the open problem)."""
+        return self.fractions[SecurityRegion.GAP]
+
+    @property
+    def improvement_ratio(self) -> float:
+        """Certified-by-ours area over certified-by-PSS area (>= 1)."""
+        if self.certified_by_pss <= 0.0:
+            return float("inf") if self.certified_by_ours > 0.0 else 1.0
+        return self.certified_by_ours / self.certified_by_pss
+
+    def as_rows(self):
+        """Rows for tabulation, one per region."""
+        return [
+            {"region": region.value, "area fraction": fraction}
+            for region, fraction in self.fractions.items()
+        ]
+
+
+def region_areas(
+    c_values: Optional[Sequence[float]] = None,
+    nu_points: int = 200,
+) -> RegionAreas:
+    """Integrate the region areas over the paper's c-range (log-uniform in c).
+
+    The area element is log-uniform in ``c`` (matching the figure's log axis)
+    and uniform in ``nu`` over (0, 1/2).
+    """
+    if nu_points < 2:
+        raise AnalysisError("nu_points must be at least 2")
+    grid = default_c_grid() if c_values is None else np.asarray(c_values, dtype=float)
+    if len(grid) < 2:
+        raise AnalysisError("need at least two c values")
+    nu_grid = np.linspace(1e-6, 0.5 - 1e-6, nu_points)
+
+    counts = {region: 0 for region in SecurityRegion}
+    for c in grid:
+        ours = nu_max_neat_bound(float(c))
+        pss = nu_max_pss_consistency(float(c))
+        attack = nu_min_pss_attack(float(c))
+        for nu in nu_grid:
+            if nu >= attack:
+                counts[SecurityRegion.ATTACKABLE] += 1
+            elif nu < pss:
+                counts[SecurityRegion.PSS_CONSISTENT] += 1
+            elif nu < ours:
+                counts[SecurityRegion.OURS_ONLY] += 1
+            else:
+                counts[SecurityRegion.GAP] += 1
+
+    total = len(grid) * len(nu_grid)
+    fractions = {region: counts[region] / total for region in SecurityRegion}
+    return RegionAreas(
+        c_min=float(grid[0]),
+        c_max=float(grid[-1]),
+        grid_points=total,
+        fractions=fractions,
+    )

@@ -1,0 +1,127 @@
+"""Remark 1: the numerical instantiations of Inequalities (12)-(17).
+
+Remark 1 demonstrates that the Theorem 2 condition really does reduce to
+"``c`` slightly greater than ``2 mu / ln(mu/nu)``" by exhibiting two settings
+of the constants ``(delta1, delta2)`` at the paper's ``Δ = 1e13``:
+
+==============  =========================  =============================
+(delta1, delta2)  nu-range (Inequality 12)    slack factor (Inequality 13)
+==============  =========================  =============================
+(1/6, 1/2)      ``1e-63 <= nu <= 0.5-1e-7``  ``1 + 5e-5``
+(1/8, 2/3)      ``1e-18 <= nu <= 0.5-1e-9``  ``1 + 2e-3``
+==============  =========================  =============================
+
+This module recomputes both rows (and any other setting) from the closed
+forms, so EXPERIMENTS.md can report paper-stated versus recomputed values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.bounds import nu_range_bounds, simplified_slack_factor
+from ..errors import AnalysisError
+
+__all__ = [
+    "Remark1Row",
+    "remark1_row",
+    "remark1_table",
+    "PAPER_SETTINGS",
+]
+
+#: The (delta1, delta2) settings the paper uses in Remark 1, with the values it reports.
+PAPER_SETTINGS: List[Dict[str, float]] = [
+    {
+        "delta1": 1.0 / 6.0,
+        "delta2": 1.0 / 2.0,
+        "paper_nu_low": 1e-63,
+        "paper_nu_high_gap": 1e-7,
+        "paper_slack": 5e-5,
+    },
+    {
+        "delta1": 1.0 / 8.0,
+        "delta2": 2.0 / 3.0,
+        "paper_nu_low": 1e-18,
+        "paper_nu_high_gap": 1e-9,
+        "paper_slack": 2e-3,
+    },
+]
+
+PAPER_DELTA = 10**13
+
+
+@dataclass(frozen=True)
+class Remark1Row:
+    """One row of the Remark 1 table (one ``(delta1, delta2)`` setting)."""
+
+    delta: int
+    delta1: float
+    delta2: float
+    nu_low: float
+    log10_nu_low: float
+    nu_high: float
+    nu_high_gap: float
+    slack_factor: float
+    slack_excess: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for tabulation."""
+        return {
+            "delta1": self.delta1,
+            "delta2": self.delta2,
+            "nu_low": self.nu_low,
+            "log10_nu_low": self.log10_nu_low,
+            "nu_high": self.nu_high,
+            "nu_high_gap": self.nu_high_gap,
+            "slack_factor": self.slack_factor,
+            "slack_excess": self.slack_excess,
+        }
+
+
+def remark1_row(delta: int, delta1: float, delta2: float) -> Remark1Row:
+    """Recompute one Remark 1 row from the closed forms.
+
+    ``nu_low`` may underflow to 0.0 at the paper's scale, so the row also
+    carries ``log10_nu_low`` computed analytically:
+    ``nu_low = 1/(1 + exp(Δ^delta1))`` gives
+    ``log10(nu_low) ≈ -Δ^delta1 / ln(10)`` when the exponential dominates.
+    """
+    if delta < 1:
+        raise AnalysisError(f"delta must be >= 1, got {delta!r}")
+    nu_low, nu_high = nu_range_bounds(delta, delta1, delta2)
+    exponent = float(delta) ** delta1
+    # log10(1/(1+exp(x))) = -log10(1 + exp(x)) ≈ -x/ln(10) for large x.
+    if exponent > 50.0:
+        log10_nu_low = -exponent / math.log(10.0)
+    else:
+        log10_nu_low = math.log10(nu_low)
+    slack = simplified_slack_factor(delta, delta1, delta2)
+    return Remark1Row(
+        delta=delta,
+        delta1=delta1,
+        delta2=delta2,
+        nu_low=nu_low,
+        log10_nu_low=log10_nu_low,
+        nu_high=nu_high,
+        nu_high_gap=0.5 - nu_high,
+        slack_factor=slack,
+        slack_excess=slack - 1.0,
+    )
+
+
+def remark1_table(
+    delta: int = PAPER_DELTA,
+    settings: Optional[Sequence[Tuple[float, float]]] = None,
+) -> List[Remark1Row]:
+    """Recompute the full Remark 1 table.
+
+    By default uses the paper's two settings at ``Δ = 1e13``; pass ``settings``
+    as a sequence of ``(delta1, delta2)`` pairs to explore others.
+    """
+    if settings is None:
+        pairs = [(entry["delta1"], entry["delta2"]) for entry in PAPER_SETTINGS]
+    else:
+        pairs = list(settings)
+    return [remark1_row(delta, delta1, delta2) for delta1, delta2 in pairs]

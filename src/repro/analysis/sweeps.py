@@ -1,0 +1,142 @@
+"""Parameter sweeps.
+
+Sweep helpers used by the benchmarks and examples: evaluate the paper's bounds
+and/or run simulations across a grid of ``(c, nu)`` points, and measure the
+per-step looseness of the Theorem 1 → Theorem 2 implication chain (an ablation
+of the proof's sufficiency steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.bounds import (
+    neat_bound,
+    nu_max_neat_bound,
+    theorem1_condition,
+    theorem2_c_threshold,
+)
+from ..core.lemmas import implication_chain_thresholds
+from ..core.pss import attack_c_threshold, nu_max_pss_consistency, pss_attack_succeeds
+from ..errors import AnalysisError
+from ..params import ProtocolParameters, parameters_from_c
+from ..simulation import NakamotoSimulation, PrivateChainAdversary
+from .validation import ConsistencyScenario, validate_consistency_scenario
+
+__all__ = [
+    "bound_sweep",
+    "security_margin_sweep",
+    "simulation_sweep",
+    "implication_chain_ablation",
+]
+
+
+def bound_sweep(
+    c_values: Sequence[float],
+    nu_values: Sequence[float],
+    delta: int = 10,
+    n: int = 100_000,
+) -> List[Dict[str, object]]:
+    """Evaluate every closed-form verdict on a (c, nu) grid.
+
+    Returns one row per grid point with the neat-bound, PSS and attack
+    verdicts, suitable for tabulation.
+    """
+    rows: List[Dict[str, object]] = []
+    for c in c_values:
+        for nu in nu_values:
+            params = parameters_from_c(c=float(c), n=n, delta=delta, nu=float(nu))
+            rows.append(
+                {
+                    "c": float(c),
+                    "nu": float(nu),
+                    "neat_threshold": neat_bound(float(nu)),
+                    "consistent_ours": float(c) > neat_bound(float(nu)),
+                    "consistent_pss": float(nu) < nu_max_pss_consistency(float(c)),
+                    "attack_succeeds": pss_attack_succeeds(float(c), float(nu)),
+                    "theorem1_holds": theorem1_condition(params, delta1=1e-9),
+                }
+            )
+    return rows
+
+
+def security_margin_sweep(
+    nu_values: Sequence[float], delta: int = 10**13
+) -> List[Dict[str, float]]:
+    """For each ``nu``: the minimal ``c`` required by each analysis and by the attack.
+
+    Rows contain the paper's threshold ``2 mu / ln(mu/nu)``, the PSS threshold
+    ``2 (1-nu)^2 / (1 - 2 nu)``, the attack threshold ``nu(1-nu)/(1-2nu)`` and
+    the improvement factor of the paper over PSS.
+    """
+    rows: List[Dict[str, float]] = []
+    for nu in nu_values:
+        nu = float(nu)
+        ours = neat_bound(nu)
+        pss = 2.0 * (1.0 - nu) ** 2 / (1.0 - 2.0 * nu)
+        attack = attack_c_threshold(nu)
+        rows.append(
+            {
+                "nu": nu,
+                "c_required_ours": ours,
+                "c_required_pss": pss,
+                "c_attack_below": attack,
+                "improvement_factor": pss / ours,
+                "gap_to_attack": ours / attack,
+            }
+        )
+    return rows
+
+
+def simulation_sweep(
+    scenarios: Sequence[Dict[str, float]],
+    rounds: int = 30_000,
+    n: int = 1_000,
+    delta: int = 3,
+    seed: int = 0,
+) -> List[ConsistencyScenario]:
+    """Run the withholding-attack simulation at each ``{"c": ..., "nu": ...}`` scenario."""
+    if rounds <= 0:
+        raise AnalysisError("rounds must be positive")
+    results: List[ConsistencyScenario] = []
+    for index, scenario in enumerate(scenarios):
+        params = parameters_from_c(
+            c=float(scenario["c"]), n=n, delta=delta, nu=float(scenario["nu"])
+        )
+        rng = np.random.default_rng(seed + index)
+        results.append(
+            validate_consistency_scenario(
+                params,
+                rounds=rounds,
+                adversary=PrivateChainAdversary(delta),
+                rng=rng,
+            )
+        )
+    return results
+
+
+def implication_chain_ablation(
+    nu_values: Sequence[float],
+    delta: int = 10,
+    n: int = 100_000,
+    eps1: float = 0.1,
+    eps2: float = 0.01,
+) -> List[Dict[str, float]]:
+    """Per-step c-thresholds of the Lemma 4-8 chain, for each ``nu``.
+
+    Quantifies how much each sufficiency step of the proof loosens the
+    requirement on ``c``, relative to the neat bound itself.
+    """
+    rows: List[Dict[str, float]] = []
+    for nu in nu_values:
+        nu = float(nu)
+        steps = implication_chain_thresholds(nu, delta, n, eps1, eps2)
+        row: Dict[str, float] = {"nu": nu, "neat_bound": neat_bound(nu)}
+        for step in steps:
+            row[f"step_{step.name}"] = step.c_threshold
+        row["theorem2_threshold"] = theorem2_c_threshold(nu, delta, eps1, eps2)
+        rows.append(row)
+    return rows

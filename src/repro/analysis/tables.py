@@ -1,0 +1,84 @@
+"""Plain-text table rendering.
+
+The benchmarks and examples print the regenerated tables/figure series in the
+same row/column layout the paper reports; matplotlib is unavailable in the
+offline environment, so output is text (and optionally CSV) rather than plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..errors import AnalysisError
+from ..params import ProtocolParameters
+
+__all__ = ["format_value", "render_table", "render_mapping", "table_i"]
+
+Number = Union[int, float]
+
+
+def format_value(value: object, precision: int = 6) -> str:
+    """Render one cell: compact scientific/fixed notation for floats."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.{precision - 2}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 6,
+) -> str:
+    """Render a list of row dictionaries as an aligned plain-text table."""
+    if not rows:
+        raise AnalysisError("cannot render an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = list(columns)
+    body = [[format_value(row.get(column, ""), precision) for column in header] for row in rows]
+    widths = [
+        max(len(header[index]), *(len(line[index]) for line in body))
+        for index in range(len(header))
+    ]
+    lines = [
+        "  ".join(header[index].ljust(widths[index]) for index in range(len(header))),
+        "  ".join("-" * widths[index] for index in range(len(header))),
+    ]
+    for line in body:
+        lines.append("  ".join(line[index].ljust(widths[index]) for index in range(len(header))))
+    return "\n".join(lines)
+
+
+def render_mapping(mapping: Mapping[str, object], precision: int = 6) -> str:
+    """Render a flat mapping as a two-column key/value table."""
+    rows = [{"quantity": key, "value": value} for key, value in mapping.items()]
+    return render_table(rows, columns=["quantity", "value"], precision=precision)
+
+
+def table_i(params: ProtocolParameters) -> List[Dict[str, object]]:
+    """Table I of the paper: the notation and its values at one parameter point."""
+    return [
+        {"symbol": "p", "meaning": "hardness of the proof of work", "value": params.p},
+        {"symbol": "n", "meaning": "number of miners", "value": params.n},
+        {"symbol": "Delta", "meaning": "maximum message delay (rounds)", "value": params.delta},
+        {"symbol": "c", "meaning": "1/(p n Delta): expected delays before a block", "value": params.c},
+        {"symbol": "mu", "meaning": "honest fraction of computational power", "value": params.mu},
+        {"symbol": "nu", "meaning": "adversarial fraction of computational power", "value": params.nu},
+        {"symbol": "alpha", "meaning": "P[some honest miner mines in a round]", "value": params.alpha},
+        {"symbol": "alpha_bar", "meaning": "P[no honest miner mines in a round]", "value": params.alpha_bar},
+        {"symbol": "alpha1", "meaning": "P[exactly one honest miner mines in a round]", "value": params.alpha1},
+    ]

@@ -1,0 +1,230 @@
+"""Theory-versus-simulation validation.
+
+The paper's analytical identities are validated empirically at small Δ (where
+random walks and round-based simulation are affordable) by comparing:
+
+* the closed-form stationary distribution of the suffix chain C_F
+  (Eqs. 37a-37d) against the numerically solved and the empirically sampled
+  distributions;
+* the convergence-opportunity probability ``alpha_bar^(2Δ) alpha1`` (Eq. 44)
+  and the expectations ``E[C] = T alpha_bar^(2Δ) alpha1`` / ``E[A] = T p nu n``
+  (Eqs. 26-27) against the counts produced by the protocol simulator;
+* the consistency/attack behaviour across the (c, nu) plane against the
+  closed-form curves of Figure 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.concat_chain import count_convergence_opportunities
+from ..core.suffix_chain import SuffixChain
+from ..errors import AnalysisError
+from ..params import ProtocolParameters
+from ..simulation import (
+    AdversaryStrategy,
+    NakamotoSimulation,
+    PassiveAdversary,
+    PrivateChainAdversary,
+)
+
+__all__ = [
+    "StationaryValidation",
+    "validate_suffix_stationary",
+    "ExpectationValidation",
+    "validate_expectations",
+    "ConsistencyScenario",
+    "validate_consistency_scenario",
+]
+
+
+# ----------------------------------------------------------------------
+# Stationary distribution of C_F
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StationaryValidation:
+    """Agreement between closed-form, numerical and empirical stationary distributions."""
+
+    delta: int
+    rounds_sampled: int
+    max_closed_vs_numeric: float
+    max_closed_vs_empirical: float
+    total_variation_empirical: float
+
+    def agrees(self, numeric_tolerance: float = 1e-9, empirical_tolerance: float = 0.02) -> bool:
+        """Whether the three distributions agree within the given tolerances."""
+        return (
+            self.max_closed_vs_numeric <= numeric_tolerance
+            and self.total_variation_empirical <= empirical_tolerance
+        )
+
+
+def validate_suffix_stationary(
+    params: ProtocolParameters,
+    rounds: int = 200_000,
+    rng: Optional[np.random.Generator] = None,
+    delta: Optional[int] = None,
+) -> StationaryValidation:
+    """Compare Eqs. (37a)-(37d) against the numerical and sampled distributions."""
+    if rounds <= 0:
+        raise AnalysisError("rounds must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    chain = SuffixChain(params, delta=delta)
+    closed = chain.closed_form_stationary()
+    numeric = chain.numerical_stationary()
+    empirical = chain.empirical_stationary(rounds, rng)
+
+    max_closed_vs_numeric = max(
+        abs(closed[state] - numeric[state]) for state in chain.states
+    )
+    max_closed_vs_empirical = max(
+        abs(closed[state] - empirical[state]) for state in chain.states
+    )
+    total_variation = 0.5 * sum(
+        abs(closed[state] - empirical[state]) for state in chain.states
+    )
+    return StationaryValidation(
+        delta=chain.delta,
+        rounds_sampled=rounds,
+        max_closed_vs_numeric=max_closed_vs_numeric,
+        max_closed_vs_empirical=max_closed_vs_empirical,
+        total_variation_empirical=total_variation,
+    )
+
+
+# ----------------------------------------------------------------------
+# Expectations of C and A (Eqs. 26-27) against the protocol simulator
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExpectationValidation:
+    """Simulated versus theoretical per-round rates for C and A."""
+
+    rounds: int
+    empirical_convergence_rate: float
+    theoretical_convergence_rate: float
+    empirical_adversary_rate: float
+    theoretical_adversary_rate: float
+
+    @property
+    def convergence_relative_error(self) -> float:
+        """``|empirical - theory| / theory`` for the convergence-opportunity rate."""
+        return abs(
+            self.empirical_convergence_rate - self.theoretical_convergence_rate
+        ) / self.theoretical_convergence_rate
+
+    @property
+    def adversary_relative_error(self) -> float:
+        """``|empirical - theory| / theory`` for the adversarial block rate."""
+        return abs(
+            self.empirical_adversary_rate - self.theoretical_adversary_rate
+        ) / self.theoretical_adversary_rate
+
+    def agrees(self, tolerance: float = 0.1) -> bool:
+        """Whether both relative errors are within ``tolerance``."""
+        return (
+            self.convergence_relative_error <= tolerance
+            and self.adversary_relative_error <= tolerance
+        )
+
+
+def validate_expectations(
+    params: ProtocolParameters,
+    rounds: int = 50_000,
+    rng: Optional[np.random.Generator] = None,
+    use_full_simulation: bool = True,
+) -> ExpectationValidation:
+    """Validate Eqs. (26)-(27)/(44) against a simulated run.
+
+    With ``use_full_simulation=True`` the full protocol simulator (blocks,
+    network, adversary) supplies the per-round counts; otherwise the honest
+    block counts are drawn i.i.d. binomial directly, which isolates the
+    counting identity from the protocol machinery.
+    """
+    if rounds <= 0:
+        raise AnalysisError("rounds must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    if use_full_simulation:
+        simulation = NakamotoSimulation(
+            params, adversary=PassiveAdversary(params.delta), rng=rng
+        )
+        result = simulation.run(rounds)
+        empirical_convergence = result.empirical_convergence_rate
+        empirical_adversary = result.empirical_adversary_rate
+    else:
+        honest = rng.binomial(int(round(params.honest_count)), params.p, size=rounds)
+        adversary = rng.binomial(
+            int(round(params.adversary_count)), params.p, size=rounds
+        )
+        empirical_convergence = (
+            count_convergence_opportunities(honest, params.delta) / rounds
+        )
+        empirical_adversary = float(adversary.sum()) / rounds
+
+    return ExpectationValidation(
+        rounds=rounds,
+        empirical_convergence_rate=empirical_convergence,
+        theoretical_convergence_rate=params.convergence_opportunity_probability,
+        empirical_adversary_rate=empirical_adversary,
+        theoretical_adversary_rate=params.beta,
+    )
+
+
+# ----------------------------------------------------------------------
+# Consistency / attack scenarios across the (c, nu) plane
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConsistencyScenario:
+    """Outcome of one simulated scenario compared with the closed-form verdicts."""
+
+    c: float
+    nu: float
+    delta: int
+    rounds: int
+    neat_bound_satisfied: bool
+    attack_predicted: bool
+    convergence_opportunities: int
+    adversary_blocks: int
+    lemma1_margin: int
+    max_violation_depth: int
+
+    @property
+    def lemma1_event_holds(self) -> bool:
+        """Whether the run had more convergence opportunities than adversarial blocks."""
+        return self.lemma1_margin > 0
+
+
+def validate_consistency_scenario(
+    params: ProtocolParameters,
+    rounds: int = 50_000,
+    adversary: Optional[AdversaryStrategy] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> ConsistencyScenario:
+    """Simulate one (c, nu) point and compare with the paper's predictions.
+
+    The default adversary is the private-chain withholding attacker, so that
+    points below the attack curve show deep violations while points above the
+    neat bound keep the Lemma 1 margin positive.
+    """
+    from ..core.bounds import neat_bound
+    from ..core.pss import pss_attack_succeeds
+
+    rng = rng if rng is not None else np.random.default_rng(0)
+    adversary = adversary or PrivateChainAdversary(params.delta)
+    result = NakamotoSimulation(params, adversary=adversary, rng=rng).run(rounds)
+    return ConsistencyScenario(
+        c=params.c,
+        nu=params.nu,
+        delta=params.delta,
+        rounds=rounds,
+        neat_bound_satisfied=params.c > neat_bound(params.nu),
+        attack_predicted=pss_attack_succeeds(params.c, params.nu),
+        convergence_opportunities=result.convergence_opportunities,
+        adversary_blocks=result.total_adversary_blocks,
+        lemma1_margin=result.convergence_opportunities - result.total_adversary_blocks,
+        max_violation_depth=result.consistency.max_violation_depth,
+    )

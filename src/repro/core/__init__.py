@@ -1,0 +1,86 @@
+"""The paper's primary contribution: consistency bounds and Markov-chain analysis.
+
+Submodules
+----------
+``probabilities``
+    Per-round mining probabilities (alpha, alpha_bar, alpha1; Eqs. 7-9, 41).
+``bounds``
+    The neat bound ``2 mu / ln(mu/nu)`` and the conditions of Theorems 1-3.
+``pss``
+    Pass-Seeman-Shelat consistency and attack baselines (Figure 1's blue/red).
+``kiffer``
+    The Kiffer et al. comparison (the correction discussed in Section IV).
+``lemmas``
+    Lemmas 2-8, Propositions 1-2, and the proof's explicit constants.
+``suffix_chain``
+    The suffix Markov chain C_F (Figure 2, Eqs. 29-37).
+``concat_chain``
+    The concatenation chain C_F||P and the convergence opportunity (Eqs. 38-44).
+``concentration``
+    Chernoff-Hoeffding and binomial tail bounds (Inequalities 47-49).
+``consistency``
+    The window-level consistency analyzer built on all of the above.
+"""
+
+from .bounds import (
+    BoundEvaluation,
+    evaluate_bounds,
+    neat_bound,
+    nu_max_neat_bound,
+    theorem1_condition,
+    theorem2_c_threshold,
+    theorem2_condition,
+    theorem3_c_condition,
+    theorem3_pn_condition,
+)
+from .concat_chain import ConcatChain, DetailedState, count_convergence_opportunities
+from .concentration import (
+    ConsistencyFailureBound,
+    adversary_upper_tail_bound,
+    consistency_failure_bound,
+    markov_lower_tail_bound,
+)
+from .consistency import ConsistencyAnalyzer, ConsistencyVerdict
+from .kiffer import correction_ratio
+from .lemmas import delta1_constant, delta4_constant, implication_chain_thresholds
+from .probabilities import MiningProbabilities
+from .pss import (
+    nu_max_pss_consistency,
+    nu_min_pss_attack,
+    pss_attack_succeeds,
+    pss_consistency_condition_exact,
+)
+from .suffix_chain import SuffixChain, SuffixState, SuffixStateKind
+
+__all__ = [
+    "MiningProbabilities",
+    "neat_bound",
+    "nu_max_neat_bound",
+    "theorem1_condition",
+    "theorem2_condition",
+    "theorem2_c_threshold",
+    "theorem3_pn_condition",
+    "theorem3_c_condition",
+    "evaluate_bounds",
+    "BoundEvaluation",
+    "nu_max_pss_consistency",
+    "nu_min_pss_attack",
+    "pss_attack_succeeds",
+    "pss_consistency_condition_exact",
+    "correction_ratio",
+    "delta1_constant",
+    "delta4_constant",
+    "implication_chain_thresholds",
+    "SuffixChain",
+    "SuffixState",
+    "SuffixStateKind",
+    "ConcatChain",
+    "DetailedState",
+    "count_convergence_opportunities",
+    "adversary_upper_tail_bound",
+    "markov_lower_tail_bound",
+    "consistency_failure_bound",
+    "ConsistencyFailureBound",
+    "ConsistencyAnalyzer",
+    "ConsistencyVerdict",
+]

@@ -1,0 +1,108 @@
+"""Chain growth and chain quality estimates (Section II / future-work extension).
+
+The paper analyses only consistency, listing chain growth and chain quality as
+the other two standard properties and flagging their analysis with its Markov
+machinery as future work.  This module supplies the standard Δ-delay-model
+estimates for both (following the quantities used by PSS and the backbone
+line of work), so the simulator's measurements have analytical counterparts:
+
+* **chain growth**: honest progress is throttled by the delay — a new honest
+  block only extends the *common* chain once the previous one has propagated,
+  so the effective growth rate is at least ``gamma = alpha / (1 + Delta * alpha)``
+  blocks per round (the "discounted" honest rate of PSS);
+* **chain quality**: out of the blocks that make it into the chain, the
+  adversary can contribute at most its mining rate ``beta = p nu n`` per round,
+  so the honest fraction is at least ``1 - beta / gamma`` (when positive).
+
+These are *estimates of the guaranteed lower bounds*, not exact values; the
+tests compare them against the simulator in the regimes where they are
+meaningful (they become vacuous as ``beta`` approaches ``gamma``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ParameterError
+from ..params import ProtocolParameters
+
+__all__ = [
+    "discounted_honest_rate",
+    "chain_growth_lower_bound",
+    "chain_quality_lower_bound",
+    "expected_block_interval_rounds",
+    "ChainPropertyEstimates",
+    "estimate_chain_properties",
+]
+
+
+def discounted_honest_rate(params: ProtocolParameters) -> float:
+    """The delay-discounted honest success rate ``gamma = alpha / (1 + Delta alpha)``.
+
+    Intuition: after an honest success, up to Δ rounds may pass before every
+    honest miner has adopted the new chain; successes during that window do
+    not all translate into growth of the common chain.  ``gamma`` is the
+    standard lower-bound rate used throughout the Δ-delay literature.
+    """
+    alpha = params.alpha
+    return alpha / (1.0 + params.delta * alpha)
+
+
+def chain_growth_lower_bound(params: ProtocolParameters) -> float:
+    """Guaranteed chain growth in blocks per round (the growth parameter ``g``)."""
+    return discounted_honest_rate(params)
+
+
+def chain_quality_lower_bound(params: ProtocolParameters) -> float:
+    """Guaranteed honest fraction of chain blocks (the quality parameter ``q``).
+
+    ``q >= 1 - beta / gamma`` when the right-hand side is positive; otherwise
+    the bound is vacuous and 0 is returned (the adversary can in principle
+    claim every block).
+    """
+    gamma = discounted_honest_rate(params)
+    if gamma <= 0.0:
+        raise ParameterError("discounted honest rate must be positive")
+    return max(0.0, 1.0 - params.beta / gamma)
+
+
+def expected_block_interval_rounds(params: ProtocolParameters) -> float:
+    """Expected rounds between consecutive blocks of the common chain, ``1 / gamma``."""
+    gamma = discounted_honest_rate(params)
+    if gamma <= 0.0:
+        raise ParameterError("discounted honest rate must be positive")
+    return 1.0 / gamma
+
+
+@dataclass(frozen=True)
+class ChainPropertyEstimates:
+    """All three property estimates at one parameter point.
+
+    ``consistency_threshold_c`` is the paper's neat bound, included so a
+    designer can read the three guarantees side by side.
+    """
+
+    growth_per_round: float
+    quality_fraction: float
+    block_interval_rounds: float
+    consistency_threshold_c: float
+    configured_c: float
+
+    @property
+    def consistent(self) -> bool:
+        """Whether the configured ``c`` exceeds the paper's consistency threshold."""
+        return self.configured_c > self.consistency_threshold_c
+
+
+def estimate_chain_properties(params: ProtocolParameters) -> ChainPropertyEstimates:
+    """Bundle the growth/quality/consistency estimates for one configuration."""
+    from .bounds import neat_bound
+
+    return ChainPropertyEstimates(
+        growth_per_round=chain_growth_lower_bound(params),
+        quality_fraction=chain_quality_lower_bound(params),
+        block_interval_rounds=expected_block_interval_rounds(params),
+        consistency_threshold_c=neat_bound(params.nu),
+        configured_c=params.c,
+    )

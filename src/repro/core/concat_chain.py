@@ -1,0 +1,250 @@
+"""The concatenation Markov chain C_F||P (Section V-A, Eqs. 38-44).
+
+The second chain of the paper tracks the concatenation
+``F_{t-Delta-1} S_{t-Delta} ... S_t`` of
+
+* the suffix summary of rounds up to ``t - Delta - 1`` (a member of the
+  Suffix-Set), and
+* the detailed states of the last ``Delta + 1`` rounds, where the detailed
+  state of a round distinguishes exactly how many honest blocks it produced
+  (``H_h`` for ``h >= 1``, or ``N``; Eq. 38).
+
+The state space has size ``(2 Delta + 1) * |Detailed-State-Set|^(Delta + 1)``,
+so unlike C_F it is never enumerated explicitly for realistic parameters.
+What the paper (and this module) uses instead is the *product form* of the
+stationary distribution (Eq. 40): the stationary probability of
+``f s(1) ... s(Delta+1)`` equals ``pi_F(f) * prod_i P[s(i)]``.
+
+The key derived quantity is the stationary probability of the convergence
+opportunity pattern ``HN^{>=Delta} || H_1 N^Delta`` (Eq. 44):
+
+    ``pi = alpha_bar^Delta * alpha_1 * alpha_bar^Delta = alpha_bar^(2 Delta) alpha_1``
+
+together with the minimum stationary probability and the pi-norm bound of
+Proposition 1 that feed the Chernoff-Hoeffding argument of Section V-B.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..params import ProtocolParameters
+from .probabilities import binomial_pmf, log_binomial_pmf
+from .suffix_chain import SuffixChain, SuffixState, SuffixStateKind
+
+__all__ = [
+    "DetailedState",
+    "ConcatChain",
+    "count_convergence_opportunities",
+]
+
+
+@dataclass(frozen=True)
+class DetailedState:
+    """A member of the Detailed-State-Set (Eq. 38): ``N`` or ``H_h`` with ``h >= 1``.
+
+    ``blocks == 0`` encodes ``N``; ``blocks == h >= 1`` encodes ``H_h``.
+    """
+
+    blocks: int
+
+    def __post_init__(self) -> None:
+        if self.blocks < 0:
+            raise ParameterError("blocks must be non-negative")
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` for the ``N`` state (no honest block mined this round)."""
+        return self.blocks == 0
+
+    def label(self) -> str:
+        """Human-readable label (``N`` or ``H1``, ``H2``, ...)."""
+        return "N" if self.is_empty else f"H{self.blocks}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label()
+
+
+class ConcatChain:
+    """Product-form view of the chain C_F||P for one protocol configuration.
+
+    Parameters
+    ----------
+    params:
+        Protocol parameters.
+    delta:
+        Optional override of Delta (defaults to ``params.delta``), mirroring
+        :class:`repro.core.suffix_chain.SuffixChain`.
+    """
+
+    def __init__(self, params: ProtocolParameters, delta: Optional[int] = None):
+        self.params = params
+        self.delta = int(params.delta if delta is None else delta)
+        if self.delta < 1:
+            raise ParameterError(f"delta must be >= 1, got {self.delta!r}")
+        self.suffix_chain = SuffixChain(params, delta=self.delta)
+
+    # ------------------------------------------------------------------
+    # Detailed per-round state probabilities (Eq. 41)
+    # ------------------------------------------------------------------
+    def detailed_state_probability(self, state: DetailedState) -> float:
+        """``P[s]`` for one detailed state (Eq. 41): binomial pmf or ``alpha_bar``."""
+        if state.is_empty:
+            return self.params.alpha_bar
+        return binomial_pmf(state.blocks, self.params.honest_count, self.params.p)
+
+    def log_detailed_state_probability(self, state: DetailedState) -> float:
+        """Log-space version of :meth:`detailed_state_probability`."""
+        if state.is_empty:
+            return self.params.log_alpha_bar
+        return log_binomial_pmf(state.blocks, self.params.honest_count, self.params.p)
+
+    # ------------------------------------------------------------------
+    # Product-form stationary distribution (Eq. 40)
+    # ------------------------------------------------------------------
+    def stationary_probability(
+        self, suffix: SuffixState, detailed: Sequence[DetailedState]
+    ) -> float:
+        """``pi_{F||P}(f s(1) ... s(Delta+1)) = pi_F(f) prod_i P[s(i)]`` (Eq. 40)."""
+        return math.exp(self.log_stationary_probability(suffix, detailed))
+
+    def log_stationary_probability(
+        self, suffix: SuffixState, detailed: Sequence[DetailedState]
+    ) -> float:
+        """Log-space version of :meth:`stationary_probability`."""
+        detailed = list(detailed)
+        if len(detailed) != self.delta + 1:
+            raise ParameterError(
+                f"expected {self.delta + 1} detailed round states, got {len(detailed)}"
+            )
+        total = self.suffix_chain.log_stationary(suffix)
+        for state in detailed:
+            total += self.log_detailed_state_probability(state)
+        return total
+
+    # ------------------------------------------------------------------
+    # The convergence opportunity (Eqs. 42-44)
+    # ------------------------------------------------------------------
+    def convergence_opportunity_state(self) -> Tuple[SuffixState, List[DetailedState]]:
+        """The state ``HN^{>=Delta} || H_1 N^Delta`` that defines a convergence opportunity."""
+        suffix = SuffixState(SuffixStateKind.LONG_GAP)
+        detailed = [DetailedState(1)] + [DetailedState(0)] * self.delta
+        return suffix, detailed
+
+    def log_convergence_opportunity_probability(self) -> float:
+        """``ln(alpha_bar^(2 Delta) alpha1)`` — Eq. (44) in log space."""
+        return (
+            2.0 * self.delta * self.params.log_alpha_bar + self.params.log_alpha1
+        )
+
+    def convergence_opportunity_probability(self) -> float:
+        """The stationary probability of a convergence opportunity, Eq. (44)."""
+        return math.exp(self.log_convergence_opportunity_probability())
+
+    def expected_convergence_opportunities(self, rounds: int) -> float:
+        """``E[C(t0, t0 + T - 1)] = T alpha_bar^(2 Delta) alpha1`` — Eq. (26)."""
+        if rounds <= 0:
+            raise ParameterError("rounds must be positive")
+        return rounds * self.convergence_opportunity_probability()
+
+    # ------------------------------------------------------------------
+    # Proposition 1: minimum stationary probability and pi-norm bound
+    # ------------------------------------------------------------------
+    def log_min_detailed_probability(self) -> float:
+        """``ln(min{p^(mu n), (1-p)^(mu n)})`` — the minimal detailed-state probability (Eq. 97).
+
+        The least likely detailed state is ``H_{mu n}`` (every honest miner
+        succeeds, probability ``p^(mu n)``) when ``p <= 1/2`` and ``N``
+        (probability ``(1-p)^(mu n)``) when ``p > 1/2``.
+        """
+        honest = self.params.honest_count
+        return min(honest * math.log(self.params.p), honest * math.log1p(-self.params.p))
+
+    def log_min_stationary(self) -> float:
+        """Log of the minimal stationary probability of C_F||P (Proposition 1 / Eq. 98).
+
+        The suffix-chain minimum is Eq. (99):
+        ``alpha * alpha_bar^(Delta-1) * min(1 - alpha_bar^Delta, alpha_bar^Delta)``,
+        evaluated here entirely in log space so the result stays finite at the
+        paper's Delta = 1e13 scale.
+        """
+        log_alpha_bar = self.params.log_alpha_bar
+        log_tail_mass = self.delta * log_alpha_bar
+        log_one_minus_tail = _log1mexp_local(log_tail_mass)
+        log_suffix_min = (
+            math.log(self.params.alpha)
+            + (self.delta - 1) * log_alpha_bar
+            + min(log_one_minus_tail, log_tail_mass)
+        )
+        return log_suffix_min + (self.delta + 1) * self.log_min_detailed_probability()
+
+    def min_stationary(self) -> float:
+        """Linear-scale minimal stationary probability (may underflow to 0.0)."""
+        return math.exp(self.log_min_stationary())
+
+    def log_phi_pi_norm_bound(self) -> float:
+        """Log of the Proposition 1 bound ``||phi||_pi <= 1 / sqrt(min pi_{F||P})``."""
+        return -0.5 * self.log_min_stationary()
+
+    def phi_pi_norm_bound(self) -> float:
+        """Linear-scale Proposition 1 bound (may overflow to ``inf``)."""
+        value = self.log_phi_pi_norm_bound()
+        try:
+            return math.exp(value)
+        except OverflowError:  # pragma: no cover - extreme parameters only
+            return math.inf
+
+
+def _log1mexp_local(log_value: float) -> float:
+    """Numerically stable ``log(1 - exp(log_value))`` for ``log_value < 0``."""
+    if log_value >= 0.0:
+        raise ParameterError("log(1 - exp(x)) requires x < 0")
+    if log_value > -math.log(2.0):
+        return math.log(-math.expm1(log_value))
+    return math.log1p(-math.exp(log_value))
+
+
+def count_convergence_opportunities(
+    honest_blocks_per_round: Sequence[int], delta: int
+) -> int:
+    """Count convergence opportunities in a per-round honest block-count trace.
+
+    A convergence opportunity is *completed* at round ``t`` (0-indexed) when
+
+    * rounds ``t - 2*delta .. t - delta - 1`` produced no honest block
+      (so that ``F_{t-delta-1} = HN^{>=Delta}``),
+    * round ``t - delta`` produced exactly one honest block, and
+    * rounds ``t - delta + 1 .. t`` produced no honest block.
+
+    This is the simulation-side counterpart of the indicator sum
+    ``C(t0, t0 + T - 1)`` of Eq. (46); dividing by the trace length converges
+    to ``alpha_bar^(2 Delta) alpha1`` (Eq. 44) by ergodicity.
+    """
+    if delta < 1:
+        raise ParameterError(f"delta must be >= 1, got {delta!r}")
+    counts = np.asarray(honest_blocks_per_round, dtype=np.int64)
+    total_rounds = len(counts)
+    window = 2 * delta + 1
+    if total_rounds < window:
+        return 0
+    empty = counts == 0
+    single = counts == 1
+    # Sliding-window check using cumulative sums of the `empty` indicator.
+    empty_cumulative = np.concatenate([[0], np.cumsum(empty)])
+    opportunities = 0
+    for t in range(window - 1, total_rounds):
+        single_round = t - delta
+        if not single[single_round]:
+            continue
+        before_start, before_end = t - 2 * delta, t - delta  # [start, end)
+        after_start, after_end = t - delta + 1, t + 1
+        empties_before = empty_cumulative[before_end] - empty_cumulative[before_start]
+        empties_after = empty_cumulative[after_end] - empty_cumulative[after_start]
+        if empties_before == delta and empties_after == delta:
+            opportunities += 1
+    return opportunities

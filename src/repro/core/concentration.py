@@ -1,0 +1,261 @@
+"""Concentration bounds used in the proof of Theorem 1 (Section V-B/V-C).
+
+Two tails are bounded:
+
+* the number of convergence opportunities ``C(t0, t0+T-1)`` — an additive
+  functional of the Markov chain C_F||P — is concentrated via the
+  Chernoff-Hoeffding bound for Markov chains of Chung, Lam, Liu and
+  Mitzenmacher (Theorem 3.1 of reference [19]; Inequality 47 in the paper);
+* the number of adversarial blocks ``A(t0, t0+T-1) ~ Binomial(T nu n, p)`` is
+  bounded via the relative-entropy (Arratia-Gordon) binomial tail
+  (Inequalities 48-49).
+
+The union-bound combination (display 25) then gives the overall consistency
+failure probability of the window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ParameterError
+from ..params import ProtocolParameters
+from .lemmas import delta2_delta3_constants
+
+__all__ = [
+    "bernoulli_relative_entropy",
+    "adversary_upper_tail_log_bound",
+    "adversary_upper_tail_bound",
+    "markov_lower_tail_log_bound",
+    "markov_lower_tail_bound",
+    "ConsistencyFailureBound",
+    "consistency_failure_bound",
+    "window_for_target_failure",
+]
+
+
+def bernoulli_relative_entropy(inflated: float, base: float) -> float:
+    """``D(inflated || base)`` between two Bernoulli distributions (Eq. 48).
+
+    ``D(q || p) = q ln(q/p) + (1-q) ln((1-q)/(1-p))``; the paper instantiates
+    it at ``q = (1 + delta3) p``.
+
+    >>> bernoulli_relative_entropy(0.2, 0.1) > 0
+    True
+    >>> bernoulli_relative_entropy(0.1, 0.1)
+    0.0
+    """
+    if not (0.0 < base < 1.0):
+        raise ParameterError(f"base probability must lie in (0, 1), got {base!r}")
+    if not (0.0 <= inflated <= 1.0):
+        raise ParameterError(f"inflated probability must lie in [0, 1], got {inflated!r}")
+    if inflated == 0.0:
+        return -math.log1p(-base)
+    if inflated == 1.0:
+        return -math.log(base)
+    return inflated * math.log(inflated / base) + (1.0 - inflated) * math.log(
+        (1.0 - inflated) / (1.0 - base)
+    )
+
+
+# ----------------------------------------------------------------------
+# Adversarial block count: upper tail (Inequalities 48-49)
+# ----------------------------------------------------------------------
+def adversary_upper_tail_log_bound(
+    params: ProtocolParameters, rounds: int, delta3: float
+) -> float:
+    """Log of the bound on ``P[A >= (1 + delta3) E[A]]`` (Inequality 49).
+
+    The bound is ``exp(-T nu n D((1+delta3) p || p))``; this returns the log,
+    i.e. ``-T nu n D(...)``.
+    """
+    if rounds <= 0:
+        raise ParameterError("rounds must be positive")
+    if delta3 <= 0.0:
+        raise ParameterError(f"delta3 must be positive, got {delta3!r}")
+    inflated = (1.0 + delta3) * params.p
+    if inflated >= 1.0:
+        # The tail event is impossible; the probability (and bound) is 0.
+        return -math.inf
+    entropy = bernoulli_relative_entropy(inflated, params.p)
+    return -rounds * params.adversary_count * entropy
+
+
+def adversary_upper_tail_bound(
+    params: ProtocolParameters, rounds: int, delta3: float
+) -> float:
+    """Linear-scale version of :func:`adversary_upper_tail_log_bound`."""
+    value = adversary_upper_tail_log_bound(params, rounds, delta3)
+    return 0.0 if value == -math.inf else math.exp(value)
+
+
+# ----------------------------------------------------------------------
+# Convergence opportunity count: lower tail (Inequality 47)
+# ----------------------------------------------------------------------
+def markov_lower_tail_log_bound(
+    params: ProtocolParameters,
+    rounds: int,
+    delta2: float,
+    mixing_time: float,
+    phi_pi_norm: float = 1.0,
+    leading_constant: float = 1.0,
+) -> float:
+    """Log of the bound on ``P[C <= (1 - delta2) E[C]]`` (Inequality 47).
+
+    The bound is ``c ||phi||_pi exp(-delta2^2 T alpha_bar^(2Δ) alpha1 / (72 tau))``
+    where ``tau`` is the (1/8)-mixing time of C_F||P and ``c`` an absolute
+    constant from the cited theorem (exposed as ``leading_constant``).
+
+    Parameters
+    ----------
+    mixing_time:
+        The epsilon-mixing time ``tau`` of the chain (epsilon = 1/8 in the
+        paper); obtain it from :func:`repro.markov.mixing.mixing_time` on the
+        validation-scale chain, or bound it spectrally.
+    phi_pi_norm:
+        The pi-norm of the initial distribution (``1`` when the walk starts in
+        stationarity; Proposition 1 provides the general upper bound).
+    """
+    if rounds <= 0:
+        raise ParameterError("rounds must be positive")
+    if not (0.0 < delta2 < 1.0):
+        raise ParameterError(f"delta2 must lie in (0, 1), got {delta2!r}")
+    if mixing_time <= 0.0:
+        raise ParameterError(f"mixing_time must be positive, got {mixing_time!r}")
+    if phi_pi_norm <= 0.0:
+        raise ParameterError(f"phi_pi_norm must be positive, got {phi_pi_norm!r}")
+    if leading_constant <= 0.0:
+        raise ParameterError(f"leading_constant must be positive, got {leading_constant!r}")
+    expected_rate = params.convergence_opportunity_probability
+    exponent = -(delta2**2) * rounds * expected_rate / (72.0 * mixing_time)
+    return math.log(leading_constant) + math.log(phi_pi_norm) + exponent
+
+
+def markov_lower_tail_bound(
+    params: ProtocolParameters,
+    rounds: int,
+    delta2: float,
+    mixing_time: float,
+    phi_pi_norm: float = 1.0,
+    leading_constant: float = 1.0,
+) -> float:
+    """Linear-scale version of :func:`markov_lower_tail_log_bound`, capped at 1."""
+    value = markov_lower_tail_log_bound(
+        params, rounds, delta2, mixing_time, phi_pi_norm, leading_constant
+    )
+    return min(1.0, math.exp(value))
+
+
+# ----------------------------------------------------------------------
+# The union bound (display 25)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConsistencyFailureBound:
+    """The combined failure-probability bound for one window of ``T`` rounds.
+
+    Attributes
+    ----------
+    rounds:
+        Window length ``T``.
+    delta1, delta2, delta3:
+        The constants of the argument; ``delta2``/``delta3`` follow Eq. (23)
+        when derived from ``delta1``.
+    convergence_tail, adversary_tail:
+        The two individual tail bounds (Inequalities 47 and 49).
+    total:
+        Their sum, capped at 1 — the bound on the probability that the window
+        does *not* have more convergence opportunities than adversarial blocks.
+    guaranteed_gap:
+        The lower bound (Eq. 24) on ``C - A`` that holds outside the failure
+        event: ``((1+delta1)^(2/3) - (1+delta1)^(1/3)) E[A]``.
+    """
+
+    rounds: int
+    delta1: float
+    delta2: float
+    delta3: float
+    convergence_tail: float
+    adversary_tail: float
+    total: float
+    guaranteed_gap: float
+
+
+def consistency_failure_bound(
+    params: ProtocolParameters,
+    rounds: int,
+    delta1: float,
+    mixing_time: float,
+    phi_pi_norm: float = 1.0,
+    leading_constant: float = 1.0,
+) -> ConsistencyFailureBound:
+    """Combine the two tails via the union bound of display (25).
+
+    ``delta2`` and ``delta3`` are derived from ``delta1`` by Eq. (23), exactly
+    as in the paper's proof.
+    """
+    if delta1 <= 0.0:
+        raise ParameterError(f"delta1 must be positive, got {delta1!r}")
+    delta2, delta3 = delta2_delta3_constants(delta1)
+    convergence_tail = markov_lower_tail_bound(
+        params, rounds, delta2, mixing_time, phi_pi_norm, leading_constant
+    )
+    adversary_tail = adversary_upper_tail_bound(params, rounds, delta3)
+    expected_adversary = params.beta * rounds
+    gap = ((1.0 + delta1) ** (2.0 / 3.0) - (1.0 + delta1) ** (1.0 / 3.0)) * (
+        expected_adversary
+    )
+    return ConsistencyFailureBound(
+        rounds=rounds,
+        delta1=delta1,
+        delta2=delta2,
+        delta3=delta3,
+        convergence_tail=convergence_tail,
+        adversary_tail=adversary_tail,
+        total=min(1.0, convergence_tail + adversary_tail),
+        guaranteed_gap=gap,
+    )
+
+
+def window_for_target_failure(
+    params: ProtocolParameters,
+    delta1: float,
+    mixing_time: float,
+    target_probability: float,
+    phi_pi_norm: float = 1.0,
+    leading_constant: float = 1.0,
+    max_rounds: int = 10**12,
+) -> int:
+    """Smallest window length ``T`` whose failure bound is at most ``target_probability``.
+
+    Searches by doubling followed by bisection on the monotone (in ``T``)
+    union bound.  Raises :class:`ParameterError` if even ``max_rounds`` rounds
+    are insufficient (e.g. when Theorem 1's condition does not hold and the
+    bound does not decay).
+    """
+    if not (0.0 < target_probability < 1.0):
+        raise ParameterError(
+            f"target_probability must lie in (0, 1), got {target_probability!r}"
+        )
+
+    def bound(rounds: int) -> float:
+        return consistency_failure_bound(
+            params, rounds, delta1, mixing_time, phi_pi_norm, leading_constant
+        ).total
+
+    low, high = 1, 2
+    while bound(high) > target_probability:
+        low, high = high, high * 2
+        if high > max_rounds:
+            raise ParameterError(
+                f"no window up to {max_rounds} rounds achieves failure probability "
+                f"{target_probability}"
+            )
+    while high - low > 1:
+        middle = (low + high) // 2
+        if bound(middle) > target_probability:
+            low = middle
+        else:
+            high = middle
+    return high

@@ -1,0 +1,176 @@
+"""Window-level consistency analysis (Lemma 1 and the quantities of Section V).
+
+Lemma 1 reduces blockchain consistency to a counting statement: in every
+window of ``T`` rounds, the number of convergence opportunities ``C`` must
+exceed the number of adversarial blocks ``A`` (with overwhelming probability
+in ``T``).  This module packages the expectations of both quantities
+(Eqs. 26-27), the Theorem 1 margin between them, and the failure-probability
+bounds of Section V into a single analyzer with a tabulatable summary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ParameterError
+from ..params import ProtocolParameters
+from . import bounds as bounds_module
+from .concentration import ConsistencyFailureBound, consistency_failure_bound
+
+__all__ = ["ConsistencyVerdict", "ConsistencyAnalyzer"]
+
+
+@dataclass(frozen=True)
+class ConsistencyVerdict:
+    """Summary of one parameter point, suitable for tabulation.
+
+    Attributes
+    ----------
+    c:
+        The configured ``1/(p n Δ)``.
+    neat_threshold:
+        ``2 mu / ln(mu/nu)`` — the paper's headline threshold on ``c``.
+    satisfies_neat_bound:
+        ``True`` when ``c`` exceeds the neat threshold.
+    theorem1_margin_log:
+        ``ln`` of the ratio between the two sides of Inequality (10) at
+        ``delta1 -> 0``; positive values mean Theorem 1 applies for some
+        positive ``delta1``.
+    theorem2_threshold, satisfies_theorem2:
+        The full Theorem 2 threshold on ``c`` (Inequality 11) and whether the
+        configured ``c`` meets it for the analyzer's ``eps1``/``eps2``.
+    expected_convergence_rate, expected_adversary_rate:
+        Per-round expectations ``alpha_bar^(2Δ) alpha1`` and ``p nu n``.
+    """
+
+    c: float
+    neat_threshold: float
+    satisfies_neat_bound: bool
+    theorem1_margin_log: float
+    theorem1_max_delta1: float
+    theorem2_threshold: float
+    satisfies_theorem2: bool
+    expected_convergence_rate: float
+    expected_adversary_rate: float
+
+
+class ConsistencyAnalyzer:
+    """Evaluate the paper's consistency machinery at one parameter point.
+
+    Parameters
+    ----------
+    params:
+        The protocol configuration to analyse.
+    eps1, eps2:
+        The constants of Theorems 2/3 used when evaluating those conditions.
+
+    Examples
+    --------
+    >>> from repro.params import parameters_from_c
+    >>> params = parameters_from_c(c=5.0, n=100_000, delta=10, nu=0.2)
+    >>> analyzer = ConsistencyAnalyzer(params)
+    >>> analyzer.verdict().satisfies_neat_bound
+    True
+    """
+
+    def __init__(
+        self,
+        params: ProtocolParameters,
+        eps1: float = 0.1,
+        eps2: float = 0.01,
+    ):
+        if not (0.0 < eps1 < 1.0):
+            raise ParameterError(f"eps1 must lie in (0, 1), got {eps1!r}")
+        if eps2 <= 0.0:
+            raise ParameterError(f"eps2 must be positive, got {eps2!r}")
+        self.params = params
+        self.eps1 = eps1
+        self.eps2 = eps2
+
+    # ------------------------------------------------------------------
+    # Expectations (Eqs. 26-27)
+    # ------------------------------------------------------------------
+    def expected_convergence_opportunities(self, rounds: int) -> float:
+        """``E[C(t0, t0+T-1)] = T alpha_bar^(2Δ) alpha1`` (Eq. 26)."""
+        if rounds <= 0:
+            raise ParameterError("rounds must be positive")
+        return rounds * self.params.convergence_opportunity_probability
+
+    def expected_adversary_blocks(self, rounds: int) -> float:
+        """``E[A(t0, t0+T-1)] = T p nu n`` (Eq. 27)."""
+        if rounds <= 0:
+            raise ParameterError("rounds must be positive")
+        return rounds * self.params.beta
+
+    def expectation_ratio_log(self) -> float:
+        """``ln(E[C] / E[A])`` — independent of ``T``; positive iff Theorem 1 applies."""
+        return self.params.log_convergence_opportunity_probability - math.log(
+            self.params.beta
+        )
+
+    # ------------------------------------------------------------------
+    # Theorem applications
+    # ------------------------------------------------------------------
+    def theorem1_applies(self, delta1: float = 1e-9) -> bool:
+        """Whether Inequality (10) holds for the given (small) ``delta1``."""
+        return bounds_module.theorem1_condition(self.params, delta1)
+
+    def theorem1_max_delta1(self) -> float:
+        """The largest ``delta1`` for which Inequality (10) holds (negative if none)."""
+        return bounds_module.max_delta1_for_theorem1(self.params)
+
+    def theorem2_applies(self) -> bool:
+        """Whether Inequality (11) of Theorem 2 holds with the analyzer's constants."""
+        return bounds_module.theorem2_condition(self.params, self.eps1, self.eps2)
+
+    def satisfies_neat_bound(self) -> bool:
+        """Whether ``c`` strictly exceeds ``2 mu / ln(mu/nu)``."""
+        return self.params.c > bounds_module.neat_bound(self.params.nu)
+
+    # ------------------------------------------------------------------
+    # Failure probability over a window
+    # ------------------------------------------------------------------
+    def failure_bound(
+        self,
+        rounds: int,
+        mixing_time: float,
+        delta1: Optional[float] = None,
+        phi_pi_norm: float = 1.0,
+    ) -> ConsistencyFailureBound:
+        """The union-bound failure probability (display 25) for a window of ``rounds``.
+
+        ``delta1`` defaults to half of the largest admissible value at these
+        parameters, mirroring the paper's requirement that some positive
+        constant exists without committing to a specific one.
+        """
+        if delta1 is None:
+            max_delta1 = self.theorem1_max_delta1()
+            if max_delta1 <= 0.0:
+                raise ParameterError(
+                    "Theorem 1 does not apply at these parameters; supply delta1 explicitly"
+                )
+            delta1 = max_delta1 / 2.0
+        return consistency_failure_bound(
+            self.params, rounds, delta1, mixing_time, phi_pi_norm
+        )
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+    def verdict(self) -> ConsistencyVerdict:
+        """A tabulatable summary of every bound at this parameter point."""
+        return ConsistencyVerdict(
+            c=self.params.c,
+            neat_threshold=bounds_module.neat_bound(self.params.nu),
+            satisfies_neat_bound=self.satisfies_neat_bound(),
+            theorem1_margin_log=self.expectation_ratio_log(),
+            theorem1_max_delta1=self.theorem1_max_delta1(),
+            theorem2_threshold=bounds_module.theorem2_c_threshold(
+                self.params.nu, self.params.delta, self.eps1, self.eps2
+            ),
+            satisfies_theorem2=self.theorem2_applies(),
+            expected_convergence_rate=self.params.convergence_opportunity_probability,
+            expected_adversary_rate=self.params.beta,
+        )

@@ -1,0 +1,113 @@
+"""Comparison with the Markov-chain analysis of Kiffer, Rajaraman and shelat (CCS 2018).
+
+Section IV of the paper ("Novelty of our Theorem 1") contrasts Theorem 1 with
+the earlier Markov-chain-based analysis of Kiffer et al. [6].  The paper makes
+three observations:
+
+1. Kiffer et al. use a *two-state* Markov chain which "cannot cover all
+   possible states", unlike the (2 Delta + 1)-state suffix chain C_F;
+2. their computation of the quantities ``l_11`` and ``l_10`` uses ``1/(mu p)``
+   where it should use ``1/alpha = 1/(1 - (1 - p)^(mu n))``;
+3. as a consequence, their Inequality (1) — which "looks similar" to the
+   paper's Inequality (10) — is incorrect.
+
+This module reconstructs both versions so the difference can be measured:
+
+* :func:`kiffer_style_condition_incorrect` — the convergence-opportunity rate
+  computed with the erroneous ``1/(mu p)`` normalisation (i.e. treating the
+  per-round honest success probability as ``mu n p`` instead of ``alpha``);
+* :func:`corrected_condition` — the corrected rate, which coincides with the
+  paper's Theorem 1 expression ``alpha_bar^(2 Delta) alpha1``.
+
+The reconstruction is documented as such: reference [6] is closed-form but not
+reproduced verbatim here; what matters for this reproduction is the *relative*
+effect of the correction the paper points out, which these two functions
+expose directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ParameterError
+from ..params import ProtocolParameters
+
+__all__ = [
+    "kiffer_convergence_rate_incorrect",
+    "kiffer_style_condition_incorrect",
+    "corrected_convergence_rate",
+    "corrected_condition",
+    "correction_ratio",
+]
+
+
+def kiffer_convergence_rate_incorrect(params: ProtocolParameters) -> float:
+    """Per-round convergence-opportunity rate with the erroneous normalisation.
+
+    Kiffer et al. compute the expected time spent in the "all honest parties
+    agree" state using ``1 / (mu p)`` where the paper shows ``1 / alpha``
+    should be used.  Equivalently, the linearised rate substitutes the
+    first-success probability ``mu n p`` for ``alpha = 1 - (1-p)^(mu n)`` and
+    for ``alpha1``.  The resulting rate is
+
+    ``(1 - mu n p)^(2 Delta) * mu n p``
+
+    The error relative to the corrected rate ``alpha_bar^(2 Delta) alpha1``
+    is not one-sided: the substitution *under*-estimates the quiet-round
+    probability (``1 - mu n p <= alpha_bar``) but *over*-estimates the
+    single-success probability (``mu n p >= alpha1``); which effect dominates
+    depends on ``Delta`` and ``mu n p``.  Both effects vanish as ``p -> 0``.
+    """
+    rate = params.honest_count * params.p
+    if rate >= 1.0:
+        raise ParameterError(
+            "the linearised (incorrect) rate requires mu n p < 1; "
+            f"got mu n p = {rate!r}"
+        )
+    return (1.0 - rate) ** (2 * params.delta) * rate
+
+
+def kiffer_style_condition_incorrect(
+    params: ProtocolParameters, delta1: float
+) -> bool:
+    """The Kiffer-style sufficient condition with the erroneous normalisation.
+
+    Mirrors the shape of the paper's Inequality (10) but with the incorrect
+    rate; useful only for measuring the gap the paper's correction closes.
+    """
+    if delta1 <= 0.0:
+        raise ParameterError(f"delta1 must be positive, got {delta1!r}")
+    return kiffer_convergence_rate_incorrect(params) >= (1.0 + delta1) * params.beta
+
+
+def corrected_convergence_rate(params: ProtocolParameters) -> float:
+    """The corrected per-round convergence-opportunity rate, ``alpha_bar^(2Δ) alpha1``.
+
+    Identical to Eq. (44) of the paper / the left-hand side of Theorem 1.
+    """
+    return params.convergence_opportunity_probability
+
+
+def corrected_condition(params: ProtocolParameters, delta1: float) -> bool:
+    """The corrected sufficient condition — the paper's Inequality (10)."""
+    if delta1 <= 0.0:
+        raise ParameterError(f"delta1 must be positive, got {delta1!r}")
+    log_lhs = params.log_convergence_opportunity_probability
+    log_rhs = math.log1p(delta1) + math.log(params.beta)
+    return log_lhs >= log_rhs
+
+
+def correction_ratio(params: ProtocolParameters) -> float:
+    """Ratio incorrect-rate / corrected-rate.
+
+    Quantifies the relative error introduced by the erroneous normalisation of
+    [6] at the given parameters.  The ratio tends to 1 as ``p -> 0`` with
+    everything else fixed (the linearisation becomes exact); away from that
+    limit it can land on either side of 1, because the substitution
+    under-estimates ``alpha_bar`` but over-estimates ``alpha1``.
+    """
+    incorrect = kiffer_convergence_rate_incorrect(params)
+    corrected = corrected_convergence_rate(params)
+    if corrected <= 0.0:
+        raise ParameterError("corrected rate underflowed; use log-space comparison")
+    return incorrect / corrected

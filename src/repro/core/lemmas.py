@@ -1,0 +1,356 @@
+"""The lemma machinery of Section VI (Lemmas 2-8, Propositions 1-2, Eqs. 60-61).
+
+Theorem 2 is derived from Theorem 1 through a chain of implications
+(52)-(59), each step backed by one of Lemmas 2-8.  This module implements
+
+* the explicit constants ``delta4`` (Eq. 60) and ``delta1`` (Eq. 61) chosen in
+  the proof, and the auxiliary constants ``delta2``/``delta3`` (Eq. 23) used by
+  the concentration argument of Section V;
+* each lemma as a numerically checkable statement (premises plus conclusion),
+  so the whole proof pipeline can be audited on concrete parameters;
+* the per-step ``c`` thresholds of the implication chain, exposing how much
+  slack each sufficiency step introduces on the way from Inequality (10) to
+  the neat bound.
+
+These functions power the property-based tests (every lemma must hold on
+randomly drawn admissible parameters) and the ablation benchmark that measures
+the per-step looseness of the chain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ParameterError
+from ..params import ProtocolParameters
+from .bounds import neat_bound
+
+__all__ = [
+    "delta4_constant",
+    "delta1_constant",
+    "delta2_delta3_constants",
+    "lemma2_premise",
+    "lemma2_implication_holds",
+    "lemma3_inequality_holds",
+    "lemma4_c_threshold",
+    "proposition2_holds",
+    "lemma5_inequality_holds",
+    "lemma6_inequality_holds",
+    "lemma7_brackets",
+    "lemma7_holds",
+    "lemma8_holds",
+    "ImplicationStep",
+    "implication_chain_thresholds",
+]
+
+
+# ----------------------------------------------------------------------
+# The proof's explicit constants
+# ----------------------------------------------------------------------
+def delta4_constant(nu: float, eps1: float, eps2: float) -> float:
+    """``delta4`` from Eq. (60): ``(eps1+eps2) ln(mu/nu) / (eps1+eps2+(1-eps1)(ln(mu/nu)+1))``."""
+    _check_constants(nu, eps1, eps2)
+    mu = 1.0 - nu
+    log_ratio = math.log(mu / nu)
+    return (eps1 + eps2) * log_ratio / (eps1 + eps2 + (1.0 - eps1) * (log_ratio + 1.0))
+
+
+def delta1_constant(nu: float, eps1: float, eps2: float) -> float:
+    """``delta1`` from Eq. (61): ``(1 + delta4)(1 - eps1 ln(mu/nu)/(ln(mu/nu)+1)) - 1``."""
+    _check_constants(nu, eps1, eps2)
+    mu = 1.0 - nu
+    log_ratio = math.log(mu / nu)
+    delta4 = delta4_constant(nu, eps1, eps2)
+    return (1.0 + delta4) * (1.0 - eps1 * log_ratio / (log_ratio + 1.0)) - 1.0
+
+
+def delta2_delta3_constants(delta1: float) -> tuple:
+    """``(delta2, delta3)`` from Eq. (23): the constants of the concentration argument.
+
+    ``delta2 = 1 - (1 + delta1)^(-1/3)`` and ``delta3 = (1 + delta1)^(1/3) - 1``;
+    chosen so that ``(1 - delta2)(1 + delta1) - (1 + delta3)`` is a positive
+    constant (Eq. 24).
+    """
+    if delta1 <= 0.0:
+        raise ParameterError(f"delta1 must be positive, got {delta1!r}")
+    cube_root = (1.0 + delta1) ** (1.0 / 3.0)
+    return 1.0 - 1.0 / cube_root, cube_root - 1.0
+
+
+# ----------------------------------------------------------------------
+# Lemma 2 (Appendix B): alpha >= ((1+delta1)/(1-p mu n) * nu/mu)^(1/(2 Delta))
+#                       implies Inequality (10), given 0 < p mu n < 1.
+# ----------------------------------------------------------------------
+def lemma2_premise(params: ProtocolParameters) -> bool:
+    """Premise of Lemma 2 (Ineq. 65): ``0 < p mu n < 1``."""
+    value = params.p * params.honest_count
+    return 0.0 < value < 1.0
+
+
+def lemma2_threshold_log(params: ProtocolParameters, delta1: float) -> float:
+    """Log of the right-hand side of Inequality (66)."""
+    if delta1 <= 0.0:
+        raise ParameterError(f"delta1 must be positive, got {delta1!r}")
+    p_mu_n = params.p * params.honest_count
+    if not (0.0 < p_mu_n < 1.0):
+        raise ParameterError("Lemma 2 requires 0 < p mu n < 1")
+    return (
+        math.log1p(delta1) - math.log1p(-p_mu_n) + math.log(params.nu / params.mu)
+    ) / (2.0 * params.delta)
+
+
+def lemma2_implication_holds(params: ProtocolParameters, delta1: float) -> bool:
+    """Check the implication of Lemma 2 on concrete parameters.
+
+    Returns ``True`` when either the antecedent (Ineq. 66) fails or the
+    conclusion (Ineq. 10) holds, i.e. when the implication is not falsified.
+    """
+    if not lemma2_premise(params):
+        return True
+    antecedent = params.log_alpha_bar >= lemma2_threshold_log(params, delta1)
+    if not antecedent:
+        return True
+    # Conclusion: Inequality (10) in log space.
+    log_lhs = params.log_convergence_opportunity_probability
+    log_rhs = math.log1p(delta1) + math.log(params.beta)
+    return log_lhs >= log_rhs - 1e-12
+
+
+# ----------------------------------------------------------------------
+# Lemma 3 (Appendix C): under Inequality (50), with delta4 > threshold and
+# delta1 from Eq. (61): ((1+delta1)/(1-p mu n))^(1/(2 Delta)) <= 1 + delta4/(2 Delta).
+# ----------------------------------------------------------------------
+def lemma3_delta4_lower_bound(nu: float, eps1: float) -> float:
+    """The lower bound on ``delta4`` from Inequality (68)."""
+    if not (0.0 < eps1 < 1.0):
+        raise ParameterError(f"eps1 must lie in (0, 1), got {eps1!r}")
+    mu = 1.0 - nu
+    log_ratio = math.log(mu / nu)
+    return eps1 * log_ratio / (1.0 + (1.0 - eps1) * log_ratio)
+
+
+def lemma3_inequality_holds(
+    params: ProtocolParameters, eps1: float, eps2: float
+) -> bool:
+    """Verify Inequality (70) of Lemma 3 on concrete parameters.
+
+    Checks that with ``delta4`` from Eq. (60) and ``delta1`` from Eq. (61),
+    and under the pn-condition (50),
+    ``((1 + delta1)/(1 - p mu n))^(1/(2 Delta)) <= 1 + delta4 / (2 Delta)``.
+    Returns ``True`` vacuously when the pn-condition fails.
+    """
+    from .bounds import theorem3_pn_condition
+
+    if not theorem3_pn_condition(params, eps1):
+        return True
+    delta4 = delta4_constant(params.nu, eps1, eps2)
+    delta1 = delta1_constant(params.nu, eps1, eps2)
+    p_mu_n = params.p * params.honest_count
+    if p_mu_n >= 1.0:
+        return True
+    log_lhs = (math.log1p(delta1) - math.log1p(-p_mu_n)) / (2.0 * params.delta)
+    log_rhs = math.log1p(delta4 / (2.0 * params.delta))
+    return log_lhs <= log_rhs + 1e-15
+
+
+# ----------------------------------------------------------------------
+# Lemma 4 (Appendix D): the c threshold equivalent to Inequality (71)
+# ----------------------------------------------------------------------
+def lemma4_c_threshold(params: ProtocolParameters, delta4: float) -> float:
+    """Right-hand side of Inequality (74): the c threshold equivalent to Ineq. (71).
+
+    ``c >= 1 / (n Delta (1 - ((1 + delta4/(2Δ)) (nu/mu)^(1/(2Δ)))^(1/(mu n))))``.
+    Requires ``0 < delta4 < ln(mu/nu)`` (Inequality 73) so the denominator is
+    positive (Proposition 2).
+    """
+    _check_delta4(params.nu, delta4)
+    inner_log = (
+        math.log1p(delta4 / (2.0 * params.delta))
+        + math.log(params.nu / params.mu) / (2.0 * params.delta)
+    ) / params.honest_count
+    denominator = -math.expm1(inner_log)
+    if denominator <= 0.0:
+        raise ParameterError("Lemma 4 denominator is non-positive (check delta4)")
+    return 1.0 / (params.n * params.delta * denominator)
+
+
+def proposition2_holds(nu: float, delta: int, delta4: float) -> bool:
+    """Proposition 2: ``1 - (1 + delta4/(2Δ)) (nu/mu)^(1/(2Δ)) > 0`` under Ineq. (73)."""
+    _check_delta4(nu, delta4)
+    mu = 1.0 - nu
+    value = 1.0 - (1.0 + delta4 / (2.0 * delta)) * (nu / mu) ** (1.0 / (2.0 * delta))
+    return value > 0.0
+
+
+# ----------------------------------------------------------------------
+# Lemma 5 (Appendix F): mu-based threshold dominates the n-based one
+# ----------------------------------------------------------------------
+def lemma5_lhs(params: ProtocolParameters, delta4: float) -> float:
+    """Left-hand side of Inequality (76): ``mu / (Δ (1 - (1+delta4/(2Δ))(nu/mu)^(1/(2Δ))))``."""
+    _check_delta4(params.nu, delta4)
+    denominator = 1.0 - (1.0 + delta4 / (2.0 * params.delta)) * (
+        params.nu / params.mu
+    ) ** (1.0 / (2.0 * params.delta))
+    if denominator <= 0.0:
+        raise ParameterError("Lemma 5 denominator is non-positive (check delta4)")
+    return params.mu / (params.delta * denominator)
+
+
+def lemma5_inequality_holds(params: ProtocolParameters, delta4: float) -> bool:
+    """Verify Inequality (76): the Lemma 5 LHS dominates the Lemma 4 threshold."""
+    return lemma5_lhs(params, delta4) >= lemma4_c_threshold(params, delta4) - 1e-12
+
+
+# ----------------------------------------------------------------------
+# Lemma 6 (Appendix G): replacing the delta4-inflated denominator
+# ----------------------------------------------------------------------
+def lemma6_lhs(nu: float, delta: int, delta4: float) -> float:
+    """LHS of Inequality (79): ``(1 + delta4/(ln(mu/nu) - delta4)) / (1 - (nu/mu)^(1/(2Δ)))``."""
+    _check_delta4(nu, delta4)
+    mu = 1.0 - nu
+    log_ratio = math.log(mu / nu)
+    base = 1.0 / (1.0 - (nu / mu) ** (1.0 / (2.0 * delta)))
+    return base * (1.0 + delta4 / (log_ratio - delta4))
+
+
+def lemma6_rhs(nu: float, delta: int, delta4: float) -> float:
+    """RHS of Inequality (79): ``1 / (1 - (1 + delta4/(2Δ)) (nu/mu)^(1/(2Δ)))``."""
+    _check_delta4(nu, delta4)
+    mu = 1.0 - nu
+    denominator = 1.0 - (1.0 + delta4 / (2.0 * delta)) * (nu / mu) ** (
+        1.0 / (2.0 * delta)
+    )
+    if denominator <= 0.0:
+        raise ParameterError("Lemma 6 RHS denominator is non-positive")
+    return 1.0 / denominator
+
+
+def lemma6_inequality_holds(nu: float, delta: int, delta4: float) -> bool:
+    """Verify Inequality (79) on concrete parameters (strict inequality)."""
+    return lemma6_lhs(nu, delta, delta4) > lemma6_rhs(nu, delta, delta4)
+
+
+# ----------------------------------------------------------------------
+# Lemma 7 (Appendix H): the two-sided bracket around the key expression
+# ----------------------------------------------------------------------
+def lemma7_brackets(nu: float, delta: int) -> tuple:
+    """The three quantities of Inequality (82), as ``(lower, middle, upper)``.
+
+    * lower  = ``2 / ln(mu/nu)``
+    * middle = ``1 / (Δ (1 - (nu/mu)^(1/(2Δ))))``
+    * upper  = ``2 / ln(mu/nu) + 1/Δ``
+    """
+    if not (0.0 < nu < 0.5):
+        raise ParameterError(f"nu must lie in (0, 1/2), got {nu!r}")
+    if delta < 1:
+        raise ParameterError(f"delta must be >= 1, got {delta!r}")
+    mu = 1.0 - nu
+    log_ratio = math.log(mu / nu)
+    lower = 2.0 / log_ratio
+    # Compute 1 - (nu/mu)^(1/(2Δ)) = -expm1(ln(nu/mu)/(2Δ)) for accuracy at large Δ.
+    one_minus_ratio = -math.expm1(math.log(nu / mu) / (2.0 * delta))
+    middle = 1.0 / (delta * one_minus_ratio)
+    upper = lower + 1.0 / delta
+    return lower, middle, upper
+
+
+def lemma7_holds(nu: float, delta: int) -> bool:
+    """Verify the two-sided bracket of Inequality (82)."""
+    lower, middle, upper = lemma7_brackets(nu, delta)
+    return lower - 1e-12 <= middle <= upper + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Lemma 8 (Appendix I): the slack factor is below (1+eps2)/(1-eps1)
+# ----------------------------------------------------------------------
+def lemma8_holds(nu: float, eps1: float, eps2: float) -> bool:
+    """Verify Inequality (85): ``1 + delta4/(ln(mu/nu) - delta4) < (1+eps2)/(1-eps1)``."""
+    _check_constants(nu, eps1, eps2)
+    mu = 1.0 - nu
+    log_ratio = math.log(mu / nu)
+    delta4 = delta4_constant(nu, eps1, eps2)
+    lhs = 1.0 + delta4 / (log_ratio - delta4)
+    rhs = (1.0 + eps2) / (1.0 - eps1)
+    return lhs < rhs
+
+
+# ----------------------------------------------------------------------
+# The implication chain (52)-(59): per-step c thresholds
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ImplicationStep:
+    """One step of the implication chain, with the minimal ``c`` it requires."""
+
+    name: str
+    description: str
+    c_threshold: float
+
+
+def implication_chain_thresholds(
+    nu: float, delta: int, n: int, eps1: float, eps2: float
+) -> List[ImplicationStep]:
+    """The per-step sufficient ``c`` thresholds of the chain (55)-(59).
+
+    Steps (52)-(54) are conditions on ``alpha_bar`` rather than ``c``; the
+    chain becomes a ``c`` threshold from step (55) onwards.  The returned list
+    is ordered from the tightest (earliest) to the loosest (final, Theorem 3)
+    threshold, which quantifies the slack introduced by each sufficiency step.
+    """
+    _check_constants(nu, eps1, eps2)
+    mu = 1.0 - nu
+    log_ratio = math.log(mu / nu)
+    delta4 = delta4_constant(nu, eps1, eps2)
+
+    # Step (55): Lemma 4 threshold.  Needs a ProtocolParameters carrier for
+    # mu*n; p is irrelevant to the threshold, so any valid value works.
+    carrier = ProtocolParameters(
+        p=0.5 / (n * delta), n=n, delta=delta, nu=nu, strict_model=False
+    )
+    step55 = lemma4_c_threshold(carrier, delta4)
+
+    # Step (56): Lemma 5 threshold.
+    step56 = lemma5_lhs(carrier, delta4)
+
+    # Step (57): Lemma 6 threshold.
+    one_minus_ratio = -math.expm1(math.log(nu / mu) / (2.0 * delta))
+    step57 = (mu / (delta * one_minus_ratio)) * (1.0 + delta4 / (log_ratio - delta4))
+
+    # Step (58): Lemma 7 threshold.
+    step58 = (2.0 * mu / log_ratio + mu / delta) * (
+        1.0 + delta4 / (log_ratio - delta4)
+    )
+
+    # Step (59): Lemma 8 / Theorem 3 threshold (Inequality 51).
+    step59 = (2.0 * mu / log_ratio + 1.0 / delta) * (1.0 + eps2) / (1.0 - eps1)
+
+    return [
+        ImplicationStep("55", "Lemma 4: exact inversion of the alpha_bar condition", step55),
+        ImplicationStep("56", "Lemma 5: replace 1/(n(1-x^(1/mu n))) by mu/x", step56),
+        ImplicationStep("57", "Lemma 6: pull the delta4 inflation out of the denominator", step57),
+        ImplicationStep("58", "Lemma 7: bracket 1/(Δ(1-(nu/mu)^(1/2Δ))) by 2/ln(mu/nu)+1/Δ", step58),
+        ImplicationStep("59", "Lemma 8 / Theorem 3: absorb the slack into (1+eps2)/(1-eps1)", step59),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Internal helpers
+# ----------------------------------------------------------------------
+def _check_constants(nu: float, eps1: float, eps2: float) -> None:
+    if not (0.0 < nu < 0.5):
+        raise ParameterError(f"nu must lie in (0, 1/2), got {nu!r}")
+    if not (0.0 < eps1 < 1.0):
+        raise ParameterError(f"eps1 must lie in (0, 1), got {eps1!r}")
+    if eps2 <= 0.0:
+        raise ParameterError(f"eps2 must be positive, got {eps2!r}")
+
+
+def _check_delta4(nu: float, delta4: float) -> None:
+    if not (0.0 < nu < 0.5):
+        raise ParameterError(f"nu must lie in (0, 1/2), got {nu!r}")
+    log_ratio = math.log((1.0 - nu) / nu)
+    if not (0.0 < delta4 < log_ratio):
+        raise ParameterError(
+            f"Inequality (73) requires 0 < delta4 < ln(mu/nu) = {log_ratio!r}, got {delta4!r}"
+        )

@@ -1,0 +1,182 @@
+"""Per-round mining probabilities (Eqs. 7-9, 41, 43 of the paper).
+
+The model of Section III assigns one oracle query per honest miner per round.
+The number of blocks mined by the ``mu * n`` honest miners in one round is
+therefore ``Binomial(mu * n, p)`` (Eq. 41), and by the ``nu * n`` corrupted
+miners ``Binomial(nu * n, p)`` (Section V-A, proof of Eq. 27).
+
+This module packages those distributions together with the derived scalar
+probabilities ``alpha``, ``alpha_bar``, ``alpha1`` (Table I), keeping every
+quantity available in log space so that the paper's extreme parameter regime
+(``delta = 1e13``, ``p ~ 1e-18``) does not underflow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import stats
+
+from ..errors import ParameterError
+from ..params import ProtocolParameters
+
+__all__ = [
+    "MiningProbabilities",
+    "log_binomial_pmf",
+    "binomial_pmf",
+    "honest_block_distribution",
+    "adversary_block_distribution",
+    "round_state_probabilities",
+]
+
+
+def log_binomial_pmf(k: int, trials: float, success: float) -> float:
+    """Natural log of the Binomial(trials, success) pmf at ``k``.
+
+    ``trials`` is allowed to be real-valued (the paper treats ``mu * n`` as a
+    real number); the binomial coefficient is evaluated through
+    ``lgamma``.
+
+    >>> round(math.exp(log_binomial_pmf(1, 10, 0.1)), 6)
+    0.38742
+    """
+    if k < 0 or k > trials:
+        return -math.inf
+    if not (0.0 < success < 1.0):
+        raise ParameterError(f"success probability must lie in (0, 1), got {success!r}")
+    log_choose = (
+        math.lgamma(trials + 1.0)
+        - math.lgamma(k + 1.0)
+        - math.lgamma(trials - k + 1.0)
+    )
+    return log_choose + k * math.log(success) + (trials - k) * math.log1p(-success)
+
+
+def binomial_pmf(k: int, trials: float, success: float) -> float:
+    """Binomial(trials, success) pmf at ``k`` (linear scale)."""
+    value = log_binomial_pmf(k, trials, success)
+    return 0.0 if value == -math.inf else math.exp(value)
+
+
+def honest_block_distribution(params: ProtocolParameters):
+    """The ``Binomial(mu n, p)`` distribution of honest blocks per round (Eq. 41).
+
+    Returns a frozen :mod:`scipy.stats` distribution.  The number of trials is
+    rounded to the nearest integer because scipy requires integral ``n``; the
+    scalar probabilities on :class:`MiningProbabilities` keep the real-valued
+    form used by the paper's closed-form expressions.
+    """
+    return stats.binom(int(round(params.honest_count)), params.p)
+
+
+def adversary_block_distribution(params: ProtocolParameters):
+    """The ``Binomial(nu n, p)`` distribution of adversarial blocks per round."""
+    return stats.binom(int(round(params.adversary_count)), params.p)
+
+
+def round_state_probabilities(params: ProtocolParameters, max_blocks: int = 8) -> dict:
+    """Probabilities of the detailed round states of Eq. (38).
+
+    Returns a dictionary mapping ``"N"`` to ``alpha_bar`` and ``"H1"``,
+    ``"H2"``, ... up to ``max_blocks`` to the corresponding binomial pmf
+    values, plus ``"H>=k"`` for the tail mass beyond ``max_blocks``.
+    """
+    probs = {"N": params.alpha_bar}
+    total_h = 0.0
+    trials = params.honest_count
+    for h in range(1, max_blocks + 1):
+        value = binomial_pmf(h, trials, params.p)
+        probs[f"H{h}"] = value
+        total_h += value
+    tail = max(params.alpha - total_h, 0.0)
+    probs[f"H>={max_blocks + 1}"] = tail
+    return probs
+
+
+@dataclass(frozen=True)
+class MiningProbabilities:
+    """Scalar per-round probabilities derived from :class:`ProtocolParameters`.
+
+    Attributes
+    ----------
+    alpha:
+        ``P[some honest miner mines]`` (Eq. 7).
+    alpha_bar:
+        ``P[no honest miner mines]`` (Eq. 8).
+    alpha1:
+        ``P[exactly one honest miner mines]`` (Eq. 9 / Eq. 43).
+    beta:
+        Expected adversarial blocks per round, ``nu n p``.
+    log_alpha_bar, log_alpha1:
+        Log-space versions of the above, exact for tiny ``p``.
+    """
+
+    alpha: float
+    alpha_bar: float
+    alpha1: float
+    beta: float
+    log_alpha_bar: float
+    log_alpha1: float
+
+    @classmethod
+    def from_parameters(cls, params: ProtocolParameters) -> "MiningProbabilities":
+        """Build the probability bundle for one protocol configuration."""
+        return cls(
+            alpha=params.alpha,
+            alpha_bar=params.alpha_bar,
+            alpha1=params.alpha1,
+            beta=params.beta,
+            log_alpha_bar=params.log_alpha_bar,
+            log_alpha1=params.log_alpha1,
+        )
+
+    def log_convergence_opportunity(self, delta: int) -> float:
+        """``ln(alpha_bar^(2 Δ) alpha1)`` — log of Eq. (44) for the given Δ."""
+        return 2.0 * delta * self.log_alpha_bar + self.log_alpha1
+
+    def convergence_opportunity(self, delta: int) -> float:
+        """``alpha_bar^(2 Δ) alpha1`` — Eq. (44) for the given Δ."""
+        return math.exp(self.log_convergence_opportunity(delta))
+
+    def sanity_check(self, tolerance: float = 1e-12) -> bool:
+        """Verify the basic identities ``alpha + alpha_bar = 1`` and ``alpha1 <= alpha``."""
+        return (
+            abs(self.alpha + self.alpha_bar - 1.0) <= tolerance
+            and self.alpha1 <= self.alpha + tolerance
+            and 0.0 <= self.alpha1 <= 1.0
+        )
+
+
+def expected_honest_blocks(params: ProtocolParameters, rounds: int) -> float:
+    """Expected number of honest blocks mined over ``rounds`` rounds."""
+    return params.honest_count * params.p * rounds
+
+
+def expected_adversary_blocks(params: ProtocolParameters, rounds: int) -> float:
+    """Expected number of adversarial blocks mined over ``rounds`` rounds (Eq. 27)."""
+    return params.beta * rounds
+
+
+def sample_honest_blocks(
+    params: ProtocolParameters, rounds: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample the per-round number of honest blocks for ``rounds`` i.i.d. rounds."""
+    return rng.binomial(int(round(params.honest_count)), params.p, size=rounds)
+
+
+def sample_adversary_blocks(
+    params: ProtocolParameters, rounds: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample the per-round number of adversarial blocks for ``rounds`` i.i.d. rounds."""
+    return rng.binomial(int(round(params.adversary_count)), params.p, size=rounds)
+
+
+__all__ += [
+    "expected_honest_blocks",
+    "expected_adversary_blocks",
+    "sample_honest_blocks",
+    "sample_adversary_blocks",
+]

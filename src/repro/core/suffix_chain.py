@@ -1,0 +1,333 @@
+"""The suffix-of-previous-and-current-states Markov chain C_F (Figure 2, Section V-A).
+
+Each round is in state ``H`` (at least one honest block mined, probability
+``alpha``) or ``N`` (no honest block, probability ``alpha_bar``).  The chain
+C_F tracks a *suffix summary* ``F_t`` of the state history, taking one of the
+``2 Delta + 1`` values of the Suffix-Set (Eq. 29):
+
+* ``HN^{<=Delta-1}H``                  — last two honest rounds at most Delta-1 apart, current round honest;
+* ``HN^{<=Delta-1}HN^a``, a = 1..Delta-1 — as above followed by ``a`` empty rounds;
+* ``HN^{>=Delta}``                     — at least Delta empty rounds since the last honest round;
+* ``HN^{>=Delta}HN^b``, b = 0..Delta-1 — a long gap, then an honest round, then ``b`` empty rounds.
+
+The module provides the explicit transition matrix (for modest ``Delta``), the
+closed-form stationary distribution of Eqs. (37a)-(37d), and sampling of the
+underlying H/N round process so the chain's ergodic averages can be validated
+empirically.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import MarkovChainError, ParameterError
+from ..markov import FiniteMarkovChain
+from ..params import ProtocolParameters
+
+__all__ = [
+    "SuffixStateKind",
+    "SuffixState",
+    "SuffixChain",
+    "suffix_states",
+    "suffix_trajectory",
+]
+
+
+class SuffixStateKind(enum.Enum):
+    """The four structural families of Suffix-Set members (Eq. 29)."""
+
+    SHORT_GAP_HEAD = "HN<=D-1 H"
+    """``HN^{<=Delta-1}H``: current round honest, previous honest round within Delta-1."""
+
+    SHORT_GAP_TAIL = "HN<=D-1 H N^a"
+    """``HN^{<=Delta-1}HN^a`` for a in 1..Delta-1."""
+
+    LONG_GAP = "HN>=D"
+    """``HN^{>=Delta}``: at least Delta empty rounds since the last honest round."""
+
+    LONG_GAP_TAIL = "HN>=D H N^b"
+    """``HN^{>=Delta}HN^b`` for b in 0..Delta-1."""
+
+
+@dataclass(frozen=True, order=True)
+class SuffixState:
+    """One member of the Suffix-Set: a structural kind plus its tail length.
+
+    ``tail`` is the exponent ``a`` (for SHORT_GAP_TAIL), ``b`` (for
+    LONG_GAP_TAIL) and 0 for the two singleton kinds.
+    """
+
+    kind: SuffixStateKind
+    tail: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind in (SuffixStateKind.SHORT_GAP_HEAD, SuffixStateKind.LONG_GAP):
+            if self.tail != 0:
+                raise MarkovChainError(f"{self.kind} does not carry a tail length")
+        elif self.kind is SuffixStateKind.SHORT_GAP_TAIL and self.tail < 1:
+            raise MarkovChainError("SHORT_GAP_TAIL requires tail >= 1")
+        elif self.kind is SuffixStateKind.LONG_GAP_TAIL and self.tail < 0:
+            raise MarkovChainError("LONG_GAP_TAIL requires tail >= 0")
+
+    def label(self) -> str:
+        """Human-readable label matching the paper's notation."""
+        if self.kind is SuffixStateKind.SHORT_GAP_HEAD:
+            return "HN<=D-1.H"
+        if self.kind is SuffixStateKind.LONG_GAP:
+            return "HN>=D"
+        if self.kind is SuffixStateKind.SHORT_GAP_TAIL:
+            return f"HN<=D-1.H.N^{self.tail}"
+        return f"HN>=D.H.N^{self.tail}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label()
+
+
+def suffix_states(delta: int) -> List[SuffixState]:
+    """Enumerate the ``2 Delta + 1`` states of the Suffix-Set for a given Delta.
+
+    Order: SHORT_GAP_HEAD, SHORT_GAP_TAIL(1..Delta-1), LONG_GAP,
+    LONG_GAP_TAIL(0..Delta-1).
+    """
+    if delta < 1:
+        raise ParameterError(f"delta must be >= 1, got {delta!r}")
+    states: List[SuffixState] = [SuffixState(SuffixStateKind.SHORT_GAP_HEAD)]
+    states.extend(
+        SuffixState(SuffixStateKind.SHORT_GAP_TAIL, a) for a in range(1, delta)
+    )
+    states.append(SuffixState(SuffixStateKind.LONG_GAP))
+    states.extend(
+        SuffixState(SuffixStateKind.LONG_GAP_TAIL, b) for b in range(0, delta)
+    )
+    return states
+
+
+def _next_state(state: SuffixState, honest_round: bool, delta: int) -> SuffixState:
+    """The deterministic successor of ``state`` given whether the next round is H or N.
+
+    Encodes the transition rules (1)-(4) of Section V-A / Figure 2.
+    """
+    kind = state.kind
+    if honest_round:
+        if kind is SuffixStateKind.LONG_GAP:
+            # HN^{>=Delta} followed by H becomes HN^{>=Delta}HN^0.
+            return SuffixState(SuffixStateKind.LONG_GAP_TAIL, 0)
+        # Every other state followed by H collapses to HN^{<=Delta-1}H: the gap
+        # to the previous honest round is at most Delta-1.
+        return SuffixState(SuffixStateKind.SHORT_GAP_HEAD)
+    # The next round is N.
+    if kind is SuffixStateKind.SHORT_GAP_HEAD:
+        if delta <= 1:
+            # With Delta = 1 a single empty round already makes the gap >= Delta.
+            return SuffixState(SuffixStateKind.LONG_GAP)
+        return SuffixState(SuffixStateKind.SHORT_GAP_TAIL, 1)
+    if kind is SuffixStateKind.SHORT_GAP_TAIL:
+        if state.tail >= delta - 1:
+            return SuffixState(SuffixStateKind.LONG_GAP)
+        return SuffixState(SuffixStateKind.SHORT_GAP_TAIL, state.tail + 1)
+    if kind is SuffixStateKind.LONG_GAP:
+        return SuffixState(SuffixStateKind.LONG_GAP)
+    # LONG_GAP_TAIL
+    if state.tail >= delta - 1:
+        return SuffixState(SuffixStateKind.LONG_GAP)
+    return SuffixState(SuffixStateKind.LONG_GAP_TAIL, state.tail + 1)
+
+
+def suffix_trajectory(round_states: Sequence[bool], delta: int) -> List[SuffixState]:
+    """Map a sequence of per-round H/N indicators onto the C_F trajectory.
+
+    ``round_states[t]`` is ``True`` when round ``t`` is an H round.  The chain
+    is only well-defined after two honest rounds have occurred; the trajectory
+    is seeded in ``HN^{>=Delta}`` (the paper considers large ``t``, where the
+    seeding washes out) and the full per-round list is returned.
+    """
+    current = SuffixState(SuffixStateKind.LONG_GAP)
+    trajectory: List[SuffixState] = []
+    for honest in round_states:
+        current = _next_state(current, bool(honest), delta)
+        trajectory.append(current)
+    return trajectory
+
+
+class SuffixChain:
+    """The Markov chain C_F for a given protocol configuration.
+
+    Parameters
+    ----------
+    params:
+        Protocol parameters supplying ``alpha``/``alpha_bar`` and ``Delta``.
+    delta:
+        Optional override of the Delta used by the chain (defaults to
+        ``params.delta``); useful when validating with a small chain while
+        keeping the mining probabilities of a larger configuration.
+
+    Examples
+    --------
+    >>> params = ProtocolParameters(p=1e-4, n=100, delta=3, nu=0.2)
+    >>> chain = SuffixChain(params)
+    >>> pi = chain.closed_form_stationary()
+    >>> abs(sum(pi.values()) - 1.0) < 1e-12
+    True
+    """
+
+    #: Refuse to enumerate the state space explicitly beyond this many states;
+    #: the closed-form/log-space methods remain available at any Delta.
+    MAX_EXPLICIT_STATES = 2_000_001
+
+    def __init__(self, params: ProtocolParameters, delta: Optional[int] = None):
+        self.params = params
+        self.delta = int(params.delta if delta is None else delta)
+        if self.delta < 1:
+            raise ParameterError(f"delta must be >= 1, got {self.delta!r}")
+        self.alpha = params.alpha
+        self.alpha_bar = params.alpha_bar
+        # The state list is built lazily: at the paper's Delta = 1e13 the
+        # Suffix-Set has 2e13 members and must never be materialised; only the
+        # closed-form expressions are used there.
+        self._states: Optional[List[SuffixState]] = None
+        self._index: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Construction of the explicit chain
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        """Number of states, ``2 Delta + 1``."""
+        return 2 * self.delta + 1
+
+    @property
+    def states(self) -> List[SuffixState]:
+        """The explicit Suffix-Set (only materialised for modest Delta)."""
+        if self._states is None:
+            if self.n_states > self.MAX_EXPLICIT_STATES:
+                raise ParameterError(
+                    f"refusing to enumerate {self.n_states} suffix states; use the "
+                    "closed-form/log-space methods at this Delta"
+                )
+            self._states = suffix_states(self.delta)
+            self._index = {
+                state: position for position, state in enumerate(self._states)
+            }
+        return self._states
+
+    @property
+    def state_index(self) -> dict:
+        """Mapping from state to its position in :attr:`states`."""
+        if self._index is None:
+            _ = self.states
+        return self._index
+
+    def transition_matrix(self) -> np.ndarray:
+        """The explicit ``(2Δ+1) x (2Δ+1)`` row-stochastic transition matrix."""
+        size = self.n_states
+        matrix = np.zeros((size, size))
+        for row, state in enumerate(self.states):
+            matrix[row, self.state_index[_next_state(state, True, self.delta)]] += self.alpha
+            matrix[row, self.state_index[_next_state(state, False, self.delta)]] += (
+                self.alpha_bar
+            )
+        return matrix
+
+    def to_markov_chain(self) -> FiniteMarkovChain:
+        """Wrap the chain in a generic :class:`FiniteMarkovChain`."""
+        return FiniteMarkovChain(
+            self.transition_matrix(), labels=[state.label() for state in self.states]
+        )
+
+    # ------------------------------------------------------------------
+    # Stationary distribution
+    # ------------------------------------------------------------------
+    def closed_form_stationary(self) -> Dict[SuffixState, float]:
+        """The closed-form stationary distribution of Eqs. (37a)-(37d).
+
+        * ``pi(HN^{<=Δ-1}H)      = alpha (1 - alpha_bar^Δ)``
+        * ``pi(HN^{<=Δ-1}HN^a)   = alpha (1 - alpha_bar^Δ) alpha_bar^a``
+        * ``pi(HN^{>=Δ})          = alpha_bar^Δ``
+        * ``pi(HN^{>=Δ}HN^b)      = alpha alpha_bar^(Δ+b)``
+        """
+        alpha, alpha_bar, delta = self.alpha, self.alpha_bar, self.delta
+        tail_mass = alpha_bar**delta
+        distribution: Dict[SuffixState, float] = {}
+        for state in self.states:
+            if state.kind is SuffixStateKind.SHORT_GAP_HEAD:
+                value = alpha * (1.0 - tail_mass)
+            elif state.kind is SuffixStateKind.SHORT_GAP_TAIL:
+                value = alpha * (1.0 - tail_mass) * alpha_bar**state.tail
+            elif state.kind is SuffixStateKind.LONG_GAP:
+                value = tail_mass
+            else:  # LONG_GAP_TAIL
+                value = alpha * alpha_bar ** (delta + state.tail)
+            distribution[state] = value
+        return distribution
+
+    def numerical_stationary(self) -> Dict[SuffixState, float]:
+        """The stationary distribution solved numerically from the transition matrix."""
+        chain = self.to_markov_chain()
+        pi = chain.stationary_distribution()
+        return {state: float(pi[position]) for position, state in enumerate(self.states)}
+
+    def log_stationary(self, state: SuffixState) -> float:
+        """Natural log of the closed-form stationary probability of one state.
+
+        Unlike :meth:`closed_form_stationary`, this stays finite even at the
+        paper's ``Delta = 1e13`` operating point (where ``alpha_bar^Delta``
+        underflows a double).
+        """
+        log_alpha = math.log(self.alpha)
+        log_alpha_bar = self.params.log_alpha_bar
+        log_tail_mass = self.delta * log_alpha_bar
+        if state.kind is SuffixStateKind.SHORT_GAP_HEAD:
+            return log_alpha + _log1mexp(log_tail_mass)
+        if state.kind is SuffixStateKind.SHORT_GAP_TAIL:
+            return log_alpha + _log1mexp(log_tail_mass) + state.tail * log_alpha_bar
+        if state.kind is SuffixStateKind.LONG_GAP:
+            return log_tail_mass
+        return log_alpha + (self.delta + state.tail) * log_alpha_bar
+
+    def long_gap_probability(self) -> float:
+        """``pi(HN^{>=Delta}) = alpha_bar^Delta`` — Eq. (37c), used in Eq. (44)."""
+        return math.exp(self.delta * self.params.log_alpha_bar)
+
+    def min_stationary(self) -> float:
+        """Minimal stationary probability over the Suffix-Set (Eq. 99).
+
+        ``min pi_F = alpha * alpha_bar^(Delta-1) * min(1 - alpha_bar^Delta, alpha_bar^Delta)``.
+        """
+        alpha, alpha_bar, delta = self.alpha, self.alpha_bar, self.delta
+        tail_mass = alpha_bar**delta
+        return alpha * alpha_bar ** (delta - 1) * min(1.0 - tail_mass, tail_mass)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_round_states(self, rounds: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample i.i.d. per-round H/N indicators (True for an H round)."""
+        if rounds <= 0:
+            raise ParameterError("rounds must be positive")
+        return rng.random(rounds) < self.alpha
+
+    def empirical_stationary(
+        self, rounds: int, rng: np.random.Generator
+    ) -> Dict[SuffixState, float]:
+        """Empirical occupation frequencies of C_F over a sampled H/N trajectory."""
+        round_states = self.sample_round_states(rounds, rng)
+        trajectory = suffix_trajectory(round_states, self.delta)
+        counts: Dict[SuffixState, int] = {state: 0 for state in self.states}
+        for visited in trajectory:
+            counts[visited] += 1
+        total = len(trajectory)
+        return {state: counts[state] / total for state in self.states}
+
+
+def _log1mexp(log_value: float) -> float:
+    """Numerically stable ``log(1 - exp(log_value))`` for ``log_value < 0``."""
+    if log_value >= 0.0:
+        raise ParameterError("log(1 - exp(x)) requires x < 0")
+    if log_value > -math.log(2.0):
+        return math.log(-math.expm1(log_value))
+    return math.log1p(-math.exp(log_value))

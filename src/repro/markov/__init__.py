@@ -1,0 +1,46 @@
+"""Generic finite Markov chain substrate.
+
+The paper's analysis is carried by two purpose-built Markov chains; this
+subpackage provides the general machinery those chains (and their empirical
+validation) are built on:
+
+* :class:`repro.markov.chain.FiniteMarkovChain` — validated row-stochastic
+  matrices with stationary distributions, structural checks and hitting times;
+* :mod:`repro.markov.walk` — random walk sampling and ergodic averages;
+* :mod:`repro.markov.mixing` — total variation distances, epsilon-mixing times
+  and the pi-norm of Inequality (47);
+* :mod:`repro.markov.spectral` — spectral gap and relaxation-time diagnostics.
+"""
+
+from .chain import FiniteMarkovChain
+from .mixing import (
+    distance_to_stationarity,
+    mixing_time,
+    pi_norm,
+    total_variation_distance,
+)
+from .spectral import (
+    eigenvalue_moduli,
+    mixing_time_bounds_from_spectrum,
+    relaxation_time,
+    second_largest_eigenvalue_modulus,
+    spectral_gap,
+)
+from .walk import WalkResult, indicator_sum, occupation_frequencies, sample_path
+
+__all__ = [
+    "FiniteMarkovChain",
+    "WalkResult",
+    "sample_path",
+    "occupation_frequencies",
+    "indicator_sum",
+    "total_variation_distance",
+    "distance_to_stationarity",
+    "mixing_time",
+    "pi_norm",
+    "eigenvalue_moduli",
+    "second_largest_eigenvalue_modulus",
+    "spectral_gap",
+    "relaxation_time",
+    "mixing_time_bounds_from_spectrum",
+]

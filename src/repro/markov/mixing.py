@@ -1,0 +1,95 @@
+"""Mixing-time utilities for finite Markov chains.
+
+The Chernoff-Hoeffding bound for Markov chains used in Section V-B of the
+paper (Inequality 47, citing Chung-Lam-Liu-Mitzenmacher) is parameterised by
+the epsilon-mixing time ``tau(eps)`` of the chain.  This module provides the
+total-variation machinery needed to compute and bound that quantity for the
+small-Delta instantiations used in validation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import MarkovChainError
+from .chain import FiniteMarkovChain
+
+__all__ = [
+    "total_variation_distance",
+    "distance_to_stationarity",
+    "mixing_time",
+    "pi_norm",
+]
+
+
+def total_variation_distance(first: np.ndarray, second: np.ndarray) -> float:
+    """Total variation distance ``0.5 * sum |first - second|`` between two distributions."""
+    first = np.asarray(first, dtype=float)
+    second = np.asarray(second, dtype=float)
+    if first.shape != second.shape:
+        raise MarkovChainError(
+            f"distributions must share a shape, got {first.shape} and {second.shape}"
+        )
+    return 0.5 * float(np.abs(first - second).sum())
+
+
+def distance_to_stationarity(chain: FiniteMarkovChain, steps: int) -> float:
+    """Worst-case (over starting states) TV distance to stationarity after ``steps`` steps."""
+    if steps < 0:
+        raise MarkovChainError("steps must be non-negative")
+    pi = chain.stationary_distribution()
+    matrix_power = np.linalg.matrix_power(chain.transition_matrix, steps)
+    distances = 0.5 * np.abs(matrix_power - pi[None, :]).sum(axis=1)
+    return float(distances.max())
+
+
+def mixing_time(
+    chain: FiniteMarkovChain,
+    epsilon: float = 0.125,
+    max_steps: int = 100_000,
+) -> int:
+    """Smallest ``t`` with worst-case TV distance to stationarity at most ``epsilon``.
+
+    The paper selects ``epsilon = 1/8`` (the largest value permitted by the
+    concentration theorem it cites), which is the default here.  The search
+    doubles the horizon geometrically and then bisects, so the cost is
+    ``O(log(max_steps))`` matrix powers.
+    """
+    if not (0.0 < epsilon <= 1.0):
+        raise MarkovChainError(f"epsilon must lie in (0, 1], got {epsilon!r}")
+    if distance_to_stationarity(chain, 0) <= epsilon:
+        return 0
+
+    lower, upper = 0, 1
+    while distance_to_stationarity(chain, upper) > epsilon:
+        lower, upper = upper, upper * 2
+        if upper > max_steps:
+            raise MarkovChainError(
+                f"chain did not mix within {max_steps} steps at epsilon={epsilon}"
+            )
+    # Invariant: distance(lower) > epsilon >= distance(upper).
+    while upper - lower > 1:
+        middle = (lower + upper) // 2
+        if distance_to_stationarity(chain, middle) > epsilon:
+            lower = middle
+        else:
+            upper = middle
+    return upper
+
+
+def pi_norm(distribution: np.ndarray, stationary: np.ndarray) -> float:
+    """The pi-norm ``sqrt(sum(phi(x)^2 / pi(x)))`` used in Inequality (47).
+
+    Matches the definition below Inequality (47) in the paper, where ``phi`` is
+    the initial distribution of the T-step walk and ``pi`` is the stationary
+    distribution.
+    """
+    distribution = np.asarray(distribution, dtype=float)
+    stationary = np.asarray(stationary, dtype=float)
+    if distribution.shape != stationary.shape:
+        raise MarkovChainError("distribution and stationary must share a shape")
+    if np.any(stationary <= 0):
+        raise MarkovChainError("stationary distribution must be strictly positive")
+    return float(np.sqrt(np.sum(distribution**2 / stationary)))

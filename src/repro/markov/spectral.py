@@ -1,0 +1,78 @@
+"""Spectral diagnostics for finite Markov chains.
+
+The spectral gap gives standard upper and lower bounds on the mixing time used
+by the Markov-chain Chernoff bound of Inequality (47); these helpers let the
+validation experiments cross-check the direct total-variation computation in
+:mod:`repro.markov.mixing` against the relaxation-time estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import MarkovChainError
+from .chain import FiniteMarkovChain
+
+__all__ = [
+    "eigenvalue_moduli",
+    "second_largest_eigenvalue_modulus",
+    "spectral_gap",
+    "relaxation_time",
+    "mixing_time_bounds_from_spectrum",
+]
+
+
+def eigenvalue_moduli(chain: FiniteMarkovChain) -> np.ndarray:
+    """Moduli of the transition matrix eigenvalues, sorted in decreasing order."""
+    eigenvalues = np.linalg.eigvals(chain.transition_matrix)
+    moduli = np.sort(np.abs(eigenvalues))[::-1]
+    return moduli
+
+
+def second_largest_eigenvalue_modulus(chain: FiniteMarkovChain) -> float:
+    """The SLEM: second largest eigenvalue modulus (the largest is always 1)."""
+    moduli = eigenvalue_moduli(chain)
+    if len(moduli) < 2:
+        return 0.0
+    return float(moduli[1])
+
+
+def spectral_gap(chain: FiniteMarkovChain) -> float:
+    """``1 - SLEM``; strictly positive for ergodic chains."""
+    return 1.0 - second_largest_eigenvalue_modulus(chain)
+
+
+def relaxation_time(chain: FiniteMarkovChain) -> float:
+    """``1 / spectral_gap`` — the relaxation time of the chain."""
+    gap = spectral_gap(chain)
+    if gap <= 0:
+        raise MarkovChainError("chain has zero spectral gap (not ergodic)")
+    return 1.0 / gap
+
+
+def mixing_time_bounds_from_spectrum(
+    chain: FiniteMarkovChain, epsilon: float = 0.125
+) -> Tuple[float, float]:
+    """Standard spectral lower/upper bounds on the epsilon-mixing time.
+
+    Uses the classical bounds (Levin & Peres, Theorems 12.4 and 12.5):
+
+    * lower: ``(t_rel - 1) * ln(1 / (2 eps))``
+    * upper: ``t_rel * ln(1 / (eps * pi_min))``
+
+    Returns ``(lower, upper)`` as floats.  These are diagnostics; the exact
+    value is computed by :func:`repro.markov.mixing.mixing_time`.
+    """
+    if not (0.0 < epsilon < 1.0):
+        raise MarkovChainError(f"epsilon must lie in (0, 1), got {epsilon!r}")
+    t_rel = relaxation_time(chain)
+    pi = chain.stationary_distribution()
+    pi_min = float(pi.min())
+    if pi_min <= 0:
+        raise MarkovChainError("stationary distribution must be strictly positive")
+    lower = max(0.0, (t_rel - 1.0) * math.log(1.0 / (2.0 * epsilon)))
+    upper = t_rel * math.log(1.0 / (epsilon * pi_min))
+    return lower, upper

@@ -1,0 +1,116 @@
+"""Random walks on finite Markov chains.
+
+Used to empirically validate the closed-form stationary distributions of the
+paper's chains (Eqs. 37a-37d, 44) and to realise the T-step random walk of
+Section V-B whose indicator sums define the number of convergence
+opportunities ``C(t0, t0 + T - 1)`` (Eq. 46).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import MarkovChainError
+from .chain import FiniteMarkovChain
+
+__all__ = [
+    "WalkResult",
+    "sample_path",
+    "occupation_frequencies",
+    "indicator_sum",
+]
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Outcome of a sampled random walk.
+
+    Attributes
+    ----------
+    states:
+        Array of visited state indices, length ``n_steps``.
+    labels:
+        The chain's state labels (for translating indices back to labels).
+    """
+
+    states: np.ndarray
+    labels: Sequence[Hashable]
+
+    def label_path(self) -> list:
+        """The visited path expressed as state labels."""
+        return [self.labels[index] for index in self.states]
+
+    def visit_counts(self) -> Dict[Hashable, int]:
+        """Number of visits per state label."""
+        counts = np.bincount(self.states, minlength=len(self.labels))
+        return {label: int(counts[index]) for index, label in enumerate(self.labels)}
+
+    def frequencies(self) -> Dict[Hashable, float]:
+        """Empirical occupation frequencies per state label."""
+        total = len(self.states)
+        return {
+            label: count / total for label, count in self.visit_counts().items()
+        }
+
+
+def sample_path(
+    chain: FiniteMarkovChain,
+    n_steps: int,
+    rng: np.random.Generator,
+    initial_state: Optional[Hashable] = None,
+    initial_distribution: Optional[np.ndarray] = None,
+) -> WalkResult:
+    """Sample a path of ``n_steps`` states from the chain.
+
+    The initial state is drawn from ``initial_distribution`` (default: the
+    stationary distribution) unless ``initial_state`` is given explicitly.
+    """
+    if n_steps <= 0:
+        raise MarkovChainError("n_steps must be positive")
+    if initial_state is not None:
+        current = chain.index_of(initial_state)
+    else:
+        if initial_distribution is None:
+            initial_distribution = chain.stationary_distribution()
+        initial_distribution = np.asarray(initial_distribution, dtype=float)
+        current = int(rng.choice(chain.n_states, p=initial_distribution))
+
+    matrix = chain.transition_matrix
+    # Pre-compute cumulative rows once; inverse-CDF sampling keeps the walk
+    # fast even for tens of millions of steps.
+    cumulative = np.cumsum(matrix, axis=1)
+    uniforms = rng.random(n_steps)
+    states = np.empty(n_steps, dtype=np.int64)
+    for step in range(n_steps):
+        states[step] = current
+        current = int(np.searchsorted(cumulative[current], uniforms[step], side="right"))
+        if current >= chain.n_states:  # guard against cumulative rounding
+            current = chain.n_states - 1
+    return WalkResult(states=states, labels=chain.labels)
+
+
+def occupation_frequencies(
+    chain: FiniteMarkovChain,
+    n_steps: int,
+    rng: np.random.Generator,
+    initial_state: Optional[Hashable] = None,
+) -> Dict[Hashable, float]:
+    """Empirical occupation frequencies of a sampled walk (ergodic averages)."""
+    walk = sample_path(chain, n_steps, rng, initial_state=initial_state)
+    return walk.frequencies()
+
+
+def indicator_sum(
+    walk: WalkResult,
+    predicate: Callable[[Hashable], bool],
+) -> int:
+    """Count the visits for which ``predicate(label)`` is true.
+
+    This realises the sum ``C(t0, t0+T-1) = sum_t f_t(V_t)`` of Eq. (46) for an
+    arbitrary indicator ``f``.
+    """
+    labels = walk.labels
+    return int(sum(1 for index in walk.states if predicate(labels[index])))

@@ -1,0 +1,279 @@
+"""Protocol parameterisation (Table I of the paper).
+
+This module defines :class:`ProtocolParameters`, the single value object that
+the rest of the library consumes.  It captures the quantities of Table I of
+the paper:
+
+=========  ====================================================================
+symbol     meaning
+=========  ====================================================================
+``p``      hardness of the proof of work (per-query success probability)
+``n``      number of miners, each with identical computing power
+``delta``  maximum message delay (in rounds) imposed by the adversary (Δ)
+``mu``     fraction of computational power controlled by honest miners (μ)
+``nu``     fraction of computational power controlled by the adversary (ν)
+``c``      ``1 / (p · n · Δ)`` — the expected number of network delays before
+           some block is mined
+``alpha``  probability that *some* honest miner mines a block in one round
+``alpha_bar``  probability that *no* honest miner mines a block in one round
+``alpha1`` probability that *exactly one* honest miner mines in one round
+=========  ====================================================================
+
+The paper operates at extreme parameter ranges (Figure 1 uses ``n = 1e5`` and
+``delta = 1e13``), where quantities such as ``alpha_bar ** (2 * delta)``
+underflow IEEE-754 doubles.  Every derived quantity is therefore also exposed
+in log space, computed with :func:`math.log1p` / :func:`math.expm1` so that
+the values stay accurate for very small ``p``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import ParameterError
+
+__all__ = [
+    "ProtocolParameters",
+    "parameters_from_c",
+    "parameters_for_target_alpha",
+]
+
+
+def _validate(p: float, n: int, delta: int, nu: float, strict_model: bool) -> None:
+    """Check the model assumptions of Section III of the paper."""
+    if not (0.0 < p < 1.0):
+        raise ParameterError(f"hardness p must lie in (0, 1), got {p!r}")
+    if n < 1 or int(n) != n:
+        raise ParameterError(f"number of miners n must be a positive integer, got {n!r}")
+    if delta < 1 or int(delta) != delta:
+        raise ParameterError(f"maximum delay delta must be a positive integer, got {delta!r}")
+    if not (0.0 <= nu < 1.0):
+        raise ParameterError(f"adversarial fraction nu must lie in [0, 1), got {nu!r}")
+    if strict_model:
+        # Inequality (2): 0 < nu < 1/2 < mu, and Inequality (3): n >= 4.
+        if not (0.0 < nu < 0.5):
+            raise ParameterError(
+                "the paper's model (Inequality 2) requires 0 < nu < 1/2; "
+                f"got nu = {nu!r}.  Pass strict_model=False to relax this."
+            )
+        if n < 4:
+            raise ParameterError(
+                "the paper's model (Inequality 3) requires n >= 4; "
+                f"got n = {n!r}.  Pass strict_model=False to relax this."
+            )
+
+
+@dataclass(frozen=True)
+class ProtocolParameters:
+    """Immutable description of one protocol configuration.
+
+    Parameters
+    ----------
+    p:
+        Hardness of the proof of work: the probability that a single oracle
+        query mines a block.
+    n:
+        Total number of miners (honest plus corrupted).
+    delta:
+        Maximum number of rounds by which the adversary may delay a message
+        (Δ in the paper).
+    nu:
+        Fraction of computational power controlled by the adversary (ν).
+    strict_model:
+        When ``True`` (the default) the constructor enforces the paper's model
+        assumptions ``0 < nu < 1/2`` and ``n >= 4``.  Set to ``False`` for
+        exploratory use (e.g. plotting bounds right up to ``nu = 1/2``).
+
+    Examples
+    --------
+    >>> params = ProtocolParameters(p=1e-7, n=100_000, delta=10, nu=0.25)
+    >>> round(params.c, 3)
+    10.0
+    >>> 0 < params.alpha < 1
+    True
+    """
+
+    p: float
+    n: int
+    delta: int
+    nu: float
+    strict_model: bool = field(default=True, compare=False)
+
+    def __post_init__(self) -> None:
+        _validate(self.p, self.n, self.delta, self.nu, self.strict_model)
+
+    # ------------------------------------------------------------------
+    # Basic fractions and counts
+    # ------------------------------------------------------------------
+    @property
+    def mu(self) -> float:
+        """Honest fraction of computational power, ``mu = 1 - nu`` (Eq. 1)."""
+        return 1.0 - self.nu
+
+    @property
+    def honest_count(self) -> float:
+        """Number of honest miners ``mu * n`` (kept real-valued, as in the paper)."""
+        return self.mu * self.n
+
+    @property
+    def adversary_count(self) -> float:
+        """Number of corrupted miners ``nu * n``."""
+        return self.nu * self.n
+
+    # ------------------------------------------------------------------
+    # The headline quantity c
+    # ------------------------------------------------------------------
+    @property
+    def c(self) -> float:
+        """``c := 1 / (p n Δ)`` — expected number of Δ-delays before a block is mined."""
+        return 1.0 / (self.p * self.n * self.delta)
+
+    # ------------------------------------------------------------------
+    # Per-round mining probabilities (Table I / Eqs. 7-9)
+    # ------------------------------------------------------------------
+    @property
+    def log_alpha_bar(self) -> float:
+        """``ln(alpha_bar)`` where ``alpha_bar = (1 - p)^(mu n)`` (Eq. 8)."""
+        return self.honest_count * math.log1p(-self.p)
+
+    @property
+    def alpha_bar(self) -> float:
+        """Probability that no honest miner mines a block in one round (Eq. 8)."""
+        return math.exp(self.log_alpha_bar)
+
+    @property
+    def alpha(self) -> float:
+        """Probability that some honest miner mines a block in one round (Eq. 7)."""
+        return -math.expm1(self.log_alpha_bar)
+
+    @property
+    def log_alpha1(self) -> float:
+        """``ln(alpha1)`` where ``alpha1 = p mu n (1 - p)^(mu n - 1)`` (Eq. 9)."""
+        return (
+            math.log(self.p)
+            + math.log(self.honest_count)
+            + (self.honest_count - 1.0) * math.log1p(-self.p)
+        )
+
+    @property
+    def alpha1(self) -> float:
+        """Probability that exactly one honest miner mines in one round (Eq. 9)."""
+        return math.exp(self.log_alpha1)
+
+    @property
+    def beta(self) -> float:
+        """Expected number of adversarial blocks per round, ``beta = nu n p``.
+
+        This is the quantity called β in the PSS consistency condition and the
+        per-round expectation behind Eq. (27).
+        """
+        return self.nu * self.n * self.p
+
+    # ------------------------------------------------------------------
+    # Quantities used by Theorem 1 (Eq. 44 / Eq. 26)
+    # ------------------------------------------------------------------
+    @property
+    def log_convergence_opportunity_probability(self) -> float:
+        """``ln(alpha_bar^(2 Δ) * alpha1)`` — log of Eq. (44)."""
+        return 2.0 * self.delta * self.log_alpha_bar + self.log_alpha1
+
+    @property
+    def convergence_opportunity_probability(self) -> float:
+        """Stationary probability of a convergence opportunity, Eq. (44)."""
+        return math.exp(self.log_convergence_opportunity_probability)
+
+    @property
+    def log_mu_nu_ratio(self) -> float:
+        """``ln(mu / nu)`` — the denominator of the paper's neat bound."""
+        if self.nu <= 0.0:
+            raise ParameterError("ln(mu/nu) is undefined for nu = 0")
+        return math.log(self.mu / self.nu)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors / transformations
+    # ------------------------------------------------------------------
+    def with_nu(self, nu: float) -> "ProtocolParameters":
+        """Return a copy with a different adversarial fraction."""
+        return replace(self, nu=nu)
+
+    def with_p(self, p: float) -> "ProtocolParameters":
+        """Return a copy with a different proof-of-work hardness."""
+        return replace(self, p=p)
+
+    def with_delta(self, delta: int) -> "ProtocolParameters":
+        """Return a copy with a different maximum network delay."""
+        return replace(self, delta=delta)
+
+    def scaled_to_c(self, c: float) -> "ProtocolParameters":
+        """Return a copy whose hardness ``p`` is chosen so that ``1/(p n Δ) = c``."""
+        if c <= 0.0:
+            raise ParameterError(f"c must be positive, got {c!r}")
+        return replace(self, p=1.0 / (c * self.n * self.delta))
+
+    def as_dict(self) -> dict:
+        """Return the primary and derived quantities as a plain dictionary."""
+        return {
+            "p": self.p,
+            "n": self.n,
+            "delta": self.delta,
+            "mu": self.mu,
+            "nu": self.nu,
+            "c": self.c,
+            "alpha": self.alpha,
+            "alpha_bar": self.alpha_bar,
+            "alpha1": self.alpha1,
+            "beta": self.beta,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProtocolParameters(p={self.p:.3e}, n={self.n}, delta={self.delta}, "
+            f"nu={self.nu:.4f}, c={self.c:.4g})"
+        )
+
+
+def parameters_from_c(
+    c: float,
+    n: int,
+    delta: int,
+    nu: float,
+    strict_model: bool = True,
+) -> ProtocolParameters:
+    """Build :class:`ProtocolParameters` from the headline quantity ``c``.
+
+    The paper's Figure 1 is drawn in terms of ``c = 1/(p n Δ)``; this helper
+    inverts that relation, choosing ``p = 1 / (c n Δ)``.
+
+    >>> params = parameters_from_c(c=10.0, n=100_000, delta=10, nu=0.2)
+    >>> round(params.c, 9)
+    10.0
+    """
+    if c <= 0.0:
+        raise ParameterError(f"c must be positive, got {c!r}")
+    p = 1.0 / (c * n * delta)
+    return ProtocolParameters(p=p, n=n, delta=delta, nu=nu, strict_model=strict_model)
+
+
+def parameters_for_target_alpha(
+    alpha: float,
+    n: int,
+    delta: int,
+    nu: float,
+    strict_model: bool = True,
+) -> ProtocolParameters:
+    """Choose the hardness ``p`` so that the per-round honest success probability is ``alpha``.
+
+    Solves ``1 - (1 - p)^(mu n) = alpha`` for ``p``.  Useful when configuring
+    simulations where a target block rate, rather than a target ``c``, is the
+    natural handle.
+    """
+    if not (0.0 < alpha < 1.0):
+        raise ParameterError(f"target alpha must lie in (0, 1), got {alpha!r}")
+    mu = 1.0 - nu
+    honest = mu * n
+    if honest <= 0:
+        raise ParameterError("mu * n must be positive")
+    p = -math.expm1(math.log1p(-alpha) / honest)
+    return ProtocolParameters(p=p, n=n, delta=delta, nu=nu, strict_model=strict_model)

@@ -1,0 +1,78 @@
+"""Round-based simulation of Nakamoto's protocol in the Δ-delay model.
+
+This subpackage is the synthetic substrate for the paper's model (Section
+III): the paper itself is analytical, so the simulator exists to *exercise*
+the same model the analysis is about — counting convergence opportunities and
+adversarial blocks (the two sides of Lemma 1), measuring consistency
+violations under withholding attacks, and validating the Markov-chain
+expressions (Eqs. 26-27 and 44) empirically.
+
+Components
+----------
+``block`` / ``blocktree``
+    Blocks, block trees, longest-chain selection and prefix predicates.
+``oracle``
+    The random-oracle mining model (one query per honest miner per round).
+``network``
+    The Δ-delay adversarial message scheduler.
+``miners``
+    The honest population's shared view and per-creator private knowledge.
+``adversary``
+    Strategies: passive, maximum-delay, and the private-chain withholding
+    attack of PSS Remark 8.5.
+``events``
+    Round records and the streaming convergence-opportunity detector.
+``metrics``
+    Consistency (Definition 1), chain growth and chain quality.
+``protocol``
+    The :class:`NakamotoSimulation` driver and its result object.
+"""
+
+from .adversary import (
+    AdversaryStrategy,
+    MaxDelayAdversary,
+    PassiveAdversary,
+    PrivateChainAdversary,
+    SelfishMiningAdversary,
+)
+from .block import GENESIS_ID, Block, genesis_block
+from .blocktree import BlockTree, common_prefix_length, is_prefix_up_to
+from .events import ConvergenceOpportunityDetector, RoundRecord
+from .metrics import (
+    ConsistencyReport,
+    chain_growth_rate,
+    chain_quality,
+    consistency_report,
+    consistency_violation_depth,
+)
+from .miners import HonestPopulation
+from .network import DeltaDelayNetwork, InFlightMessage
+from .oracle import MiningOracle
+from .protocol import NakamotoSimulation, SimulationResult
+
+__all__ = [
+    "Block",
+    "GENESIS_ID",
+    "genesis_block",
+    "BlockTree",
+    "common_prefix_length",
+    "is_prefix_up_to",
+    "MiningOracle",
+    "DeltaDelayNetwork",
+    "InFlightMessage",
+    "HonestPopulation",
+    "AdversaryStrategy",
+    "PassiveAdversary",
+    "MaxDelayAdversary",
+    "PrivateChainAdversary",
+    "SelfishMiningAdversary",
+    "RoundRecord",
+    "ConvergenceOpportunityDetector",
+    "ConsistencyReport",
+    "consistency_report",
+    "consistency_violation_depth",
+    "chain_growth_rate",
+    "chain_quality",
+    "NakamotoSimulation",
+    "SimulationResult",
+]

@@ -1,0 +1,351 @@
+"""Adversary strategies.
+
+The adversary of Section III fully controls the corrupted miners and the
+message delays (up to Δ).  A strategy decides, each round,
+
+* how long to delay each newly mined honest block (``delay_for_honest_block``),
+* which block its own miners extend (``mining_parent``),
+* and whether/when to publish privately held blocks (``blocks_to_release``).
+
+Three strategies are provided:
+
+:class:`PassiveAdversary`
+    Mines on the public longest chain, publishes immediately, imposes no extra
+    delay.  Consistency should hold comfortably; useful as a control.
+:class:`MaxDelayAdversary`
+    Delays every honest block by the full Δ and mines publicly.  This stresses
+    the convergence-opportunity machinery (it minimises the number of
+    opportunities for a given mining rate) without attempting to fork.
+:class:`PrivateChainAdversary`
+    The withholding attack in the spirit of PSS Remark 8.5: delay all honest
+    blocks by Δ, mine a private chain from a chosen fork point, and release it
+    once it is longer than the public chain (displacing the honest players'
+    chain and, if the fork is deep, breaking T-consistency).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import SimulationError
+from .block import Block
+from .blocktree import BlockTree
+
+__all__ = [
+    "AdversaryStrategy",
+    "PassiveAdversary",
+    "MaxDelayAdversary",
+    "PrivateChainAdversary",
+    "SelfishMiningAdversary",
+]
+
+
+class AdversaryStrategy(abc.ABC):
+    """Interface every adversary strategy implements.
+
+    The simulation calls the hooks in this order each round:
+
+    1. :meth:`delay_for_honest_block` for every honest block mined this round;
+    2. :meth:`mining_parent` once, before the adversarial mining draws;
+    3. :meth:`register_adversary_block` for every adversarial block mined;
+    4. :meth:`blocks_to_release` once, at the end of the round.
+    """
+
+    def __init__(self, delta: int):
+        if delta < 1:
+            raise SimulationError(f"delta must be >= 1, got {delta!r}")
+        self.delta = int(delta)
+
+    @abc.abstractmethod
+    def delay_for_honest_block(self, block: Block, round_index: int) -> int:
+        """The delay (0..Δ) to impose on a newly mined honest block."""
+
+    @abc.abstractmethod
+    def mining_parent(self, public_tree: BlockTree, round_index: int) -> int:
+        """The block id the adversary's miners extend this round."""
+
+    @abc.abstractmethod
+    def register_adversary_block(self, block: Block, round_index: int) -> None:
+        """Called for each adversarial block mined this round."""
+
+    @abc.abstractmethod
+    def blocks_to_release(self, public_tree: BlockTree, round_index: int) -> List[Block]:
+        """Privately held blocks to publish at the end of this round."""
+
+    def describe(self) -> str:
+        """Human-readable strategy name (used in experiment tables)."""
+        return type(self).__name__
+
+
+class PassiveAdversary(AdversaryStrategy):
+    """Mines on the public longest chain and publishes everything immediately."""
+
+    def __init__(self, delta: int, honest_delay: int = 0):
+        super().__init__(delta)
+        if not (0 <= honest_delay <= delta):
+            raise SimulationError(
+                f"honest_delay must lie in [0, {delta}], got {honest_delay!r}"
+            )
+        self.honest_delay = honest_delay
+        self._fresh_blocks: List[Block] = []
+
+    def delay_for_honest_block(self, block: Block, round_index: int) -> int:
+        return self.honest_delay
+
+    def mining_parent(self, public_tree: BlockTree, round_index: int) -> int:
+        return public_tree.best_tip
+
+    def register_adversary_block(self, block: Block, round_index: int) -> None:
+        self._fresh_blocks.append(block)
+
+    def blocks_to_release(self, public_tree: BlockTree, round_index: int) -> List[Block]:
+        released, self._fresh_blocks = self._fresh_blocks, []
+        return released
+
+
+class MaxDelayAdversary(PassiveAdversary):
+    """Delays every honest block by the full Δ; otherwise behaves like :class:`PassiveAdversary`."""
+
+    def __init__(self, delta: int):
+        super().__init__(delta, honest_delay=delta)
+
+
+@dataclass
+class _PrivateChainState:
+    """Book-keeping for the withholding attack."""
+
+    fork_point: Optional[int] = None
+    private_tip: Optional[int] = None
+    private_height: int = 0
+    withheld: List[Block] = field(default_factory=list)
+    releases: int = 0
+    deepest_fork: int = 0
+
+
+class PrivateChainAdversary(AdversaryStrategy):
+    """Withholding attack in the spirit of PSS Remark 8.5.
+
+    The adversary forks from the public best tip the first time it mines,
+    extends its private chain in secret, and delays all honest blocks by Δ.
+    It publishes the private chain only when doing so violates T-consistency
+    for ``T = target_depth``: the private chain must be strictly longer than
+    the public chain *and* the public chain must have grown by at least
+    ``target_depth`` blocks above the fork point, so the release displaces a
+    suffix that deep.  If the adversary falls hopelessly behind
+    (``give_up_deficit`` blocks below the public chain) it abandons the fork
+    and restarts from the current public tip.
+
+    Parameters
+    ----------
+    delta:
+        The network delay cap Δ.
+    target_depth:
+        Minimum depth of the public suffix a release must displace (the ``T``
+        whose consistency the attack aims to break).
+    give_up_deficit:
+        Abandon the private fork once it falls this many blocks behind the
+        public chain.  ``None`` never gives up.
+    """
+
+    def __init__(
+        self,
+        delta: int,
+        target_depth: int = 6,
+        give_up_deficit: Optional[int] = 12,
+    ):
+        super().__init__(delta)
+        if target_depth < 1:
+            raise SimulationError(f"target_depth must be >= 1, got {target_depth!r}")
+        if give_up_deficit is not None and give_up_deficit < 1:
+            raise SimulationError(
+                f"give_up_deficit must be >= 1 or None, got {give_up_deficit!r}"
+            )
+        self.target_depth = target_depth
+        self.give_up_deficit = give_up_deficit
+        self._state = _PrivateChainState()
+
+    # ------------------------------------------------------------------
+    # Strategy hooks
+    # ------------------------------------------------------------------
+    def delay_for_honest_block(self, block: Block, round_index: int) -> int:
+        return self.delta
+
+    def mining_parent(self, public_tree: BlockTree, round_index: int) -> int:
+        state = self._state
+        if state.private_tip is not None:
+            return state.private_tip
+        # No private chain yet: fork from the current public best tip.
+        return public_tree.best_tip
+
+    def register_adversary_block(self, block: Block, round_index: int) -> None:
+        state = self._state
+        if state.private_tip is None:
+            state.fork_point = block.parent_id
+        state.private_tip = block.block_id
+        state.private_height = block.height
+        state.withheld.append(block)
+
+    def blocks_to_release(self, public_tree: BlockTree, round_index: int) -> List[Block]:
+        state = self._state
+        if not state.withheld:
+            return []
+        public_height = public_tree.height
+        # Abandon a hopeless fork and restart from the public tip next round.
+        if (
+            self.give_up_deficit is not None
+            and public_height - state.private_height >= self.give_up_deficit
+        ):
+            state.withheld = []
+            state.private_tip = None
+            state.fork_point = None
+            state.private_height = 0
+            return []
+        if state.private_height <= public_height:
+            return []
+        fork_depth = public_height
+        if state.fork_point is not None and state.fork_point in public_tree:
+            fork_depth = public_height - public_tree.get(state.fork_point).height
+        if fork_depth < self.target_depth:
+            # Not deep enough yet to violate T-consistency for the target T;
+            # keep withholding while ahead.
+            return []
+        # Release the whole private chain; record how deep the displaced
+        # public suffix is (number of public blocks above the fork point).
+        state.deepest_fork = max(state.deepest_fork, fork_depth)
+        released, state.withheld = state.withheld, []
+        state.releases += 1
+        # Start a fresh fork the next time the adversary mines.
+        state.private_tip = None
+        state.fork_point = None
+        state.private_height = 0
+        return released
+
+    # ------------------------------------------------------------------
+    # Attack statistics
+    # ------------------------------------------------------------------
+    @property
+    def releases(self) -> int:
+        """Number of private-chain releases so far."""
+        return self._state.releases
+
+    @property
+    def deepest_fork(self) -> int:
+        """Deepest public suffix displaced by a release (a consistency-violation depth)."""
+        return self._state.deepest_fork
+
+    @property
+    def withheld_count(self) -> int:
+        """Number of blocks currently withheld."""
+        return len(self._state.withheld)
+
+    @property
+    def private_height(self) -> int:
+        """Height of the current private tip (0 when no private chain exists)."""
+        return self._state.private_height
+
+
+class SelfishMiningAdversary(AdversaryStrategy):
+    """Selfish mining (Eyal-Sirer style), adapted to the round/Δ-delay model.
+
+    The adversary mines a private chain from the public tip and releases just
+    enough of it, just in time, to orphan freshly mined honest blocks:
+
+    * while its private lead over the public chain is at least 2, it keeps
+      everything withheld;
+    * when the public chain catches up to within 1 block of the private tip,
+      it releases the whole private chain, winning the race because honest
+      blocks are additionally delayed by Δ rounds;
+    * if the public chain overtakes the private one, it abandons the fork and
+      restarts from the public tip.
+
+    Unlike :class:`PrivateChainAdversary` this strategy does not aim to break
+    T-consistency for large T — its releases displace only a shallow suffix —
+    but it degrades *chain quality*: the fraction of honest blocks in the
+    chain drops below the honest mining share.  It exists to exercise the
+    chain-quality metric and the ``repro.core.chain_properties`` estimates.
+    """
+
+    def __init__(self, delta: int):
+        super().__init__(delta)
+        self._state = _PrivateChainState()
+        self._orphaned_honest = 0
+
+    # ------------------------------------------------------------------
+    # Strategy hooks
+    # ------------------------------------------------------------------
+    def delay_for_honest_block(self, block: Block, round_index: int) -> int:
+        return self.delta
+
+    def mining_parent(self, public_tree: BlockTree, round_index: int) -> int:
+        state = self._state
+        if state.private_tip is not None:
+            return state.private_tip
+        return public_tree.best_tip
+
+    def register_adversary_block(self, block: Block, round_index: int) -> None:
+        state = self._state
+        if state.private_tip is None:
+            state.fork_point = block.parent_id
+        state.private_tip = block.block_id
+        state.private_height = block.height
+        state.withheld.append(block)
+
+    def blocks_to_release(self, public_tree: BlockTree, round_index: int) -> List[Block]:
+        state = self._state
+        if not state.withheld:
+            return []
+        public_height = public_tree.height
+        lead = state.private_height - public_height
+        if lead >= 2:
+            # Comfortable lead: keep mining in secret.
+            return []
+        if lead <= -1:
+            # Overtaken: abandon the fork and restart from the public tip.
+            state.withheld = []
+            state.private_tip = None
+            state.fork_point = None
+            state.private_height = 0
+            return []
+        # Lead of 0 or 1: publish everything and claim the race.  Count the
+        # honest blocks above the fork point that this release orphans.
+        if state.fork_point is not None and state.fork_point in public_tree:
+            fork_height = public_tree.get(state.fork_point).height
+            orphaned = max(public_height - fork_height, 0)
+            self._orphaned_honest += orphaned
+            state.deepest_fork = max(state.deepest_fork, orphaned)
+        released, state.withheld = state.withheld, []
+        state.releases += 1
+        state.private_tip = None
+        state.fork_point = None
+        state.private_height = 0
+        return released
+
+    # ------------------------------------------------------------------
+    # Attack statistics
+    # ------------------------------------------------------------------
+    @property
+    def releases(self) -> int:
+        """Number of private-chain releases so far."""
+        return self._state.releases
+
+    @property
+    def deepest_fork(self) -> int:
+        """Deepest public suffix displaced by a release."""
+        return self._state.deepest_fork
+
+    @property
+    def orphaned_honest_blocks(self) -> int:
+        """Total number of honest blocks orphaned by the strategy's releases."""
+        return self._orphaned_honest
+
+    @property
+    def private_height(self) -> int:
+        """Height of the current private tip (0 when no private chain exists)."""
+        return self._state.private_height
+
+    @property
+    def withheld_count(self) -> int:
+        """Number of blocks currently withheld."""
+        return len(self._state.withheld)

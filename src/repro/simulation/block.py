@@ -1,0 +1,80 @@
+"""Blocks: the abstract records of the paper's model (Section III).
+
+A block is "an abstract record containing a message".  For the purposes of the
+consistency analysis only the chain structure matters, so a block here carries
+its identity, its parent, its height, the round it was mined in, the id of the
+miner that produced it and whether that miner was honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SimulationError
+
+__all__ = ["Block", "GENESIS_ID", "genesis_block"]
+
+GENESIS_ID = 0
+"""Block id reserved for the genesis block."""
+
+
+@dataclass(frozen=True, order=True)
+class Block:
+    """One block of the chain.
+
+    Attributes
+    ----------
+    block_id:
+        Globally unique integer identifier (0 is reserved for genesis).
+    parent_id:
+        Identifier of the parent block (``None`` only for genesis).
+    height:
+        Distance from genesis (genesis has height 0).
+    round_mined:
+        The round in which the proof of work succeeded.
+    miner_id:
+        Identifier of the miner that produced the block (-1 for genesis).
+    honest:
+        Whether the producing miner was honest at the time of mining.
+    """
+
+    block_id: int
+    parent_id: Optional[int]
+    height: int
+    round_mined: int
+    miner_id: int
+    honest: bool
+
+    def __post_init__(self) -> None:
+        if self.block_id < 0:
+            raise SimulationError(f"block_id must be non-negative, got {self.block_id!r}")
+        if self.height < 0:
+            raise SimulationError(f"height must be non-negative, got {self.height!r}")
+        if self.block_id == GENESIS_ID:
+            if self.parent_id is not None or self.height != 0:
+                raise SimulationError("genesis must have no parent and height 0")
+        else:
+            if self.parent_id is None:
+                raise SimulationError("non-genesis blocks must have a parent")
+            if self.parent_id == self.block_id:
+                raise SimulationError("a block cannot be its own parent")
+            if self.height < 1:
+                raise SimulationError("non-genesis blocks must have height >= 1")
+
+    @property
+    def is_genesis(self) -> bool:
+        """Whether this is the genesis block."""
+        return self.block_id == GENESIS_ID
+
+
+def genesis_block() -> Block:
+    """The canonical genesis block shared by every simulation."""
+    return Block(
+        block_id=GENESIS_ID,
+        parent_id=None,
+        height=0,
+        round_mined=0,
+        miner_id=-1,
+        honest=True,
+    )

@@ -1,0 +1,180 @@
+"""Block trees and chains.
+
+Every miner in the model keeps a *view* of the set of blocks it has received;
+the view forms a tree rooted at genesis, and the protocol rule is to extend
+the longest chain in the view.  This module implements the tree, the
+longest-chain selection (with a deterministic tie-break so simulations are
+reproducible) and the prefix operations that the consistency definition
+(Definition 1) is phrased in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from .block import GENESIS_ID, Block, genesis_block
+
+__all__ = ["BlockTree", "common_prefix_length", "is_prefix_up_to"]
+
+
+class BlockTree:
+    """A tree of blocks rooted at genesis.
+
+    The tree is append-only: blocks are added with :meth:`add` and must
+    reference a parent already present.  Chains are returned root-first as
+    lists of block ids.
+
+    Examples
+    --------
+    >>> tree = BlockTree()
+    >>> block = Block(block_id=1, parent_id=0, height=1, round_mined=3, miner_id=7, honest=True)
+    >>> tree.add(block)
+    >>> tree.longest_chain()
+    [0, 1]
+    """
+
+    def __init__(self) -> None:
+        root = genesis_block()
+        self._blocks: Dict[int, Block] = {root.block_id: root}
+        self._children: Dict[int, List[int]] = {root.block_id: []}
+        self._best_tip: int = root.block_id
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, block: Block) -> None:
+        """Add a block whose parent is already in the tree.
+
+        Adding a block that is already present is a no-op (re-delivery of a
+        message is harmless); adding a *different* block under an existing id
+        is an error.
+        """
+        existing = self._blocks.get(block.block_id)
+        if existing is not None:
+            if existing != block:
+                raise SimulationError(
+                    f"conflicting block for id {block.block_id}: {existing} vs {block}"
+                )
+            return
+        if block.parent_id not in self._blocks:
+            raise SimulationError(
+                f"parent {block.parent_id} of block {block.block_id} is not in the tree"
+            )
+        parent = self._blocks[block.parent_id]
+        if block.height != parent.height + 1:
+            raise SimulationError(
+                f"block {block.block_id} has height {block.height}, expected "
+                f"{parent.height + 1} (parent height + 1)"
+            )
+        self._blocks[block.block_id] = block
+        self._children[block.block_id] = []
+        self._children[block.parent_id].append(block.block_id)
+        # Longest-chain rule with a deterministic tie-break: prefer the chain
+        # whose tip has the smallest id among equal heights (i.e. keep the
+        # earlier-adopted chain, matching "accept the first longest chain").
+        best = self._blocks[self._best_tip]
+        if block.height > best.height:
+            self._best_tip = block.block_id
+
+    def add_all(self, blocks: Iterable[Block]) -> None:
+        """Add several blocks; parents must precede children in the iterable."""
+        for block in blocks:
+            self.add(block)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, block_id: int) -> Block:
+        """Return the block with the given id."""
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise SimulationError(f"unknown block id {block_id}") from None
+
+    def block_ids(self) -> List[int]:
+        """All block ids currently in the tree."""
+        return list(self._blocks)
+
+    def children_of(self, block_id: int) -> List[int]:
+        """Ids of the direct children of a block."""
+        if block_id not in self._blocks:
+            raise SimulationError(f"unknown block id {block_id}")
+        return list(self._children[block_id])
+
+    @property
+    def best_tip(self) -> int:
+        """Id of the tip of the currently selected longest chain."""
+        return self._best_tip
+
+    @property
+    def height(self) -> int:
+        """Height of the longest chain (genesis contributes height 0)."""
+        return self._blocks[self._best_tip].height
+
+    def chain_to(self, block_id: int) -> List[int]:
+        """The chain from genesis to ``block_id`` (inclusive), root-first."""
+        chain: List[int] = []
+        current: Optional[int] = block_id
+        while current is not None:
+            block = self.get(current)
+            chain.append(block.block_id)
+            current = block.parent_id
+        chain.reverse()
+        if chain[0] != GENESIS_ID:
+            raise SimulationError("chain does not reach genesis")  # pragma: no cover
+        return chain
+
+    def longest_chain(self) -> List[int]:
+        """The currently selected longest chain, root-first (ids)."""
+        return self.chain_to(self._best_tip)
+
+    def tips(self) -> List[int]:
+        """All leaf block ids (blocks with no children)."""
+        return [block_id for block_id, children in self._children.items() if not children]
+
+    def honest_blocks(self) -> List[Block]:
+        """All blocks mined by honest miners (genesis included)."""
+        return [block for block in self._blocks.values() if block.honest]
+
+    def adversarial_blocks(self) -> List[Block]:
+        """All blocks mined by corrupted miners."""
+        return [block for block in self._blocks.values() if not block.honest]
+
+    def copy(self) -> "BlockTree":
+        """A shallow copy of the tree (blocks are immutable, so this is safe)."""
+        clone = BlockTree.__new__(BlockTree)
+        clone._blocks = dict(self._blocks)
+        clone._children = {key: list(value) for key, value in self._children.items()}
+        clone._best_tip = self._best_tip
+        return clone
+
+
+def common_prefix_length(first: Sequence[int], second: Sequence[int]) -> int:
+    """Length of the longest common prefix of two root-first chains."""
+    length = 0
+    for left, right in zip(first, second):
+        if left != right:
+            break
+        length += 1
+    return length
+
+
+def is_prefix_up_to(
+    earlier: Sequence[int], later: Sequence[int], confirmations: int
+) -> bool:
+    """The consistency predicate of Definition 1 for one pair of chains.
+
+    ``True`` when all but the last ``confirmations`` blocks of ``earlier`` form
+    a prefix of ``later``.
+    """
+    if confirmations < 0:
+        raise SimulationError("confirmations must be non-negative")
+    stable = list(earlier[: max(len(earlier) - confirmations, 0)])
+    return list(later[: len(stable)]) == stable

@@ -1,0 +1,109 @@
+"""Chain metrics: consistency, chain growth and chain quality.
+
+The three properties reviewed in Section II of the paper are measured here
+over the chain snapshots recorded by the simulator:
+
+* **consistency** (Definition 1): for any two observation rounds ``r < s``,
+  all but the last ``T`` blocks of the chain at ``r`` must be a prefix of the
+  chain at ``s``.  We report the smallest ``T`` that would have been violated,
+  i.e. the maximum depth by which an already-buried block was later displaced.
+* **chain growth**: blocks added per round.
+* **chain quality**: fraction of honest blocks in the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import SimulationError
+from .block import Block
+from .blocktree import BlockTree, common_prefix_length
+
+__all__ = [
+    "ConsistencyReport",
+    "consistency_violation_depth",
+    "consistency_report",
+    "chain_growth_rate",
+    "chain_quality",
+]
+
+
+@dataclass(frozen=True)
+class ConsistencyReport:
+    """Summary of the consistency check over a sequence of chain snapshots.
+
+    Attributes
+    ----------
+    max_violation_depth:
+        The largest number of trailing blocks of an *earlier* snapshot that
+        failed to be a prefix of a *later* snapshot.  Consistency with
+        parameter ``T`` holds for the run iff ``max_violation_depth <= T``.
+    violating_pair:
+        The (earlier_index, later_index) snapshot pair achieving the maximum,
+        or ``None`` when the depth is 0.
+    snapshots_compared:
+        Number of ordered snapshot pairs examined.
+    """
+
+    max_violation_depth: int
+    violating_pair: tuple
+    snapshots_compared: int
+
+    def is_consistent(self, confirmations: int) -> bool:
+        """Whether T-consistency holds for ``T = confirmations``."""
+        return self.max_violation_depth <= confirmations
+
+
+def consistency_violation_depth(
+    earlier: Sequence[int], later: Sequence[int]
+) -> int:
+    """Depth by which ``earlier`` is *not* a prefix of ``later``.
+
+    Returns 0 when ``earlier`` is a full prefix of ``later``; otherwise the
+    number of trailing blocks of ``earlier`` below the divergence point —
+    exactly the smallest ``T`` for which the Definition 1 predicate would
+    still hold for this pair.
+    """
+    prefix = common_prefix_length(earlier, later)
+    return max(len(earlier) - prefix, 0)
+
+
+def consistency_report(snapshots: Sequence[Sequence[int]]) -> ConsistencyReport:
+    """Check Definition 1 over every ordered pair of chain snapshots.
+
+    ``snapshots`` is a sequence of root-first chains (block-id lists) taken at
+    increasing rounds; the report gives the worst violation depth across all
+    ordered pairs (including the future-self-consistency pairs ``r < s`` for
+    the same observer, which is how the simulator records them).
+    """
+    if len(snapshots) < 2:
+        return ConsistencyReport(0, (), 0)
+    worst = 0
+    worst_pair: tuple = ()
+    compared = 0
+    for earlier_index in range(len(snapshots) - 1):
+        earlier = snapshots[earlier_index]
+        for later_index in range(earlier_index + 1, len(snapshots)):
+            depth = consistency_violation_depth(earlier, snapshots[later_index])
+            compared += 1
+            if depth > worst:
+                worst = depth
+                worst_pair = (earlier_index, later_index)
+    return ConsistencyReport(worst, worst_pair, compared)
+
+
+def chain_growth_rate(chain: Sequence[int], rounds: int) -> float:
+    """Blocks per round added to the chain (genesis excluded)."""
+    if rounds <= 0:
+        raise SimulationError("rounds must be positive")
+    return max(len(chain) - 1, 0) / rounds
+
+
+def chain_quality(tree: BlockTree, chain: Sequence[int]) -> float:
+    """Fraction of honest blocks among the non-genesis blocks of ``chain``."""
+    blocks = [tree.get(block_id) for block_id in chain if block_id != 0]
+    if not blocks:
+        return 1.0
+    honest = sum(1 for block in blocks if block.honest)
+    return honest / len(blocks)

@@ -1,0 +1,99 @@
+"""Honest miner views.
+
+All honest miners run the same longest-chain rule, so their behaviour differs
+only through their *views*: the set of blocks they have received so far.  In
+the Δ-delay model a block broadcast at round ``r`` is guaranteed to be in every
+honest view by round ``r + Δ``, but the miner that produced a block knows it
+immediately.
+
+The simulator keeps one shared :class:`HonestPopulation` rather than ``mu n``
+individual miner objects: the population tracks the public view (blocks every
+honest miner has received) plus the per-creator knowledge of not-yet-delivered
+own blocks.  This is behaviourally equivalent to individual miners under the
+model's symmetry (identical computing power, identical rule) and keeps
+simulations with ``n = 1e5`` miners cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .block import Block
+from .blocktree import BlockTree
+
+__all__ = ["HonestPopulation"]
+
+
+class HonestPopulation:
+    """The honest miners' shared view plus per-creator private knowledge.
+
+    Parameters
+    ----------
+    count:
+        Number of honest miners (``mu * n`` rounded to an integer).
+    """
+
+    def __init__(self, count: int):
+        if count < 1:
+            raise SimulationError(f"honest miner count must be >= 1, got {count!r}")
+        self.count = int(count)
+        self.public_view = BlockTree()
+        # Blocks mined by an honest miner but not yet delivered to everyone,
+        # keyed by the creator's miner id.  The creator mines on top of its own
+        # latest undelivered block, everyone else on the public best tip.
+        self._own_undelivered: Dict[int, List[Block]] = {}
+
+    # ------------------------------------------------------------------
+    # View updates
+    # ------------------------------------------------------------------
+    def deliver(self, blocks: List[Block]) -> None:
+        """Incorporate blocks that the network has delivered to every honest miner."""
+        for block in sorted(blocks, key=lambda item: (item.height, item.block_id)):
+            self.public_view.add(block)
+            if block.honest and block.miner_id in self._own_undelivered:
+                pending = self._own_undelivered[block.miner_id]
+                self._own_undelivered[block.miner_id] = [
+                    item for item in pending if item.block_id != block.block_id
+                ]
+                if not self._own_undelivered[block.miner_id]:
+                    del self._own_undelivered[block.miner_id]
+
+    def record_own_block(self, block: Block) -> None:
+        """Record that a creator knows its own freshly mined block immediately."""
+        if not block.honest:
+            raise SimulationError("record_own_block expects an honest block")
+        self._own_undelivered.setdefault(block.miner_id, []).append(block)
+
+    # ------------------------------------------------------------------
+    # Mining decisions
+    # ------------------------------------------------------------------
+    def mining_parent_for(self, miner_id: int) -> Tuple[int, int]:
+        """The ``(parent_id, parent_height)`` miner ``miner_id`` extends this round.
+
+        The creator of undelivered blocks extends its own latest block when
+        that private knowledge is at least as high as the public best tip;
+        otherwise everyone extends the public best tip.
+        """
+        public_tip = self.public_view.best_tip
+        public_height = self.public_view.height
+        own = self._own_undelivered.get(miner_id)
+        if own:
+            latest = max(own, key=lambda item: (item.height, item.block_id))
+            if latest.height >= public_height:
+                return latest.block_id, latest.height
+        return public_tip, public_height
+
+    def public_chain(self) -> List[int]:
+        """The longest chain of the public view (root-first block ids)."""
+        return self.public_view.longest_chain()
+
+    @property
+    def public_height(self) -> int:
+        """Height of the public longest chain."""
+        return self.public_view.height
+
+    def undelivered_count(self) -> int:
+        """Number of honest blocks known only to their creators so far."""
+        return sum(len(blocks) for blocks in self._own_undelivered.values())

@@ -1,0 +1,114 @@
+"""The Δ-delay asynchronous network (Section III, adversary capability 1).
+
+The adversary may delay and reorder every message by up to Δ rounds but cannot
+modify or drop it.  In this simulator a "message" is the announcement of a
+block; the network tracks, for each in-flight block, the round at which it
+becomes visible to *all* honest miners, and delivers it at the start of that
+round.
+
+The adversary chooses the delay (per block, up to Δ) through its strategy; the
+network enforces the Δ cap, which is exactly the guarantee the model gives the
+honest parties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from .block import Block
+
+__all__ = ["InFlightMessage", "DeltaDelayNetwork"]
+
+
+@dataclass(frozen=True)
+class InFlightMessage:
+    """A block announcement travelling through the network."""
+
+    block: Block
+    sent_round: int
+    delivery_round: int
+
+
+class DeltaDelayNetwork:
+    """Message scheduling with adversarially chosen delays capped at Δ rounds.
+
+    Parameters
+    ----------
+    delta:
+        The maximum delay Δ the adversary may impose.
+
+    Notes
+    -----
+    A block sent at round ``r`` with delay ``d`` (``0 <= d <= Δ``) becomes part
+    of every honest miner's view at the start of round ``r + d``.  A delay of
+    0 models same-round delivery (the block is known to everyone before the
+    next round's mining); the paper's convergence-opportunity argument only
+    relies on the upper bound Δ, which the network enforces.
+    """
+
+    def __init__(self, delta: int):
+        if delta < 1 or int(delta) != delta:
+            raise SimulationError(f"delta must be a positive integer, got {delta!r}")
+        self.delta = int(delta)
+        self._queue: Dict[int, List[InFlightMessage]] = {}
+        self._sent_count = 0
+        self._delivered_count = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def broadcast(self, block: Block, sent_round: int, delay: int) -> InFlightMessage:
+        """Send a block announcement with an adversary-chosen delay.
+
+        Raises :class:`SimulationError` if the delay is negative or exceeds Δ
+        (the adversary cannot delay beyond the model's cap).
+        """
+        if sent_round < 0:
+            raise SimulationError("sent_round must be non-negative")
+        if not (0 <= delay <= self.delta):
+            raise SimulationError(
+                f"delay must lie in [0, {self.delta}], got {delay!r}"
+            )
+        message = InFlightMessage(
+            block=block, sent_round=sent_round, delivery_round=sent_round + delay
+        )
+        self._queue.setdefault(message.delivery_round, []).append(message)
+        self._sent_count += 1
+        return message
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def deliver(self, current_round: int) -> List[Block]:
+        """Blocks that become visible to all honest miners at ``current_round``.
+
+        Delivery is in (sent_round, block_id) order within the round, which
+        keeps runs reproducible regardless of insertion order.
+        """
+        messages = self._queue.pop(current_round, [])
+        messages.sort(key=lambda message: (message.sent_round, message.block.block_id))
+        self._delivered_count += len(messages)
+        return [message.block for message in messages]
+
+    def pending(self) -> List[InFlightMessage]:
+        """All messages still in flight, ordered by delivery round."""
+        in_flight: List[InFlightMessage] = []
+        for delivery_round in sorted(self._queue):
+            in_flight.extend(self._queue[delivery_round])
+        return in_flight
+
+    def pending_count(self) -> int:
+        """Number of messages still in flight."""
+        return sum(len(messages) for messages in self._queue.values())
+
+    @property
+    def sent_count(self) -> int:
+        """Total number of broadcasts so far."""
+        return self._sent_count
+
+    @property
+    def delivered_count(self) -> int:
+        """Total number of deliveries so far."""
+        return self._delivered_count

@@ -1,0 +1,101 @@
+"""The random-oracle mining model of Section III.
+
+Mining is abstracted as queries to a random function ``H``: each honest miner
+makes exactly one query per round and succeeds independently with probability
+``p``; the adversary controlling ``q`` corrupted miners makes ``q`` sequential
+queries.  Verification queries are free, so only the success draws matter for
+the analysis and for this simulator.
+
+The oracle is the single source of randomness for mining, which keeps the
+simulation reproducible: one :class:`numpy.random.Generator` drives all draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["MiningOracle"]
+
+
+class MiningOracle:
+    """Per-round proof-of-work draws for honest miners and the adversary.
+
+    Parameters
+    ----------
+    hardness:
+        The per-query success probability ``p``.
+    rng:
+        Random generator driving all draws.
+    """
+
+    def __init__(self, hardness: float, rng: np.random.Generator):
+        if not (0.0 < hardness < 1.0):
+            raise SimulationError(f"hardness must lie in (0, 1), got {hardness!r}")
+        self.hardness = hardness
+        self._rng = rng
+        self._honest_queries = 0
+        self._adversary_queries = 0
+
+    # ------------------------------------------------------------------
+    # Draws
+    # ------------------------------------------------------------------
+    def honest_successes(self, miner_count: int) -> int:
+        """Number of honest miners whose single query succeeds this round.
+
+        Honest queries are parallel: the per-round count is a single
+        ``Binomial(miner_count, p)`` draw (Eq. 41 of the paper).
+        """
+        if miner_count < 0:
+            raise SimulationError("miner_count must be non-negative")
+        self._honest_queries += miner_count
+        if miner_count == 0:
+            return 0
+        return int(self._rng.binomial(miner_count, self.hardness))
+
+    def adversary_successes(self, miner_count: int) -> int:
+        """Number of successful adversarial queries this round.
+
+        The adversary's queries are sequential, but each is an independent
+        Bernoulli(p), so the per-round count is likewise binomial; the
+        *ordering* freedom only matters for how the adversary uses the blocks,
+        which is the strategy's concern, not the oracle's.
+        """
+        if miner_count < 0:
+            raise SimulationError("miner_count must be non-negative")
+        self._adversary_queries += miner_count
+        if miner_count == 0:
+            return 0
+        return int(self._rng.binomial(miner_count, self.hardness))
+
+    def honest_success_positions(self, miner_count: int) -> List[int]:
+        """Indices of the honest miners that succeed this round.
+
+        Used when block attribution to specific miner ids matters (e.g. for
+        chain-quality accounting); equivalent in distribution to
+        :meth:`honest_successes`.
+        """
+        if miner_count < 0:
+            raise SimulationError("miner_count must be non-negative")
+        self._honest_queries += miner_count
+        if miner_count == 0:
+            return []
+        draws = self._rng.random(miner_count) < self.hardness
+        return [int(index) for index in np.nonzero(draws)[0]]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def honest_queries(self) -> int:
+        """Total honest oracle queries made so far."""
+        return self._honest_queries
+
+    @property
+    def adversary_queries(self) -> int:
+        """Total adversarial oracle queries made so far."""
+        return self._adversary_queries

@@ -1,0 +1,287 @@
+"""The round-based execution of Nakamoto's protocol in the Δ-delay model.
+
+This is the simulator substrate: it executes the model of Section III of the
+paper round by round —
+
+1. honest miners receive the blocks whose (adversarially chosen, Δ-capped)
+   delays have expired and update their views;
+2. each honest miner makes one oracle query; successful miners create a block
+   extending the longest chain in their view and broadcast it, with the
+   adversary choosing the delay;
+3. the adversary's corrupted miners make their queries sequentially, extending
+   whatever block the adversary's strategy chooses, and the strategy decides
+   which privately held blocks to publish;
+4. the per-round events (honest/adversarial block counts, chain heights) are
+   recorded and convergence opportunities are detected online.
+
+The result object bundles everything the analysis layer needs: per-round
+traces, convergence-opportunity and adversarial-block counts (the two sides of
+Lemma 1), periodic chain snapshots for the Definition 1 consistency check, and
+chain-growth / chain-quality metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..params import ProtocolParameters
+from .adversary import AdversaryStrategy, PassiveAdversary, PrivateChainAdversary
+from .block import Block
+from .blocktree import BlockTree
+from .events import ConvergenceOpportunityDetector, RoundRecord
+from .metrics import (
+    ConsistencyReport,
+    chain_growth_rate,
+    chain_quality,
+    consistency_report,
+)
+from .miners import HonestPopulation
+from .network import DeltaDelayNetwork
+from .oracle import MiningOracle
+
+__all__ = ["SimulationResult", "NakamotoSimulation"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by one simulation run."""
+
+    params: ProtocolParameters
+    rounds: int
+    adversary_name: str
+    honest_blocks_per_round: np.ndarray
+    adversary_blocks_per_round: np.ndarray
+    records: List[RoundRecord]
+    convergence_opportunities: int
+    total_honest_blocks: int
+    total_adversary_blocks: int
+    chain_snapshots: List[List[int]]
+    snapshot_rounds: List[int]
+    final_chain: List[int]
+    final_height: int
+    consistency: ConsistencyReport
+    growth_rate: float
+    quality: float
+    adversary_releases: int = 0
+    adversary_deepest_fork: int = 0
+
+    # ------------------------------------------------------------------
+    # Theory-vs-simulation conveniences
+    # ------------------------------------------------------------------
+    @property
+    def empirical_convergence_rate(self) -> float:
+        """Convergence opportunities per round (compare to Eq. 44)."""
+        return self.convergence_opportunities / self.rounds
+
+    @property
+    def empirical_adversary_rate(self) -> float:
+        """Adversarial blocks per round (compare to ``p nu n``, Eq. 27)."""
+        return self.total_adversary_blocks / self.rounds
+
+    @property
+    def convergence_exceeds_adversary(self) -> bool:
+        """The Lemma 1 event: more convergence opportunities than adversarial blocks."""
+        return self.convergence_opportunities > self.total_adversary_blocks
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary of the headline numbers (for tables)."""
+        return {
+            "rounds": self.rounds,
+            "c": self.params.c,
+            "nu": self.params.nu,
+            "delta": self.params.delta,
+            "convergence_opportunities": self.convergence_opportunities,
+            "adversary_blocks": self.total_adversary_blocks,
+            "empirical_convergence_rate": self.empirical_convergence_rate,
+            "theoretical_convergence_rate": self.params.convergence_opportunity_probability,
+            "empirical_adversary_rate": self.empirical_adversary_rate,
+            "theoretical_adversary_rate": self.params.beta,
+            "max_violation_depth": self.consistency.max_violation_depth,
+            "growth_rate": self.growth_rate,
+            "chain_quality": self.quality,
+        }
+
+
+class NakamotoSimulation:
+    """Round-based simulation of Nakamoto's protocol under a chosen adversary.
+
+    Parameters
+    ----------
+    params:
+        Protocol parameters (``p``, ``n``, ``Δ``, ``nu``).
+    adversary:
+        The adversary strategy; defaults to :class:`PassiveAdversary`.
+    rng:
+        Random generator; defaults to a fresh seeded generator.
+    snapshot_interval:
+        Record the public longest chain every this many rounds for the
+        consistency check (Definition 1 compares chains at different rounds).
+
+    Examples
+    --------
+    >>> from repro.params import parameters_from_c
+    >>> params = parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
+    >>> result = NakamotoSimulation(params, rng=np.random.default_rng(0)).run(2_000)
+    >>> result.convergence_opportunities > 0
+    True
+    """
+
+    def __init__(
+        self,
+        params: ProtocolParameters,
+        adversary: Optional[AdversaryStrategy] = None,
+        rng: Optional[np.random.Generator] = None,
+        snapshot_interval: int = 100,
+    ):
+        if snapshot_interval < 1:
+            raise SimulationError("snapshot_interval must be >= 1")
+        self.params = params
+        self.adversary = adversary or PassiveAdversary(params.delta)
+        if self.adversary.delta != params.delta:
+            raise SimulationError(
+                f"adversary delta ({self.adversary.delta}) must match params.delta "
+                f"({params.delta})"
+            )
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.snapshot_interval = snapshot_interval
+        self.honest_count = max(int(round(params.honest_count)), 1)
+        self.adversary_count = int(round(params.adversary_count))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, rounds: int) -> SimulationResult:
+        """Execute ``rounds`` rounds and return the bundled result."""
+        if rounds <= 0:
+            raise SimulationError("rounds must be positive")
+
+        oracle = MiningOracle(self.params.p, self.rng)
+        network = DeltaDelayNetwork(self.params.delta)
+        population = HonestPopulation(self.honest_count)
+        detector = ConvergenceOpportunityDetector(self.params.delta)
+        # The global tree tracks every block ever mined (public, in flight or
+        # withheld); it supplies heights for new blocks and final statistics.
+        global_tree = BlockTree()
+
+        honest_counts = np.zeros(rounds, dtype=np.int64)
+        adversary_counts = np.zeros(rounds, dtype=np.int64)
+        records: List[RoundRecord] = []
+        snapshots: List[List[int]] = []
+        snapshot_rounds: List[int] = []
+        next_block_id = 1
+
+        for round_index in range(1, rounds + 1):
+            # 1. Deliveries: blocks whose delay expired reach every honest view.
+            delivered = network.deliver(round_index)
+            population.deliver(delivered)
+
+            # 2. Honest mining: one parallel query per honest miner.
+            honest_successes = oracle.honest_successes(self.honest_count)
+            honest_counts[round_index - 1] = honest_successes
+            if honest_successes > 0:
+                miner_ids = self.rng.choice(
+                    self.honest_count, size=honest_successes, replace=False
+                )
+                for miner_id in sorted(int(item) for item in miner_ids):
+                    parent_id, parent_height = population.mining_parent_for(miner_id)
+                    block = Block(
+                        block_id=next_block_id,
+                        parent_id=parent_id,
+                        height=parent_height + 1,
+                        round_mined=round_index,
+                        miner_id=miner_id,
+                        honest=True,
+                    )
+                    next_block_id += 1
+                    global_tree.add(block)
+                    population.record_own_block(block)
+                    delay = self.adversary.delay_for_honest_block(block, round_index)
+                    network.broadcast(block, round_index, delay)
+
+            # 3. Adversarial mining: sequential queries extending the strategy's
+            #    chosen parent (each success extends the previous one).
+            adversary_successes = oracle.adversary_successes(self.adversary_count)
+            adversary_counts[round_index - 1] = adversary_successes
+            if adversary_successes > 0:
+                parent_id = self.adversary.mining_parent(
+                    population.public_view, round_index
+                )
+                parent_height = global_tree.get(parent_id).height
+                for offset in range(adversary_successes):
+                    block = Block(
+                        block_id=next_block_id,
+                        parent_id=parent_id,
+                        height=parent_height + 1,
+                        round_mined=round_index,
+                        miner_id=self.honest_count + (offset % max(self.adversary_count, 1)),
+                        honest=False,
+                    )
+                    next_block_id += 1
+                    global_tree.add(block)
+                    self.adversary.register_adversary_block(block, round_index)
+                    parent_id, parent_height = block.block_id, block.height
+
+            # 4. Releases: the strategy publishes withheld blocks (delay 0: the
+            #    adversary wants them seen immediately).
+            for block in self.adversary.blocks_to_release(
+                population.public_view, round_index
+            ):
+                network.broadcast(block, round_index, 0)
+            # A zero-delay broadcast is due at this very round, whose delivery
+            # phase already ran; deliver it explicitly so "immediate
+            # publication" takes effect before the next round's mining.
+            population.deliver(network.deliver(round_index))
+
+            # 5. Record the round.
+            detector.observe(int(honest_successes))
+            records.append(
+                RoundRecord(
+                    round_index=round_index,
+                    honest_blocks=int(honest_successes),
+                    adversary_blocks=int(adversary_successes),
+                    public_chain_height=population.public_height,
+                    adversary_private_height=getattr(
+                        self.adversary, "private_height", 0
+                    ),
+                )
+            )
+
+            # 6. Periodic chain snapshots for the consistency check.
+            if round_index % self.snapshot_interval == 0:
+                snapshots.append(population.public_chain())
+                snapshot_rounds.append(round_index)
+
+        # Flush the network: let every in-flight block arrive (up to Δ extra
+        # rounds of deliveries with no mining) so the final chain reflects all
+        # broadcast blocks.
+        for extra_round in range(rounds + 1, rounds + self.params.delta + 1):
+            population.deliver(network.deliver(extra_round))
+        final_chain = population.public_chain()
+        snapshots.append(final_chain)
+        snapshot_rounds.append(rounds)
+
+        report = consistency_report(snapshots)
+        return SimulationResult(
+            params=self.params,
+            rounds=rounds,
+            adversary_name=self.adversary.describe(),
+            honest_blocks_per_round=honest_counts,
+            adversary_blocks_per_round=adversary_counts,
+            records=records,
+            convergence_opportunities=detector.count,
+            total_honest_blocks=int(honest_counts.sum()),
+            total_adversary_blocks=int(adversary_counts.sum()),
+            chain_snapshots=snapshots,
+            snapshot_rounds=snapshot_rounds,
+            final_chain=final_chain,
+            final_height=len(final_chain) - 1,
+            consistency=report,
+            growth_rate=chain_growth_rate(final_chain, rounds),
+            quality=chain_quality(population.public_view, final_chain),
+            adversary_releases=getattr(self.adversary, "releases", 0),
+            adversary_deepest_fork=getattr(self.adversary, "deepest_fork", 0),
+        )

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.params import ProtocolParameters, parameters_from_c
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_params() -> ProtocolParameters:
+    """A small-Delta configuration convenient for exact/simulated comparisons."""
+    return parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
+
+
+@pytest.fixture
+def paper_params() -> ProtocolParameters:
+    """A configuration at the paper's Figure 1 scale (n = 1e5, Delta = 1e13)."""
+    return parameters_from_c(c=10.0, n=100_000, delta=10**13, nu=0.25)
+
+
+@pytest.fixture
+def attack_params() -> ProtocolParameters:
+    """A configuration inside the PSS Remark 8.5 attack region."""
+    return parameters_from_c(c=0.5, n=1_000, delta=3, nu=0.45)

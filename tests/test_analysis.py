@@ -1,0 +1,185 @@
+"""Tests for the analysis harness: figure1, remark1, tables, validation, sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PAPER_SETTINGS,
+    bound_sweep,
+    default_c_grid,
+    figure1_checks,
+    figure1_series,
+    implication_chain_ablation,
+    remark1_row,
+    remark1_table,
+    render_mapping,
+    render_table,
+    security_margin_sweep,
+    simulation_sweep,
+    table_i,
+    validate_consistency_scenario,
+    validate_expectations,
+    validate_suffix_stationary,
+)
+from repro.errors import AnalysisError
+from repro.params import parameters_from_c
+
+
+class TestFigure1:
+    def test_default_grid_spans_paper_range(self):
+        grid = default_c_grid()
+        assert grid[0] == pytest.approx(0.1)
+        assert grid[-1] == pytest.approx(100.0)
+        assert np.all(np.diff(grid) > 0)
+
+    def test_grid_requires_two_points(self):
+        with pytest.raises(AnalysisError):
+            default_c_grid(points=1)
+
+    def test_series_has_all_columns(self):
+        series = figure1_series(c_values=[0.5, 2.0, 10.0])
+        arrays = series.as_arrays()
+        assert set(arrays) == {"c", "nu_max_ours", "nu_max_pss", "nu_min_attack"}
+        assert len(series.points) == 3
+        assert len(series.as_rows()) == 3
+
+    def test_figure1_qualitative_checks_pass(self):
+        """The three facts the paper reads off Figure 1 hold on the regenerated data."""
+        checks = figure1_checks(figure1_series())
+        assert checks["ours_above_pss"]
+        assert checks["ours_below_attack"]
+        assert checks["curves_monotone"]
+
+    def test_specific_values_match_closed_forms(self):
+        from repro.core.bounds import nu_max_neat_bound
+        from repro.core.pss import nu_max_pss_consistency, nu_min_pss_attack
+
+        series = figure1_series(c_values=[5.0])
+        point = series.points[0]
+        assert point.nu_max_ours == pytest.approx(nu_max_neat_bound(5.0))
+        assert point.nu_max_pss == pytest.approx(nu_max_pss_consistency(5.0))
+        assert point.nu_min_attack == pytest.approx(nu_min_pss_attack(5.0))
+
+
+class TestRemark1:
+    def test_paper_first_setting_reproduced(self):
+        row = remark1_row(10**13, 1.0 / 6.0, 1.0 / 2.0)
+        # Paper: 1e-63 <= nu <= 0.5 - 1e-7, slack 1 + 5e-5.
+        assert row.log10_nu_low == pytest.approx(-63.7, abs=1.0)
+        assert row.nu_high_gap == pytest.approx(1e-7, rel=0.5)
+        assert row.slack_excess == pytest.approx(5e-5, rel=0.2)
+
+    def test_paper_second_setting_reproduced(self):
+        row = remark1_row(10**13, 1.0 / 8.0, 2.0 / 3.0)
+        assert row.log10_nu_low == pytest.approx(-18.3, abs=1.0)
+        assert row.nu_high_gap == pytest.approx(1e-9, rel=1.0)
+        assert row.slack_excess == pytest.approx(2e-3, rel=0.1)
+
+    def test_table_defaults_to_paper_settings(self):
+        rows = remark1_table()
+        assert len(rows) == len(PAPER_SETTINGS)
+        assert rows[0].delta1 == pytest.approx(1.0 / 6.0)
+
+    def test_custom_settings(self):
+        rows = remark1_table(delta=10**6, settings=[(0.2, 0.3)])
+        assert len(rows) == 1
+        assert rows[0].slack_factor > 1.0
+
+    def test_as_dict_round_trip(self):
+        row = remark1_row(10**9, 0.2, 0.4)
+        data = row.as_dict()
+        assert data["slack_factor"] == pytest.approx(row.slack_factor)
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_empty_table_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_table([])
+
+    def test_render_mapping(self):
+        text = render_mapping({"alpha": 0.5, "holds": True})
+        assert "alpha" in text
+        assert "yes" in text
+
+    def test_table_i_contains_all_symbols(self, small_params):
+        rows = table_i(small_params)
+        symbols = {row["symbol"] for row in rows}
+        assert symbols == {"p", "n", "Delta", "c", "mu", "nu", "alpha", "alpha_bar", "alpha1"}
+        rendered = render_table(rows)
+        assert "alpha_bar" in rendered
+
+
+class TestValidation:
+    def test_suffix_stationary_agreement(self, small_params, rng):
+        validation = validate_suffix_stationary(small_params, rounds=80_000, rng=rng)
+        assert validation.agrees()
+        assert validation.max_closed_vs_numeric < 1e-9
+
+    def test_expectations_via_iid_sampling(self, small_params, rng):
+        validation = validate_expectations(
+            small_params, rounds=80_000, rng=rng, use_full_simulation=False
+        )
+        assert validation.agrees(tolerance=0.1)
+
+    def test_expectations_via_full_simulation(self, small_params, rng):
+        validation = validate_expectations(
+            small_params, rounds=30_000, rng=rng, use_full_simulation=True
+        )
+        assert validation.agrees(tolerance=0.15)
+
+    def test_consistency_scenario_safe_point(self, rng):
+        params = parameters_from_c(c=6.0, n=1_000, delta=3, nu=0.2)
+        scenario = validate_consistency_scenario(params, rounds=15_000, rng=rng)
+        assert scenario.neat_bound_satisfied
+        assert not scenario.attack_predicted
+        assert scenario.lemma1_event_holds
+
+    def test_consistency_scenario_attack_point(self, attack_params, rng):
+        scenario = validate_consistency_scenario(attack_params, rounds=15_000, rng=rng)
+        assert not scenario.neat_bound_satisfied
+        assert scenario.attack_predicted
+        assert scenario.max_violation_depth >= 6 or not scenario.lemma1_event_holds
+
+    def test_rejects_nonpositive_rounds(self, small_params, rng):
+        with pytest.raises(AnalysisError):
+            validate_suffix_stationary(small_params, rounds=0, rng=rng)
+        with pytest.raises(AnalysisError):
+            validate_expectations(small_params, rounds=0, rng=rng)
+
+
+class TestSweeps:
+    def test_bound_sweep_shape_and_verdicts(self):
+        rows = bound_sweep(c_values=[0.5, 5.0], nu_values=[0.1, 0.4], delta=5, n=10_000)
+        assert len(rows) == 4
+        by_point = {(row["c"], row["nu"]): row for row in rows}
+        assert by_point[(5.0, 0.1)]["consistent_ours"]
+        assert not by_point[(0.5, 0.4)]["consistent_ours"]
+        assert by_point[(0.5, 0.4)]["attack_succeeds"]
+
+    def test_security_margin_sweep_orderings(self):
+        rows = security_margin_sweep(nu_values=[0.1, 0.25, 0.4])
+        for row in rows:
+            assert row["c_attack_below"] < row["c_required_ours"] < row["c_required_pss"]
+            assert row["improvement_factor"] > 1.0
+
+    def test_simulation_sweep_runs_each_scenario(self):
+        scenarios = [{"c": 6.0, "nu": 0.2}, {"c": 0.5, "nu": 0.45}]
+        results = simulation_sweep(scenarios, rounds=5_000, n=500, delta=3, seed=11)
+        assert len(results) == 2
+        assert results[0].neat_bound_satisfied
+        assert not results[1].neat_bound_satisfied
+
+    def test_implication_chain_ablation_monotone(self):
+        rows = implication_chain_ablation(nu_values=[0.2, 0.35], delta=10, n=50_000)
+        for row in rows:
+            steps = [row[key] for key in sorted(row) if key.startswith("step_")]
+            assert steps == sorted(steps)
+            assert row["neat_bound"] <= steps[-1]

@@ -1,0 +1,168 @@
+"""Tests for repro.simulation.block and repro.simulation.blocktree."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    GENESIS_ID,
+    Block,
+    BlockTree,
+    common_prefix_length,
+    genesis_block,
+    is_prefix_up_to,
+)
+
+
+def make_block(block_id, parent_id, height, honest=True, round_mined=1, miner_id=0):
+    return Block(
+        block_id=block_id,
+        parent_id=parent_id,
+        height=height,
+        round_mined=round_mined,
+        miner_id=miner_id,
+        honest=honest,
+    )
+
+
+class TestBlock:
+    def test_genesis(self):
+        genesis = genesis_block()
+        assert genesis.is_genesis
+        assert genesis.parent_id is None
+        assert genesis.height == 0
+
+    def test_non_genesis_requires_parent(self):
+        with pytest.raises(SimulationError):
+            Block(block_id=5, parent_id=None, height=1, round_mined=1, miner_id=0, honest=True)
+
+    def test_block_cannot_be_own_parent(self):
+        with pytest.raises(SimulationError):
+            make_block(3, 3, 1)
+
+    def test_genesis_shape_enforced(self):
+        with pytest.raises(SimulationError):
+            Block(block_id=GENESIS_ID, parent_id=1, height=0, round_mined=0, miner_id=-1, honest=True)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(SimulationError):
+            make_block(-1, 0, 1)
+
+
+class TestBlockTree:
+    def test_initial_state(self):
+        tree = BlockTree()
+        assert len(tree) == 1
+        assert tree.best_tip == GENESIS_ID
+        assert tree.height == 0
+        assert tree.longest_chain() == [GENESIS_ID]
+
+    def test_add_and_extend(self):
+        tree = BlockTree()
+        tree.add(make_block(1, 0, 1))
+        tree.add(make_block(2, 1, 2))
+        assert tree.height == 2
+        assert tree.longest_chain() == [0, 1, 2]
+
+    def test_add_requires_known_parent(self):
+        tree = BlockTree()
+        with pytest.raises(SimulationError):
+            tree.add(make_block(2, 1, 2))
+
+    def test_add_requires_correct_height(self):
+        tree = BlockTree()
+        with pytest.raises(SimulationError):
+            tree.add(make_block(1, 0, 2))
+
+    def test_re_adding_same_block_is_noop(self):
+        tree = BlockTree()
+        block = make_block(1, 0, 1)
+        tree.add(block)
+        tree.add(block)
+        assert len(tree) == 2
+
+    def test_conflicting_block_id_rejected(self):
+        tree = BlockTree()
+        tree.add(make_block(1, 0, 1))
+        with pytest.raises(SimulationError):
+            tree.add(make_block(1, 0, 1, honest=False))
+
+    def test_longest_chain_rule_prefers_height(self):
+        tree = BlockTree()
+        tree.add(make_block(1, 0, 1))
+        tree.add(make_block(2, 0, 1))  # fork at height 1
+        tree.add(make_block(3, 2, 2))  # second branch grows taller
+        assert tree.best_tip == 3
+        assert tree.longest_chain() == [0, 2, 3]
+
+    def test_tie_keeps_first_adopted_chain(self):
+        tree = BlockTree()
+        tree.add(make_block(1, 0, 1))
+        tree.add(make_block(2, 0, 1))
+        # Equal heights: the tip adopted first (block 1) is kept.
+        assert tree.best_tip == 1
+
+    def test_children_and_tips(self):
+        tree = BlockTree()
+        tree.add(make_block(1, 0, 1))
+        tree.add(make_block(2, 0, 1))
+        assert set(tree.children_of(0)) == {1, 2}
+        assert set(tree.tips()) == {1, 2}
+
+    def test_honest_and_adversarial_partition(self):
+        tree = BlockTree()
+        tree.add(make_block(1, 0, 1, honest=True))
+        tree.add(make_block(2, 1, 2, honest=False))
+        assert {block.block_id for block in tree.honest_blocks()} == {0, 1}
+        assert {block.block_id for block in tree.adversarial_blocks()} == {2}
+
+    def test_copy_is_independent(self):
+        tree = BlockTree()
+        tree.add(make_block(1, 0, 1))
+        clone = tree.copy()
+        clone.add(make_block(2, 1, 2))
+        assert 2 in clone
+        assert 2 not in tree
+
+    def test_unknown_block_lookup(self):
+        tree = BlockTree()
+        with pytest.raises(SimulationError):
+            tree.get(99)
+        with pytest.raises(SimulationError):
+            tree.children_of(99)
+
+
+class TestPrefixPredicates:
+    def test_common_prefix_length(self):
+        assert common_prefix_length([0, 1, 2, 3], [0, 1, 5, 6]) == 2
+        assert common_prefix_length([0, 1], [0, 1, 2]) == 2
+        assert common_prefix_length([7], [0]) == 0
+
+    def test_is_prefix_up_to(self):
+        earlier = [0, 1, 2, 3, 4]
+        later = [0, 1, 2, 9, 10, 11]
+        assert not is_prefix_up_to(earlier, later, confirmations=1)
+        assert is_prefix_up_to(earlier, later, confirmations=2)
+        assert is_prefix_up_to(earlier, later, confirmations=10)
+
+    def test_is_prefix_rejects_negative_confirmations(self):
+        with pytest.raises(SimulationError):
+            is_prefix_up_to([0], [0], confirmations=-1)
+
+    @given(
+        common=st.lists(st.integers(min_value=1, max_value=100), max_size=20),
+        left_suffix=st.lists(st.integers(min_value=101, max_value=200), max_size=10),
+        right_suffix=st.lists(st.integers(min_value=201, max_value=300), max_size=10),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_common_prefix_property(self, common, left_suffix, right_suffix):
+        left = [0] + common + left_suffix
+        right = [0] + common + right_suffix
+        prefix = common_prefix_length(left, right)
+        assert prefix >= 1 + len(common)
+        # The violation depth definition: left is a prefix of right once the
+        # non-shared suffix is dropped.
+        assert is_prefix_up_to(left, right, confirmations=len(left) - prefix)

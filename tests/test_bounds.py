@@ -1,0 +1,247 @@
+"""Tests for repro.core.bounds: the neat bound and Theorems 1-3."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    evaluate_bounds,
+    max_delta1_for_theorem1,
+    neat_bound,
+    nu_max_neat_bound,
+    nu_range_bounds,
+    nu_range_condition,
+    simplified_slack_factor,
+    theorem1_condition,
+    theorem1_margin_log,
+    theorem2_c_threshold,
+    theorem2_condition,
+    theorem2_simplified_c_threshold,
+    theorem2_simplified_condition,
+    theorem3_c_condition,
+    theorem3_c_threshold,
+    theorem3_pn_condition,
+    theorem3_pn_threshold,
+)
+from repro.errors import ParameterError
+from repro.params import parameters_from_c
+
+NU_STRATEGY = st.floats(min_value=1e-4, max_value=0.499)
+
+
+class TestNeatBound:
+    def test_known_value(self):
+        # 2 * 0.75 / ln(3) at nu = 0.25
+        assert neat_bound(0.25) == pytest.approx(1.5 / math.log(3.0), rel=1e-12)
+
+    def test_rejects_invalid_nu(self):
+        with pytest.raises(ParameterError):
+            neat_bound(0.6)
+        with pytest.raises(ParameterError):
+            neat_bound(0.0)
+
+    def test_monotone_increasing_in_nu(self):
+        values = [neat_bound(nu) for nu in (0.05, 0.1, 0.2, 0.3, 0.4, 0.45)]
+        assert values == sorted(values)
+
+    def test_diverges_near_one_half(self):
+        assert neat_bound(0.4999) > 1_000.0
+
+    @given(nu=NU_STRATEGY)
+    @settings(max_examples=200, deadline=None)
+    def test_positive(self, nu):
+        assert neat_bound(nu) > 0.0
+
+
+class TestNuMaxNeatBound:
+    def test_inverse_of_neat_bound(self):
+        for c in (0.5, 1.0, 2.0, 5.0, 20.0):
+            nu_max = nu_max_neat_bound(c)
+            assert neat_bound(nu_max) == pytest.approx(c, rel=1e-8)
+
+    def test_small_c_gives_zero(self):
+        assert nu_max_neat_bound(1e-9) == 0.0
+
+    def test_monotone_in_c(self):
+        values = [nu_max_neat_bound(c) for c in (0.5, 1.0, 2.0, 5.0, 20.0, 100.0)]
+        assert values == sorted(values)
+
+    def test_approaches_one_half(self):
+        assert nu_max_neat_bound(1e6) > 0.499
+
+    def test_rejects_nonpositive_c(self):
+        with pytest.raises(ParameterError):
+            nu_max_neat_bound(0.0)
+
+    @given(c=st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=200, deadline=None)
+    def test_in_range_and_consistent(self, c):
+        nu_max = nu_max_neat_bound(c)
+        assert 0.0 <= nu_max < 0.5
+        if nu_max > 1e-6:
+            # Just inside the bound consistency holds; just outside it fails.
+            assert neat_bound(nu_max * 0.999) < c
+            assert neat_bound(min(nu_max * 1.001, 0.4999)) > c or nu_max > 0.498
+
+
+class TestTheorem1:
+    def test_condition_holds_for_large_c(self):
+        params = parameters_from_c(c=10.0, n=10_000, delta=5, nu=0.2)
+        assert theorem1_condition(params, delta1=0.01)
+
+    def test_condition_fails_for_tiny_c(self):
+        params = parameters_from_c(c=0.05, n=10_000, delta=5, nu=0.45)
+        assert not theorem1_condition(params, delta1=0.01)
+
+    def test_margin_log_sign_matches_condition(self):
+        params = parameters_from_c(c=10.0, n=10_000, delta=5, nu=0.2)
+        assert theorem1_margin_log(params, 0.01) >= 0.0
+        bad = parameters_from_c(c=0.05, n=10_000, delta=5, nu=0.45)
+        assert theorem1_margin_log(bad, 0.01) < 0.0
+
+    def test_max_delta1_boundary(self):
+        params = parameters_from_c(c=10.0, n=10_000, delta=5, nu=0.2)
+        max_delta1 = max_delta1_for_theorem1(params)
+        assert max_delta1 > 0.0
+        assert theorem1_condition(params, delta1=max_delta1 * 0.999)
+        assert not theorem1_condition(params, delta1=max_delta1 * 1.001)
+
+    def test_rejects_nonpositive_delta1(self):
+        params = parameters_from_c(c=10.0, n=10_000, delta=5, nu=0.2)
+        with pytest.raises(ParameterError):
+            theorem1_condition(params, delta1=0.0)
+
+    def test_works_at_paper_scale(self, paper_params):
+        # The log-space formulation must not under/overflow at Delta = 1e13.
+        assert isinstance(theorem1_condition(paper_params, delta1=0.01), bool)
+
+
+class TestTheorem3:
+    def test_pn_threshold_positive(self):
+        assert theorem3_pn_threshold(0.25, 0.1) > 0.0
+
+    def test_pn_condition(self):
+        params = parameters_from_c(c=100.0, n=100, delta=1_000, nu=0.25)
+        assert theorem3_pn_condition(params, eps1=0.5)
+
+    def test_c_threshold_exceeds_neat_bound(self):
+        for nu in (0.1, 0.25, 0.4):
+            assert theorem3_c_threshold(nu, 10, 0.1, 0.01) > neat_bound(nu)
+
+    def test_c_condition_consistent_with_threshold(self):
+        threshold = theorem3_c_threshold(0.25, 10, 0.1, 0.01)
+        above = parameters_from_c(c=threshold * 1.01, n=10_000, delta=10, nu=0.25)
+        below = parameters_from_c(c=threshold * 0.99, n=10_000, delta=10, nu=0.25)
+        assert theorem3_c_condition(above, 0.1, 0.01)
+        assert not theorem3_c_condition(below, 0.1, 0.01)
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(ParameterError):
+            theorem3_c_threshold(0.25, 10, 1.5, 0.01)
+        with pytest.raises(ParameterError):
+            theorem3_c_threshold(0.25, 10, 0.1, -0.1)
+
+
+class TestTheorem2:
+    def test_threshold_is_max_of_components(self):
+        nu, delta, eps1, eps2 = 0.25, 10, 0.1, 0.01
+        threshold = theorem2_c_threshold(nu, delta, eps1, eps2)
+        first = theorem3_c_threshold(nu, delta, eps1, eps2)
+        mu = 1.0 - nu
+        second = (math.log(mu / nu) + 1.0) * mu / (eps1 * delta * math.log(mu / nu))
+        assert threshold == pytest.approx(max(first, second), rel=1e-12)
+
+    def test_condition_at_threshold(self):
+        threshold = theorem2_c_threshold(0.2, 20, 0.1, 0.01)
+        params = parameters_from_c(c=threshold * 1.001, n=50_000, delta=20, nu=0.2)
+        assert theorem2_condition(params, 0.1, 0.01)
+
+    def test_theorem2_implies_theorem1(self):
+        """Soundness of the derivation: whenever Theorem 2's condition holds,
+        Theorem 1's condition holds with the paper's delta1 (Eq. 61)."""
+        from repro.core.lemmas import delta1_constant
+
+        eps1, eps2 = 0.1, 0.01
+        for nu in (0.05, 0.15, 0.25, 0.35, 0.45):
+            for delta in (2, 10, 100):
+                threshold = theorem2_c_threshold(nu, delta, eps1, eps2)
+                params = parameters_from_c(
+                    c=threshold * 1.0001, n=100_000, delta=delta, nu=nu
+                )
+                assert theorem2_condition(params, eps1, eps2)
+                delta1 = delta1_constant(nu, eps1, eps2)
+                assert theorem1_condition(params, delta1), (nu, delta)
+
+    @given(
+        nu=st.floats(min_value=0.01, max_value=0.49),
+        delta=st.integers(min_value=1, max_value=10_000),
+        eps1=st.floats(min_value=0.01, max_value=0.9),
+        eps2=st.floats(min_value=0.001, max_value=1.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_threshold_dominates_neat_bound(self, nu, delta, eps1, eps2):
+        assert theorem2_c_threshold(nu, delta, eps1, eps2) >= neat_bound(nu)
+
+
+class TestNuRangeAndSimplifiedBound:
+    def test_paper_first_setting(self):
+        nu_low, nu_high = nu_range_bounds(10**13, 1.0 / 6.0, 1.0 / 2.0)
+        # Paper: 1e-63 <= nu <= 0.5 - 1e-7 (order-of-magnitude agreement).
+        assert nu_low < 1e-62
+        assert 0.5 - nu_high == pytest.approx(1e-7, rel=0.5)
+
+    def test_paper_second_setting(self):
+        nu_low, nu_high = nu_range_bounds(10**13, 1.0 / 8.0, 2.0 / 3.0)
+        assert 1e-20 < nu_low < 1e-17
+        assert 0.5 - nu_high == pytest.approx(1e-9, rel=1.0)
+
+    def test_slack_factors_match_paper(self):
+        assert simplified_slack_factor(10**13, 1.0 / 6.0, 1.0 / 2.0) - 1.0 == pytest.approx(
+            5e-5, rel=0.2
+        )
+        assert simplified_slack_factor(10**13, 1.0 / 8.0, 2.0 / 3.0) - 1.0 == pytest.approx(
+            2e-3, rel=0.1
+        )
+
+    def test_rejects_delta_sum_ge_one(self):
+        with pytest.raises(ParameterError):
+            nu_range_bounds(100, 0.6, 0.5)
+        with pytest.raises(ParameterError):
+            simplified_slack_factor(100, 0.6, 0.5)
+
+    def test_nu_range_condition(self):
+        assert nu_range_condition(0.25, 10**13, 1.0 / 6.0, 1.0 / 2.0)
+        assert not nu_range_condition(0.4999999999, 10**13, 1.0 / 6.0, 1.0 / 2.0)
+
+    def test_simplified_condition_implies_full_theorem2(self):
+        """Inequality (13) is a sufficient form of Inequality (11)."""
+        delta = 10**7
+        delta1, delta2 = 1.0 / 6.0, 1.0 / 2.0
+        eps2 = 0.01
+        for nu in (0.1, 0.25, 0.4):
+            threshold = theorem2_simplified_c_threshold(nu, delta, eps2, delta1, delta2)
+            params = parameters_from_c(
+                c=threshold * 1.001, n=100_000, delta=delta, nu=nu
+            )
+            assert theorem2_simplified_condition(params, eps2, delta1, delta2)
+            # The simplified threshold must dominate the neat bound.
+            assert threshold > neat_bound(nu)
+
+    def test_simplified_threshold_close_to_neat_bound(self):
+        # The whole point of Remark 1: the threshold is only slightly above 2mu/ln(mu/nu).
+        threshold = theorem2_simplified_c_threshold(
+            0.3, 10**13, 1e-6, 1.0 / 6.0, 1.0 / 2.0
+        )
+        assert threshold / neat_bound(0.3) < 1.001
+
+
+class TestEvaluateBounds:
+    def test_summary_fields(self, small_params):
+        evaluation = evaluate_bounds(small_params)
+        assert evaluation.c == pytest.approx(small_params.c)
+        assert evaluation.neat_threshold == pytest.approx(neat_bound(small_params.nu))
+        assert evaluation.theorem1_holds == (evaluation.theorem1_margin_log >= 0.0)

@@ -1,0 +1,187 @@
+"""Tests for repro.core.concat_chain: the chain C_F||P and Eq. (44)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.concat_chain import (
+    ConcatChain,
+    DetailedState,
+    count_convergence_opportunities,
+)
+from repro.core.suffix_chain import SuffixState, SuffixStateKind
+from repro.errors import ParameterError
+from repro.params import parameters_from_c
+
+
+class TestDetailedState:
+    def test_labels(self):
+        assert DetailedState(0).label() == "N"
+        assert DetailedState(3).label() == "H3"
+
+    def test_is_empty(self):
+        assert DetailedState(0).is_empty
+        assert not DetailedState(1).is_empty
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            DetailedState(-1)
+
+
+class TestStationaryProductForm:
+    def test_detailed_probabilities_match_eq_41(self, small_params):
+        chain = ConcatChain(small_params)
+        assert chain.detailed_state_probability(DetailedState(0)) == pytest.approx(
+            small_params.alpha_bar
+        )
+        assert chain.detailed_state_probability(DetailedState(1)) == pytest.approx(
+            small_params.alpha1, rel=1e-9
+        )
+
+    def test_product_form_eq_40(self, small_params):
+        chain = ConcatChain(small_params)
+        suffix = SuffixState(SuffixStateKind.LONG_GAP)
+        detailed = [DetailedState(1)] + [DetailedState(0)] * small_params.delta
+        expected = (
+            chain.suffix_chain.closed_form_stationary()[suffix]
+            * small_params.alpha1
+            * small_params.alpha_bar**small_params.delta
+        )
+        assert chain.stationary_probability(suffix, detailed) == pytest.approx(
+            expected, rel=1e-9
+        )
+
+    def test_rejects_wrong_number_of_detailed_states(self, small_params):
+        chain = ConcatChain(small_params)
+        with pytest.raises(ParameterError):
+            chain.stationary_probability(
+                SuffixState(SuffixStateKind.LONG_GAP), [DetailedState(1)]
+            )
+
+    def test_convergence_opportunity_probability_matches_eq_44(self, small_params):
+        chain = ConcatChain(small_params)
+        expected = (
+            small_params.alpha_bar ** (2 * small_params.delta) * small_params.alpha1
+        )
+        assert chain.convergence_opportunity_probability() == pytest.approx(
+            expected, rel=1e-10
+        )
+
+    def test_convergence_state_shape(self, small_params):
+        chain = ConcatChain(small_params)
+        suffix, detailed = chain.convergence_opportunity_state()
+        assert suffix == SuffixState(SuffixStateKind.LONG_GAP)
+        assert detailed[0] == DetailedState(1)
+        assert all(state.is_empty for state in detailed[1:])
+        assert len(detailed) == small_params.delta + 1
+
+    def test_convergence_state_probability_equals_eq_44(self, small_params):
+        chain = ConcatChain(small_params)
+        suffix, detailed = chain.convergence_opportunity_state()
+        assert chain.stationary_probability(suffix, detailed) == pytest.approx(
+            chain.convergence_opportunity_probability(), rel=1e-9
+        )
+
+    def test_expected_convergence_opportunities_eq_26(self, small_params):
+        chain = ConcatChain(small_params)
+        assert chain.expected_convergence_opportunities(1_000) == pytest.approx(
+            1_000 * chain.convergence_opportunity_probability(), rel=1e-12
+        )
+
+    def test_log_forms_finite_at_paper_scale(self, paper_params):
+        chain = ConcatChain(paper_params)
+        assert math.isfinite(chain.log_convergence_opportunity_probability())
+        assert math.isfinite(chain.log_min_stationary())
+        assert math.isfinite(chain.log_phi_pi_norm_bound())
+
+
+class TestProposition1:
+    def test_min_stationary_below_convergence_probability(self, small_params):
+        chain = ConcatChain(small_params)
+        assert chain.min_stationary() <= chain.convergence_opportunity_probability()
+
+    def test_phi_pi_norm_bound_is_inverse_sqrt_of_min(self):
+        # Use a tiny honest population so p^(mu n) stays representable in
+        # linear scale; at realistic scales only the log forms are finite.
+        from repro.params import ProtocolParameters
+
+        params = ProtocolParameters(p=0.2, n=10, delta=2, nu=0.2)
+        chain = ConcatChain(params)
+        assert chain.min_stationary() > 0.0
+        assert chain.phi_pi_norm_bound() == pytest.approx(
+            1.0 / math.sqrt(chain.min_stationary()), rel=1e-9
+        )
+
+    def test_phi_pi_norm_log_bound_consistent(self, small_params):
+        chain = ConcatChain(small_params)
+        assert chain.log_phi_pi_norm_bound() == pytest.approx(
+            -0.5 * chain.log_min_stationary(), rel=1e-12
+        )
+
+    def test_min_detailed_probability(self, small_params):
+        chain = ConcatChain(small_params)
+        honest = small_params.honest_count
+        expected = min(
+            honest * math.log(small_params.p), honest * math.log1p(-small_params.p)
+        )
+        assert chain.log_min_detailed_probability() == pytest.approx(expected)
+
+
+class TestCountConvergenceOpportunities:
+    def test_simple_pattern(self):
+        # Delta = 2: quiet, quiet, single, quiet, quiet -> one opportunity.
+        assert count_convergence_opportunities([0, 0, 1, 0, 0], delta=2) == 1
+
+    def test_pattern_requires_single_block(self):
+        assert count_convergence_opportunities([0, 0, 2, 0, 0], delta=2) == 0
+
+    def test_pattern_requires_leading_quiet(self):
+        assert count_convergence_opportunities([1, 0, 1, 0, 0], delta=2) == 0
+
+    def test_pattern_requires_trailing_quiet(self):
+        assert count_convergence_opportunities([0, 0, 1, 0, 1], delta=2) == 0
+
+    def test_two_disjoint_opportunities(self):
+        trace = [0, 0, 1, 0, 0] + [0, 0, 1, 0, 0]
+        assert count_convergence_opportunities(trace, delta=2) == 2
+
+    def test_short_trace_returns_zero(self):
+        assert count_convergence_opportunities([0, 1, 0], delta=2) == 0
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ParameterError):
+            count_convergence_opportunities([0, 1, 0], delta=0)
+
+    def test_rate_converges_to_eq_44(self, small_params, rng):
+        rounds = 200_000
+        honest = rng.binomial(
+            int(round(small_params.honest_count)), small_params.p, size=rounds
+        )
+        count = count_convergence_opportunities(honest, small_params.delta)
+        rate = count / rounds
+        assert rate == pytest.approx(
+            small_params.convergence_opportunity_probability, rel=0.05
+        )
+
+    @given(delta=st.integers(min_value=1, max_value=4), seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_streaming_detector(self, delta, seed):
+        from repro.simulation.events import ConvergenceOpportunityDetector
+
+        rng = np.random.default_rng(seed)
+        trace = rng.integers(0, 3, size=400)
+        offline = count_convergence_opportunities(trace, delta)
+        detector = ConvergenceOpportunityDetector(delta)
+        detector.observe_many(trace)
+        # The streaming detector does not require a full leading window, so it
+        # may count at most the opportunities the offline counter sees plus any
+        # completed within the first 2*delta rounds.
+        head = count_convergence_opportunities(
+            np.concatenate([np.zeros(2 * delta, dtype=int), trace[: 2 * delta + 1]]), delta
+        )
+        assert offline <= detector.count <= offline + head + 1

@@ -1,0 +1,167 @@
+"""Tests for repro.core.concentration: the tail bounds of Section V."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.concentration import (
+    ConsistencyFailureBound,
+    adversary_upper_tail_bound,
+    adversary_upper_tail_log_bound,
+    bernoulli_relative_entropy,
+    consistency_failure_bound,
+    markov_lower_tail_bound,
+    markov_lower_tail_log_bound,
+    window_for_target_failure,
+)
+from repro.errors import ParameterError
+from repro.params import parameters_from_c
+
+
+class TestRelativeEntropy:
+    def test_zero_at_equal_probabilities(self):
+        assert bernoulli_relative_entropy(0.3, 0.3) == pytest.approx(0.0, abs=1e-15)
+
+    def test_positive_otherwise(self):
+        assert bernoulli_relative_entropy(0.2, 0.1) > 0.0
+        assert bernoulli_relative_entropy(0.05, 0.1) > 0.0
+
+    def test_boundary_values(self):
+        assert bernoulli_relative_entropy(0.0, 0.1) == pytest.approx(-math.log(0.9))
+        assert bernoulli_relative_entropy(1.0, 0.1) == pytest.approx(-math.log(0.1))
+
+    def test_rejects_invalid_base(self):
+        with pytest.raises(ParameterError):
+            bernoulli_relative_entropy(0.2, 0.0)
+        with pytest.raises(ParameterError):
+            bernoulli_relative_entropy(0.2, 1.0)
+
+    @given(
+        base=st.floats(min_value=1e-6, max_value=1 - 1e-6),
+        inflated=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_nonnegative(self, base, inflated):
+        assert bernoulli_relative_entropy(inflated, base) >= -1e-15
+
+
+class TestAdversaryTail:
+    def test_decays_with_window_length(self, small_params):
+        bounds = [
+            adversary_upper_tail_bound(small_params, rounds, delta3=0.5)
+            for rounds in (100, 1_000, 10_000)
+        ]
+        assert bounds[0] > bounds[1] > bounds[2]
+
+    def test_log_bound_linear_in_rounds(self, small_params):
+        one = adversary_upper_tail_log_bound(small_params, 1_000, 0.5)
+        two = adversary_upper_tail_log_bound(small_params, 2_000, 0.5)
+        assert two == pytest.approx(2.0 * one, rel=1e-9)
+
+    def test_decays_with_delta3(self, small_params):
+        small = adversary_upper_tail_bound(small_params, 1_000, delta3=0.1)
+        large = adversary_upper_tail_bound(small_params, 1_000, delta3=1.0)
+        assert large < small
+
+    def test_impossible_tail_is_zero(self):
+        params = parameters_from_c(c=0.5, n=10, delta=1, nu=0.4)
+        # (1 + delta3) p > 1 makes the tail event impossible.
+        assert adversary_upper_tail_bound(params, 100, delta3=1e6) == 0.0
+
+    def test_rejects_bad_inputs(self, small_params):
+        with pytest.raises(ParameterError):
+            adversary_upper_tail_bound(small_params, 0, 0.5)
+        with pytest.raises(ParameterError):
+            adversary_upper_tail_bound(small_params, 100, 0.0)
+
+    def test_bound_actually_dominates_empirical_tail(self, small_params, rng):
+        """The Arratia-Gordon bound must dominate the Monte-Carlo tail frequency."""
+        rounds, delta3, trials = 2_000, 0.5, 400
+        expected = small_params.beta * rounds
+        threshold = (1.0 + delta3) * expected
+        adversary_trials = int(round(small_params.adversary_count)) * rounds
+        exceedances = 0
+        for _ in range(trials):
+            total = rng.binomial(adversary_trials, small_params.p)
+            if total >= threshold:
+                exceedances += 1
+        empirical = exceedances / trials
+        bound = adversary_upper_tail_bound(small_params, rounds, delta3)
+        assert empirical <= bound + 0.05
+
+
+class TestMarkovTail:
+    def test_decays_with_window_length(self, small_params):
+        bounds = [
+            markov_lower_tail_bound(small_params, rounds, 0.5, mixing_time=10.0)
+            for rounds in (1_000, 10_000, 100_000)
+        ]
+        assert bounds[0] >= bounds[1] >= bounds[2]
+        assert bounds[2] < bounds[0]
+
+    def test_larger_mixing_time_weakens_bound(self, small_params):
+        tight = markov_lower_tail_log_bound(small_params, 50_000, 0.5, mixing_time=5.0)
+        loose = markov_lower_tail_log_bound(small_params, 50_000, 0.5, mixing_time=50.0)
+        assert loose > tight
+
+    def test_capped_at_one(self, small_params):
+        assert markov_lower_tail_bound(small_params, 1, 0.01, mixing_time=1e6) <= 1.0
+
+    def test_rejects_bad_inputs(self, small_params):
+        with pytest.raises(ParameterError):
+            markov_lower_tail_bound(small_params, 100, 1.5, mixing_time=10.0)
+        with pytest.raises(ParameterError):
+            markov_lower_tail_bound(small_params, 100, 0.5, mixing_time=0.0)
+        with pytest.raises(ParameterError):
+            markov_lower_tail_bound(small_params, 100, 0.5, mixing_time=10.0, phi_pi_norm=0.0)
+
+
+class TestUnionBound:
+    def test_total_is_sum_capped_at_one(self, small_params):
+        bound = consistency_failure_bound(
+            small_params, 50_000, delta1=0.5, mixing_time=10.0
+        )
+        assert bound.total == pytest.approx(
+            min(1.0, bound.convergence_tail + bound.adversary_tail)
+        )
+
+    def test_delta2_delta3_follow_eq_23(self, small_params):
+        bound = consistency_failure_bound(
+            small_params, 10_000, delta1=0.5, mixing_time=10.0
+        )
+        assert bound.delta2 == pytest.approx(1.0 - 1.5 ** (-1.0 / 3.0))
+        assert bound.delta3 == pytest.approx(1.5 ** (1.0 / 3.0) - 1.0)
+
+    def test_guaranteed_gap_positive_and_linear_in_t(self, small_params):
+        short = consistency_failure_bound(small_params, 1_000, 0.5, 10.0)
+        long = consistency_failure_bound(small_params, 2_000, 0.5, 10.0)
+        assert short.guaranteed_gap > 0.0
+        assert long.guaranteed_gap == pytest.approx(2.0 * short.guaranteed_gap, rel=1e-9)
+
+    def test_failure_probability_is_overwhelming_in_t(self, small_params):
+        """The defining property of consistency: the bound decays at least
+        exponentially, so doubling T at least squares (improves) the bound."""
+        first = consistency_failure_bound(small_params, 200_000, 0.5, 10.0)
+        second = consistency_failure_bound(small_params, 400_000, 0.5, 10.0)
+        if first.total < 1.0:
+            assert second.total <= first.total
+
+    def test_window_for_target_failure(self, small_params):
+        window = window_for_target_failure(
+            small_params, delta1=0.5, mixing_time=10.0, target_probability=0.01
+        )
+        assert window > 0
+        achieved = consistency_failure_bound(small_params, window, 0.5, 10.0).total
+        assert achieved <= 0.01
+        if window > 1:
+            previous = consistency_failure_bound(small_params, window - 1, 0.5, 10.0).total
+            assert previous > 0.01
+
+    def test_window_search_rejects_bad_target(self, small_params):
+        with pytest.raises(ParameterError):
+            window_for_target_failure(small_params, 0.5, 10.0, target_probability=1.5)

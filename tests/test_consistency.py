@@ -1,0 +1,119 @@
+"""Tests for repro.core.consistency: the window-level analyzer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import neat_bound
+from repro.core.consistency import ConsistencyAnalyzer, ConsistencyVerdict
+from repro.errors import ParameterError
+from repro.params import parameters_from_c
+
+
+class TestExpectations:
+    def test_expected_counts_match_eqs_26_27(self, small_params):
+        analyzer = ConsistencyAnalyzer(small_params)
+        rounds = 12_345
+        assert analyzer.expected_convergence_opportunities(rounds) == pytest.approx(
+            rounds * small_params.convergence_opportunity_probability
+        )
+        assert analyzer.expected_adversary_blocks(rounds) == pytest.approx(
+            rounds * small_params.beta
+        )
+
+    def test_expectation_ratio_log(self, small_params):
+        analyzer = ConsistencyAnalyzer(small_params)
+        expected = math.log(
+            small_params.convergence_opportunity_probability / small_params.beta
+        )
+        assert analyzer.expectation_ratio_log() == pytest.approx(expected, rel=1e-9)
+
+    def test_rejects_nonpositive_rounds(self, small_params):
+        analyzer = ConsistencyAnalyzer(small_params)
+        with pytest.raises(ParameterError):
+            analyzer.expected_convergence_opportunities(0)
+        with pytest.raises(ParameterError):
+            analyzer.expected_adversary_blocks(-1)
+
+
+class TestTheoremApplication:
+    def test_safe_configuration(self):
+        params = parameters_from_c(c=10.0, n=50_000, delta=10, nu=0.2)
+        analyzer = ConsistencyAnalyzer(params)
+        assert analyzer.satisfies_neat_bound()
+        assert analyzer.theorem1_applies()
+        assert analyzer.theorem1_max_delta1() > 0.0
+        assert analyzer.theorem2_applies()
+
+    def test_unsafe_configuration(self):
+        params = parameters_from_c(c=0.2, n=50_000, delta=10, nu=0.45)
+        analyzer = ConsistencyAnalyzer(params)
+        assert not analyzer.satisfies_neat_bound()
+        assert not analyzer.theorem1_applies()
+        assert analyzer.theorem1_max_delta1() < 0.0
+
+    def test_rejects_bad_constants(self, small_params):
+        with pytest.raises(ParameterError):
+            ConsistencyAnalyzer(small_params, eps1=1.5)
+        with pytest.raises(ParameterError):
+            ConsistencyAnalyzer(small_params, eps2=0.0)
+
+
+class TestFailureBound:
+    def test_default_delta1_is_half_of_max(self, small_params):
+        analyzer = ConsistencyAnalyzer(small_params)
+        bound = analyzer.failure_bound(rounds=10_000, mixing_time=10.0)
+        assert bound.delta1 == pytest.approx(analyzer.theorem1_max_delta1() / 2.0)
+
+    def test_explicit_delta1_respected(self, small_params):
+        analyzer = ConsistencyAnalyzer(small_params)
+        bound = analyzer.failure_bound(rounds=10_000, mixing_time=10.0, delta1=0.25)
+        assert bound.delta1 == pytest.approx(0.25)
+
+    def test_requires_theorem1_or_explicit_delta1(self):
+        params = parameters_from_c(c=0.2, n=50_000, delta=10, nu=0.45)
+        analyzer = ConsistencyAnalyzer(params)
+        with pytest.raises(ParameterError):
+            analyzer.failure_bound(rounds=10_000, mixing_time=10.0)
+        # Explicit delta1 bypasses the applicability check (the bound will just be weak).
+        bound = analyzer.failure_bound(rounds=10_000, mixing_time=10.0, delta1=0.1)
+        assert 0.0 <= bound.total <= 1.0
+
+
+class TestVerdict:
+    def test_verdict_fields(self, small_params):
+        verdict = ConsistencyAnalyzer(small_params).verdict()
+        assert isinstance(verdict, ConsistencyVerdict)
+        assert verdict.c == pytest.approx(small_params.c)
+        assert verdict.neat_threshold == pytest.approx(neat_bound(small_params.nu))
+        assert verdict.satisfies_neat_bound == (verdict.c > verdict.neat_threshold)
+        assert verdict.expected_adversary_rate == pytest.approx(small_params.beta)
+
+    @given(
+        c=st.floats(min_value=0.2, max_value=50.0),
+        nu=st.floats(min_value=0.05, max_value=0.45),
+        delta=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_theorem2_stricter_than_neat_bound(self, c, nu, delta):
+        """Theorem 2 (with finite eps constants) never accepts a point the neat
+        bound rejects."""
+        params = parameters_from_c(c=c, n=10_000, delta=delta, nu=nu)
+        analyzer = ConsistencyAnalyzer(params)
+        if analyzer.theorem2_applies():
+            assert analyzer.satisfies_neat_bound()
+
+    @given(
+        c=st.floats(min_value=0.2, max_value=50.0),
+        nu=st.floats(min_value=0.05, max_value=0.45),
+        delta=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_theorem1_margin_consistent_with_max_delta1(self, c, nu, delta):
+        params = parameters_from_c(c=c, n=10_000, delta=delta, nu=nu)
+        verdict = ConsistencyAnalyzer(params).verdict()
+        assert (verdict.theorem1_margin_log > 0.0) == (verdict.theorem1_max_delta1 > 0.0)

@@ -1,0 +1,133 @@
+"""Tests for repro.simulation.events and repro.simulation.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    BlockTree,
+    ConvergenceOpportunityDetector,
+    RoundRecord,
+    chain_growth_rate,
+    chain_quality,
+    consistency_report,
+    consistency_violation_depth,
+)
+from repro.simulation.block import Block
+
+
+class TestRoundRecord:
+    def test_states(self):
+        quiet = RoundRecord(round_index=1, honest_blocks=0, adversary_blocks=2, public_chain_height=0)
+        busy = RoundRecord(round_index=2, honest_blocks=3, adversary_blocks=0, public_chain_height=1)
+        assert quiet.state == "N"
+        assert quiet.detailed_state == "N"
+        assert busy.state == "H"
+        assert busy.detailed_state == "H3"
+
+
+class TestConvergenceOpportunityDetector:
+    def test_simple_opportunity(self):
+        detector = ConvergenceOpportunityDetector(delta=2)
+        completions = [detector.observe(count) for count in [0, 0, 1, 0, 0]]
+        assert detector.count == 1
+        assert completions == [False, False, False, False, True]
+
+    def test_multi_block_round_does_not_qualify(self):
+        detector = ConvergenceOpportunityDetector(delta=2)
+        detector.observe_many([0, 0, 2, 0, 0])
+        assert detector.count == 0
+
+    def test_broken_trailing_quiet_spoils_candidate(self):
+        detector = ConvergenceOpportunityDetector(delta=2)
+        detector.observe_many([0, 0, 1, 1, 0, 0])
+        assert detector.count == 0
+
+    def test_insufficient_leading_quiet(self):
+        detector = ConvergenceOpportunityDetector(delta=3)
+        detector.observe_many([0, 0, 1, 0, 0, 0])
+        assert detector.count == 0
+
+    def test_back_to_back_opportunities(self):
+        detector = ConvergenceOpportunityDetector(delta=1)
+        # N 1 N 1 N: two opportunities (rounds 3 and 5 complete them).
+        detector.observe_many([0, 1, 0, 1, 0])
+        assert detector.count == 2
+
+    def test_observe_many_returns_increment(self):
+        detector = ConvergenceOpportunityDetector(delta=2)
+        assert detector.observe_many([0, 0, 1, 0, 0]) == 1
+        assert detector.observe_many([0, 1, 0, 0]) == 1
+
+    def test_rejects_negative_counts_and_bad_delta(self):
+        with pytest.raises(SimulationError):
+            ConvergenceOpportunityDetector(delta=0)
+        detector = ConvergenceOpportunityDetector(delta=2)
+        with pytest.raises(SimulationError):
+            detector.observe(-1)
+
+    def test_rate_matches_theory_on_iid_trace(self, small_params, rng):
+        rounds = 100_000
+        trace = rng.binomial(
+            int(round(small_params.honest_count)), small_params.p, size=rounds
+        )
+        detector = ConvergenceOpportunityDetector(small_params.delta)
+        detector.observe_many(trace)
+        rate = detector.count / rounds
+        assert rate == pytest.approx(
+            small_params.convergence_opportunity_probability, rel=0.08
+        )
+
+
+class TestConsistencyMetrics:
+    def test_violation_depth_zero_for_prefix(self):
+        assert consistency_violation_depth([0, 1, 2], [0, 1, 2, 3]) == 0
+
+    def test_violation_depth_counts_divergent_suffix(self):
+        assert consistency_violation_depth([0, 1, 2, 3], [0, 1, 9, 10]) == 2
+
+    def test_shrinking_chain_counts_as_violation(self):
+        # A later chain that is shorter than the earlier stable prefix.
+        assert consistency_violation_depth([0, 1, 2, 3], [0, 1]) == 2
+
+    def test_report_over_snapshots(self):
+        snapshots = [
+            [0, 1, 2],
+            [0, 1, 2, 3],
+            [0, 1, 7, 8, 9],  # displaces blocks 2 and 3
+            [0, 1, 7, 8, 9, 10],
+        ]
+        report = consistency_report(snapshots)
+        # The worst pair is ([0,1,2,3], [0,1,7,8,9]): blocks 2 and 3 are displaced.
+        assert report.max_violation_depth == 2
+        expected = max(
+            consistency_violation_depth(snapshots[i], snapshots[j])
+            for i in range(len(snapshots))
+            for j in range(i + 1, len(snapshots))
+        )
+        assert report.max_violation_depth == expected
+        assert report.snapshots_compared == 6
+        assert not report.is_consistent(confirmations=expected - 1)
+        assert report.is_consistent(confirmations=expected)
+
+    def test_report_with_fewer_than_two_snapshots(self):
+        report = consistency_report([[0, 1]])
+        assert report.max_violation_depth == 0
+        assert report.snapshots_compared == 0
+
+    def test_chain_growth_rate(self):
+        assert chain_growth_rate([0, 1, 2, 3], rounds=10) == pytest.approx(0.3)
+        with pytest.raises(SimulationError):
+            chain_growth_rate([0, 1], rounds=0)
+
+    def test_chain_quality(self):
+        tree = BlockTree()
+        tree.add(Block(block_id=1, parent_id=0, height=1, round_mined=1, miner_id=0, honest=True))
+        tree.add(Block(block_id=2, parent_id=1, height=2, round_mined=2, miner_id=9, honest=False))
+        tree.add(Block(block_id=3, parent_id=2, height=3, round_mined=3, miner_id=1, honest=True))
+        assert chain_quality(tree, [0, 1, 2, 3]) == pytest.approx(2.0 / 3.0)
+
+    def test_chain_quality_of_genesis_only_chain(self):
+        assert chain_quality(BlockTree(), [0]) == 1.0

@@ -1,0 +1,155 @@
+"""Integration tests: the layers working together, end to end."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConsistencyAnalyzer,
+    ProtocolParameters,
+    SuffixChain,
+    neat_bound,
+    nu_max_neat_bound,
+    parameters_from_c,
+)
+from repro.analysis import figure1_series, validate_expectations
+from repro.core.concat_chain import ConcatChain
+from repro.markov import mixing_time, sample_path
+from repro.simulation import (
+    NakamotoSimulation,
+    PassiveAdversary,
+    PrivateChainAdversary,
+)
+
+
+class TestPublicApi:
+    def test_top_level_exports_work_together(self):
+        params = parameters_from_c(c=5.0, n=10_000, delta=4, nu=0.25)
+        assert params.c > neat_bound(params.nu)
+        verdict = ConsistencyAnalyzer(params).verdict()
+        assert verdict.satisfies_neat_bound
+        chain = SuffixChain(params)
+        assert sum(chain.closed_form_stationary().values()) == pytest.approx(1.0)
+
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestMarkovChainPipelines:
+    def test_suffix_chain_walk_agrees_with_concat_chain_probability(self, rng):
+        """Random walk on C_F: the fraction of time in the LONG_GAP state times
+        alpha1 * alpha_bar^Delta reproduces Eq. (44)."""
+        params = parameters_from_c(c=4.0, n=500, delta=2, nu=0.2)
+        suffix = SuffixChain(params)
+        markov = suffix.to_markov_chain()
+        walk = sample_path(markov, 200_000, rng)
+        frequencies = walk.frequencies()
+        long_gap_label = "HN>=D"
+        empirical_long_gap = frequencies[long_gap_label]
+        concat = ConcatChain(params)
+        expected = empirical_long_gap * params.alpha1 * params.alpha_bar**params.delta
+        assert expected == pytest.approx(
+            concat.convergence_opportunity_probability(), rel=0.05
+        )
+
+    def test_mixing_time_feeds_concentration_bound(self, small_params):
+        """The C_F mixing time can be used directly in the Theorem 1 failure bound."""
+        markov = SuffixChain(small_params).to_markov_chain()
+        tau = mixing_time(markov, epsilon=0.125)
+        analyzer = ConsistencyAnalyzer(small_params)
+        bound = analyzer.failure_bound(rounds=500_000, mixing_time=float(tau))
+        assert 0.0 <= bound.total <= 1.0
+        larger = analyzer.failure_bound(rounds=5_000_000, mixing_time=float(tau))
+        assert larger.total <= bound.total
+
+
+class TestTheoryMeetsSimulation:
+    def test_expected_counts_match_simulation(self, rng):
+        params = parameters_from_c(c=3.0, n=2_000, delta=2, nu=0.25)
+        rounds = 40_000
+        analyzer = ConsistencyAnalyzer(params)
+        result = NakamotoSimulation(
+            params, adversary=PassiveAdversary(params.delta), rng=rng
+        ).run(rounds)
+        assert result.convergence_opportunities == pytest.approx(
+            analyzer.expected_convergence_opportunities(rounds), rel=0.1
+        )
+        assert result.total_adversary_blocks == pytest.approx(
+            analyzer.expected_adversary_blocks(rounds), rel=0.15
+        )
+
+    def test_neat_bound_separates_attack_outcomes(self):
+        """Simulated withholding attacks: deep reorgs below the bound region,
+        none far above it."""
+        safe = parameters_from_c(c=8.0, n=800, delta=3, nu=0.15)
+        unsafe = parameters_from_c(c=0.4, n=800, delta=3, nu=0.45)
+        safe_result = NakamotoSimulation(
+            safe,
+            adversary=PrivateChainAdversary(3, target_depth=8),
+            rng=np.random.default_rng(21),
+        ).run(20_000)
+        unsafe_result = NakamotoSimulation(
+            unsafe,
+            adversary=PrivateChainAdversary(3, target_depth=8),
+            rng=np.random.default_rng(21),
+        ).run(20_000)
+        assert safe.c > neat_bound(safe.nu)
+        assert unsafe.c < neat_bound(unsafe.nu)
+        assert safe_result.consistency.max_violation_depth < 8
+        assert unsafe_result.consistency.max_violation_depth >= 8
+        assert (
+            unsafe_result.adversary_deepest_fork
+            > safe_result.adversary_deepest_fork
+        )
+
+    def test_figure1_against_simulation_verdicts(self):
+        """At a handful of c values, simulated attacks succeed below the red
+        curve and the Lemma 1 margin is positive above the magenta curve."""
+        for c in (1.0, 4.0):
+            nu_ours = nu_max_neat_bound(c)
+            safe_nu = max(nu_ours * 0.5, 0.02)
+            params = parameters_from_c(c=c, n=1_000, delta=3, nu=safe_nu)
+            validation = validate_expectations(
+                params, rounds=20_000, rng=np.random.default_rng(int(c * 10))
+            )
+            assert (
+                validation.empirical_convergence_rate
+                > validation.empirical_adversary_rate
+            )
+
+    def test_figure1_series_matches_parameter_scaling(self):
+        """parameters_from_c and the figure's x-axis agree: scaling p to give a
+        target c reproduces the same verdicts the closed-form curves give."""
+        series = figure1_series(c_values=[0.5, 2.0, 8.0])
+        for point in series.points:
+            if point.nu_max_ours > 1e-6:
+                nu_inside = point.nu_max_ours * 0.9
+                params = parameters_from_c(c=point.c, n=10_000, delta=5, nu=nu_inside)
+                assert params.c > neat_bound(nu_inside) * 0.999
+
+
+class TestScaleRobustness:
+    def test_paper_scale_pipeline_is_finite(self, paper_params):
+        """The full analytical pipeline runs at n=1e5, Delta=1e13 without
+        overflow/underflow surprises."""
+        analyzer = ConsistencyAnalyzer(paper_params)
+        verdict = analyzer.verdict()
+        assert math.isfinite(verdict.theorem1_margin_log)
+        assert math.isfinite(verdict.theorem2_threshold)
+        concat = ConcatChain(paper_params)
+        assert math.isfinite(concat.log_convergence_opportunity_probability())
+        assert math.isfinite(concat.log_phi_pi_norm_bound())
+
+    def test_small_and_large_delta_consistent_verdicts(self):
+        """The neat-bound verdict depends only on c and nu, so changing Delta
+        while holding c fixed must not change it."""
+        for delta in (1, 5, 1_000):
+            params = parameters_from_c(c=3.0, n=10_000, delta=delta, nu=0.3)
+            assert ConsistencyAnalyzer(params).satisfies_neat_bound() == (
+                3.0 > neat_bound(0.3)
+            )

@@ -1,0 +1,93 @@
+"""Tests for repro.core.kiffer: the comparison with Kiffer et al. (CCS 2018)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.kiffer import (
+    correction_ratio,
+    corrected_condition,
+    corrected_convergence_rate,
+    kiffer_convergence_rate_incorrect,
+    kiffer_style_condition_incorrect,
+)
+from repro.errors import ParameterError
+from repro.params import ProtocolParameters, parameters_from_c
+
+
+class TestRates:
+    def test_corrected_rate_matches_eq_44(self, small_params):
+        assert corrected_convergence_rate(small_params) == pytest.approx(
+            small_params.convergence_opportunity_probability, rel=1e-12
+        )
+
+    def test_rates_differ_when_mu_n_p_is_large(self, small_params):
+        """At non-negligible mu*n*p the two normalisations disagree measurably."""
+        assert kiffer_convergence_rate_incorrect(small_params) != pytest.approx(
+            corrected_convergence_rate(small_params), rel=1e-3
+        )
+
+    def test_correction_ratio_positive(self, small_params):
+        assert correction_ratio(small_params) > 0.0
+
+    def test_correction_ratio_tends_to_one_as_p_shrinks(self):
+        # The linearisation error vanishes when mu*n*p -> 0.
+        loose = parameters_from_c(c=1.0, n=100, delta=2, nu=0.2)
+        tight = parameters_from_c(c=1_000.0, n=100, delta=2, nu=0.2)
+        assert abs(correction_ratio(tight) - 1.0) < abs(correction_ratio(loose) - 1.0)
+        assert correction_ratio(tight) == pytest.approx(1.0, abs=1e-3)
+
+    def test_incorrect_rate_rejects_saturated_rate(self):
+        params = ProtocolParameters(p=0.5, n=10, delta=2, nu=0.2)
+        with pytest.raises(ParameterError):
+            kiffer_convergence_rate_incorrect(params)
+
+
+class TestConditions:
+    def test_corrected_condition_matches_theorem1(self, small_params):
+        from repro.core.bounds import theorem1_condition
+
+        for delta1 in (0.01, 0.5, 2.0):
+            assert corrected_condition(small_params, delta1) == theorem1_condition(
+                small_params, delta1
+            )
+
+    def test_conditions_can_disagree(self):
+        """The incorrect normalisation changes the verdict near the boundary:
+        there exist parameters where one condition holds and the other fails."""
+        params = parameters_from_c(c=1.0, n=100, delta=2, nu=0.2)
+        delta1 = 0.01
+        boundary_delta1_corrected = (
+            corrected_convergence_rate(params) / params.beta - 1.0
+        )
+        boundary_delta1_incorrect = (
+            kiffer_convergence_rate_incorrect(params) / params.beta - 1.0
+        )
+        assert boundary_delta1_corrected != pytest.approx(
+            boundary_delta1_incorrect, rel=1e-3
+        )
+        assert isinstance(corrected_condition(params, delta1), bool)
+        assert isinstance(kiffer_style_condition_incorrect(params, delta1), bool)
+
+    def test_rejects_nonpositive_delta1(self, small_params):
+        with pytest.raises(ParameterError):
+            corrected_condition(small_params, 0.0)
+        with pytest.raises(ParameterError):
+            kiffer_style_condition_incorrect(small_params, -1.0)
+
+    @given(
+        c=st.floats(min_value=0.5, max_value=50.0),
+        nu=st.floats(min_value=0.05, max_value=0.45),
+        delta=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ratio_positive_and_near_one_for_small_p(self, c, nu, delta):
+        params = parameters_from_c(c=c, n=1_000, delta=delta, nu=nu)
+        assume(params.honest_count * params.p < 0.5)
+        ratio = correction_ratio(params)
+        assert ratio > 0.0
+        # The relative error is controlled by mu*n*p and Delta*mu*n*p.
+        scale = params.honest_count * params.p * (1.0 + 2.0 * delta)
+        assert abs(ratio - 1.0) <= max(4.0 * scale, 1e-9)

@@ -1,0 +1,194 @@
+"""Tests for repro.core.lemmas: the proof machinery of Section VI."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import neat_bound, theorem3_pn_threshold
+from repro.core.lemmas import (
+    delta1_constant,
+    delta2_delta3_constants,
+    delta4_constant,
+    implication_chain_thresholds,
+    lemma2_implication_holds,
+    lemma2_premise,
+    lemma3_delta4_lower_bound,
+    lemma3_inequality_holds,
+    lemma4_c_threshold,
+    lemma5_inequality_holds,
+    lemma6_inequality_holds,
+    lemma7_brackets,
+    lemma7_holds,
+    lemma8_holds,
+    proposition2_holds,
+)
+from repro.errors import ParameterError
+from repro.params import ProtocolParameters, parameters_from_c
+
+NU = st.floats(min_value=0.01, max_value=0.49)
+EPS1 = st.floats(min_value=0.01, max_value=0.9)
+EPS2 = st.floats(min_value=0.001, max_value=1.0)
+DELTA = st.integers(min_value=1, max_value=10_000)
+
+
+class TestConstants:
+    @given(nu=NU, eps1=EPS1, eps2=EPS2)
+    @settings(max_examples=300, deadline=None)
+    def test_delta4_positive_and_below_log_ratio(self, nu, eps1, eps2):
+        """The paper's Remark 5: Eq. (60) satisfies Inequality (73)."""
+        delta4 = delta4_constant(nu, eps1, eps2)
+        assert delta4 > 0.0
+        assert delta4 < math.log((1.0 - nu) / nu)
+
+    @given(nu=NU, eps1=EPS1, eps2=EPS2)
+    @settings(max_examples=300, deadline=None)
+    def test_delta4_exceeds_lemma3_lower_bound(self, nu, eps1, eps2):
+        """Display (62): Eq. (60) implies Inequality (68)."""
+        assert delta4_constant(nu, eps1, eps2) > lemma3_delta4_lower_bound(nu, eps1)
+
+    @given(nu=NU, eps1=EPS1, eps2=EPS2)
+    @settings(max_examples=300, deadline=None)
+    def test_delta1_positive(self, nu, eps1, eps2):
+        """Display (63): the delta1 of Eq. (61) is positive."""
+        assert delta1_constant(nu, eps1, eps2) > 0.0
+
+    def test_delta2_delta3_formulas(self):
+        delta2, delta3 = delta2_delta3_constants(0.3)
+        assert delta2 == pytest.approx(1.0 - 1.3 ** (-1.0 / 3.0), rel=1e-12)
+        assert delta3 == pytest.approx(1.3 ** (1.0 / 3.0) - 1.0, rel=1e-12)
+
+    @given(delta1=st.floats(min_value=1e-6, max_value=10.0))
+    @settings(max_examples=200, deadline=None)
+    def test_delta2_delta3_make_gap_positive(self, delta1):
+        """Eq. (24): (1-delta2)(1+delta1) - (1+delta3) > 0 with Eq. (23)."""
+        delta2, delta3 = delta2_delta3_constants(delta1)
+        assert 0.0 < delta2 < 1.0
+        assert delta3 > 0.0
+        assert (1.0 - delta2) * (1.0 + delta1) - (1.0 + delta3) > 0.0
+
+    def test_constants_reject_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            delta4_constant(0.6, 0.1, 0.01)
+        with pytest.raises(ParameterError):
+            delta4_constant(0.2, 1.5, 0.01)
+        with pytest.raises(ParameterError):
+            delta2_delta3_constants(0.0)
+
+
+class TestLemma2:
+    def test_premise(self):
+        params = parameters_from_c(c=10.0, n=100, delta=2, nu=0.2)
+        assert lemma2_premise(params)
+
+    @given(
+        c=st.floats(min_value=0.2, max_value=100.0),
+        nu=NU,
+        delta=st.integers(min_value=1, max_value=50),
+        delta1=st.floats(min_value=1e-3, max_value=5.0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_implication_never_falsified(self, c, nu, delta, delta1):
+        params = parameters_from_c(c=c, n=1_000, delta=delta, nu=nu)
+        assert lemma2_implication_holds(params, delta1)
+
+
+class TestLemma3:
+    @given(nu=NU, eps1=EPS1, eps2=EPS2, delta=st.integers(min_value=1, max_value=1_000))
+    @settings(max_examples=200, deadline=None)
+    def test_inequality_70_holds_under_pn_condition(self, nu, eps1, eps2, delta):
+        # Choose p n right at the Inequality (50) threshold (the hardest case).
+        pn_limit = theorem3_pn_threshold(nu, eps1)
+        n = 1_000
+        p = min(pn_limit / n, 0.999)
+        params = ProtocolParameters(p=p, n=n, delta=delta, nu=nu, strict_model=False)
+        assert lemma3_inequality_holds(params, eps1, eps2)
+
+
+class TestLemma4AndProposition2:
+    @given(nu=NU, delta=st.integers(min_value=1, max_value=1_000))
+    @settings(max_examples=200, deadline=None)
+    def test_proposition2(self, nu, delta):
+        delta4 = 0.5 * math.log((1.0 - nu) / nu)
+        assert proposition2_holds(nu, delta, delta4)
+
+    def test_threshold_positive(self):
+        params = parameters_from_c(c=5.0, n=1_000, delta=10, nu=0.25)
+        delta4 = 0.5 * math.log(3.0)
+        assert lemma4_c_threshold(params, delta4) > 0.0
+
+    def test_rejects_delta4_out_of_range(self):
+        params = parameters_from_c(c=5.0, n=1_000, delta=10, nu=0.25)
+        with pytest.raises(ParameterError):
+            lemma4_c_threshold(params, math.log(3.0) * 1.5)
+
+
+class TestLemmas5Through8:
+    @given(nu=NU, delta=st.integers(min_value=1, max_value=1_000))
+    @settings(max_examples=200, deadline=None)
+    def test_lemma5(self, nu, delta):
+        params = parameters_from_c(c=5.0, n=1_000, delta=delta, nu=nu)
+        delta4 = 0.5 * math.log((1.0 - nu) / nu)
+        assert lemma5_inequality_holds(params, delta4)
+
+    @given(nu=NU, delta=st.integers(min_value=1, max_value=1_000))
+    @settings(max_examples=200, deadline=None)
+    def test_lemma6(self, nu, delta):
+        delta4 = 0.5 * math.log((1.0 - nu) / nu)
+        assert lemma6_inequality_holds(nu, delta, delta4)
+
+    @given(nu=NU, delta=DELTA)
+    @settings(max_examples=300, deadline=None)
+    def test_lemma7_bracket(self, nu, delta):
+        lower, middle, upper = lemma7_brackets(nu, delta)
+        assert lower <= middle <= upper
+        assert lemma7_holds(nu, delta)
+
+    def test_lemma7_bracket_tightens_with_delta(self):
+        # The bracket width is exactly 1/Delta, so larger Delta pins the middle
+        # expression to 2/ln(mu/nu).
+        lower_small, middle_small, _ = lemma7_brackets(0.3, 2)
+        lower_large, middle_large, _ = lemma7_brackets(0.3, 10**6)
+        assert abs(middle_large - lower_large) < abs(middle_small - lower_small)
+        assert middle_large == pytest.approx(2.0 / math.log(0.7 / 0.3), rel=1e-5)
+
+    @given(nu=NU, eps1=EPS1, eps2=EPS2)
+    @settings(max_examples=300, deadline=None)
+    def test_lemma8(self, nu, eps1, eps2):
+        assert lemma8_holds(nu, eps1, eps2)
+
+    def test_lemma_input_validation(self):
+        with pytest.raises(ParameterError):
+            lemma7_brackets(0.6, 10)
+        with pytest.raises(ParameterError):
+            lemma7_brackets(0.3, 0)
+        with pytest.raises(ParameterError):
+            lemma6_inequality_holds(0.3, 10, -0.1)
+
+
+class TestImplicationChain:
+    def test_thresholds_are_increasing_along_the_chain(self):
+        """Each sufficiency step may only loosen the requirement on c."""
+        steps = implication_chain_thresholds(0.25, 10, 100_000, 0.1, 0.01)
+        thresholds = [step.c_threshold for step in steps]
+        assert thresholds == sorted(thresholds)
+
+    def test_final_step_matches_theorem3(self):
+        from repro.core.bounds import theorem3_c_threshold
+
+        steps = implication_chain_thresholds(0.25, 10, 100_000, 0.1, 0.01)
+        assert steps[-1].c_threshold == pytest.approx(
+            theorem3_c_threshold(0.25, 10, 0.1, 0.01), rel=1e-12
+        )
+
+    @given(nu=NU, delta=st.integers(min_value=2, max_value=1_000))
+    @settings(max_examples=100, deadline=None)
+    def test_chain_starts_above_neat_bound_scaled(self, nu, delta):
+        steps = implication_chain_thresholds(nu, delta, 100_000, 0.1, 0.01)
+        # Every threshold exceeds the ideal (unattainable) neat bound over (1-eps1).
+        for step in steps:
+            assert step.c_threshold > 0.0
+        assert steps[-1].c_threshold >= neat_bound(nu)

@@ -1,0 +1,143 @@
+"""Tests for repro.markov.chain: the generic finite Markov chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MarkovChainError
+from repro.markov import FiniteMarkovChain
+
+
+def random_stochastic_matrix(size: int, rng: np.random.Generator) -> np.ndarray:
+    matrix = rng.random((size, size)) + 1e-3
+    return matrix / matrix.sum(axis=1, keepdims=True)
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(MarkovChainError):
+            FiniteMarkovChain([[0.5, 0.5]])
+
+    def test_rejects_rows_not_summing_to_one(self):
+        with pytest.raises(MarkovChainError):
+            FiniteMarkovChain([[0.5, 0.4], [0.5, 0.5]])
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(MarkovChainError):
+            FiniteMarkovChain([[1.2, -0.2], [0.5, 0.5]])
+
+    def test_rejects_wrong_label_count(self):
+        with pytest.raises(MarkovChainError):
+            FiniteMarkovChain([[0.5, 0.5], [0.5, 0.5]], labels=["only-one"])
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(MarkovChainError):
+            FiniteMarkovChain([[0.5, 0.5], [0.5, 0.5]], labels=["a", "a"])
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(MarkovChainError):
+            FiniteMarkovChain(np.zeros((0, 0)))
+
+
+class TestBasicAccessors:
+    def test_probability_lookup(self):
+        chain = FiniteMarkovChain([[0.1, 0.9], [0.7, 0.3]], labels=["a", "b"])
+        assert chain.probability("a", "b") == pytest.approx(0.9)
+        assert chain.probability("b", "a") == pytest.approx(0.7)
+
+    def test_unknown_label(self):
+        chain = FiniteMarkovChain([[1.0]])
+        with pytest.raises(MarkovChainError):
+            chain.index_of("missing")
+
+    def test_default_labels(self):
+        chain = FiniteMarkovChain([[0.5, 0.5], [0.5, 0.5]])
+        assert chain.labels == [0, 1]
+
+
+class TestStructure:
+    def test_irreducible_chain(self):
+        chain = FiniteMarkovChain([[0.5, 0.5], [0.5, 0.5]])
+        assert chain.is_irreducible()
+        assert chain.is_aperiodic()
+        assert chain.is_ergodic()
+
+    def test_reducible_chain(self):
+        chain = FiniteMarkovChain([[1.0, 0.0], [0.5, 0.5]])
+        assert not chain.is_irreducible()
+
+    def test_periodic_chain(self):
+        chain = FiniteMarkovChain([[0.0, 1.0], [1.0, 0.0]])
+        assert chain.is_irreducible()
+        assert chain.period() == 2
+        assert not chain.is_aperiodic()
+        assert not chain.is_ergodic()
+
+    def test_three_cycle_period(self):
+        matrix = [[0, 1, 0], [0, 0, 1], [1, 0, 0]]
+        chain = FiniteMarkovChain(matrix)
+        assert chain.period() == 3
+
+
+class TestStationaryDistribution:
+    def test_two_state_closed_form(self):
+        # For [[1-a, a], [b, 1-b]] the stationary distribution is (b, a)/(a+b).
+        a, b = 0.3, 0.1
+        chain = FiniteMarkovChain([[1 - a, a], [b, 1 - b]])
+        pi = chain.stationary_distribution()
+        assert pi[0] == pytest.approx(b / (a + b))
+        assert pi[1] == pytest.approx(a / (a + b))
+
+    def test_uniform_for_doubly_stochastic(self):
+        matrix = [[0.2, 0.3, 0.5], [0.5, 0.2, 0.3], [0.3, 0.5, 0.2]]
+        pi = FiniteMarkovChain(matrix).stationary_distribution()
+        assert np.allclose(pi, 1.0 / 3.0)
+
+    def test_stationary_as_dict(self):
+        chain = FiniteMarkovChain([[0.5, 0.5], [0.2, 0.8]], labels=["x", "y"])
+        pi = chain.stationary_as_dict()
+        assert set(pi) == {"x", "y"}
+        assert sum(pi.values()) == pytest.approx(1.0)
+
+    @given(size=st.integers(min_value=2, max_value=12), seed=st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=80, deadline=None)
+    def test_stationary_is_invariant(self, size, seed):
+        rng = np.random.default_rng(seed)
+        chain = FiniteMarkovChain(random_stochastic_matrix(size, rng))
+        pi = chain.stationary_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi >= 0.0)
+        assert np.allclose(pi @ chain.transition_matrix, pi, atol=1e-8)
+
+
+class TestEvolutionAndHittingTimes:
+    def test_evolve_preserves_mass(self):
+        chain = FiniteMarkovChain([[0.5, 0.5], [0.1, 0.9]])
+        distribution = chain.evolve(np.array([1.0, 0.0]), steps=5)
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_evolve_converges_to_stationary(self):
+        chain = FiniteMarkovChain([[0.5, 0.5], [0.1, 0.9]])
+        distribution = chain.evolve(chain.point_distribution(0), steps=200)
+        assert np.allclose(distribution, chain.stationary_distribution(), atol=1e-9)
+
+    def test_evolve_rejects_bad_shape(self):
+        chain = FiniteMarkovChain([[0.5, 0.5], [0.1, 0.9]])
+        with pytest.raises(MarkovChainError):
+            chain.evolve(np.array([1.0, 0.0, 0.0]))
+
+    def test_hitting_times_two_state(self):
+        # From state 0, expected time to hit state 1 is 1/a for leave-probability a.
+        a = 0.25
+        chain = FiniteMarkovChain([[1 - a, a], [0.5, 0.5]])
+        hitting = chain.expected_hitting_times(1)
+        assert hitting[1] == pytest.approx(0.0)
+        assert hitting[0] == pytest.approx(1.0 / a)
+
+    def test_mean_recurrence_time_is_inverse_stationary(self):
+        chain = FiniteMarkovChain([[0.5, 0.5], [0.25, 0.75]], labels=["a", "b"])
+        pi = chain.stationary_as_dict()
+        assert chain.mean_recurrence_time("a") == pytest.approx(1.0 / pi["a"])

@@ -1,0 +1,140 @@
+"""Tests for repro.markov.walk, repro.markov.mixing and repro.markov.spectral."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import MarkovChainError
+from repro.markov import (
+    FiniteMarkovChain,
+    distance_to_stationarity,
+    eigenvalue_moduli,
+    indicator_sum,
+    mixing_time,
+    mixing_time_bounds_from_spectrum,
+    occupation_frequencies,
+    pi_norm,
+    relaxation_time,
+    sample_path,
+    second_largest_eigenvalue_modulus,
+    spectral_gap,
+    total_variation_distance,
+)
+
+
+@pytest.fixture
+def lazy_chain() -> FiniteMarkovChain:
+    """A small ergodic chain with a known stationary distribution."""
+    return FiniteMarkovChain(
+        [[0.6, 0.3, 0.1], [0.2, 0.5, 0.3], [0.1, 0.2, 0.7]], labels=["a", "b", "c"]
+    )
+
+
+class TestWalk:
+    def test_path_length_and_labels(self, lazy_chain, rng):
+        walk = sample_path(lazy_chain, 500, rng, initial_state="a")
+        assert len(walk.states) == 500
+        assert set(walk.label_path()) <= {"a", "b", "c"}
+
+    def test_visit_counts_sum_to_length(self, lazy_chain, rng):
+        walk = sample_path(lazy_chain, 1_000, rng)
+        assert sum(walk.visit_counts().values()) == 1_000
+
+    def test_frequencies_approach_stationary(self, lazy_chain, rng):
+        frequencies = occupation_frequencies(lazy_chain, 100_000, rng)
+        stationary = lazy_chain.stationary_as_dict()
+        for label in ("a", "b", "c"):
+            assert frequencies[label] == pytest.approx(stationary[label], abs=0.02)
+
+    def test_indicator_sum(self, lazy_chain, rng):
+        walk = sample_path(lazy_chain, 2_000, rng)
+        count_a = indicator_sum(walk, lambda label: label == "a")
+        assert count_a == walk.visit_counts()["a"]
+
+    def test_rejects_nonpositive_steps(self, lazy_chain, rng):
+        with pytest.raises(MarkovChainError):
+            sample_path(lazy_chain, 0, rng)
+
+    def test_deterministic_given_seed(self, lazy_chain):
+        first = sample_path(lazy_chain, 200, np.random.default_rng(7), initial_state="a")
+        second = sample_path(lazy_chain, 200, np.random.default_rng(7), initial_state="a")
+        assert np.array_equal(first.states, second.states)
+
+
+class TestTotalVariationAndMixing:
+    def test_total_variation_basic(self):
+        assert total_variation_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+        assert total_variation_distance([0.5, 0.5], [0.5, 0.5]) == pytest.approx(0.0)
+
+    def test_total_variation_shape_mismatch(self):
+        with pytest.raises(MarkovChainError):
+            total_variation_distance([1.0, 0.0], [1.0, 0.0, 0.0])
+
+    def test_distance_decreases_with_steps(self, lazy_chain):
+        distances = [distance_to_stationarity(lazy_chain, steps) for steps in (0, 2, 5, 20)]
+        assert distances == sorted(distances, reverse=True)
+
+    def test_mixing_time_definition(self, lazy_chain):
+        tau = mixing_time(lazy_chain, epsilon=0.125)
+        assert distance_to_stationarity(lazy_chain, tau) <= 0.125
+        if tau > 0:
+            assert distance_to_stationarity(lazy_chain, tau - 1) > 0.125
+
+    def test_mixing_time_smaller_for_larger_epsilon(self, lazy_chain):
+        assert mixing_time(lazy_chain, epsilon=0.25) <= mixing_time(lazy_chain, epsilon=0.01)
+
+    def test_mixing_time_rejects_bad_epsilon(self, lazy_chain):
+        with pytest.raises(MarkovChainError):
+            mixing_time(lazy_chain, epsilon=0.0)
+
+    def test_periodic_chain_never_mixes(self):
+        chain = FiniteMarkovChain([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(MarkovChainError):
+            mixing_time(chain, epsilon=0.1, max_steps=64)
+
+    def test_pi_norm_of_stationary_is_one(self, lazy_chain):
+        pi = lazy_chain.stationary_distribution()
+        assert pi_norm(pi, pi) == pytest.approx(1.0)
+
+    def test_pi_norm_point_mass(self, lazy_chain):
+        pi = lazy_chain.stationary_distribution()
+        point = lazy_chain.point_distribution("a")
+        # ||delta_a||_pi = 1/sqrt(pi(a))
+        assert pi_norm(point, pi) == pytest.approx(1.0 / math.sqrt(pi[0]))
+
+
+class TestSpectral:
+    def test_largest_eigenvalue_is_one(self, lazy_chain):
+        moduli = eigenvalue_moduli(lazy_chain)
+        assert moduli[0] == pytest.approx(1.0)
+
+    def test_spectral_gap_positive_for_ergodic(self, lazy_chain):
+        assert 0.0 < spectral_gap(lazy_chain) <= 1.0
+        assert relaxation_time(lazy_chain) >= 1.0
+
+    def test_periodic_chain_has_zero_gap(self):
+        chain = FiniteMarkovChain([[0.0, 1.0], [1.0, 0.0]])
+        assert spectral_gap(chain) == pytest.approx(0.0, abs=1e-12)
+        with pytest.raises(MarkovChainError):
+            relaxation_time(chain)
+
+    def test_slem_between_zero_and_one(self, lazy_chain):
+        assert 0.0 <= second_largest_eigenvalue_modulus(lazy_chain) < 1.0
+
+    def test_spectral_bounds_bracket_true_mixing_time(self, lazy_chain):
+        lower, upper = mixing_time_bounds_from_spectrum(lazy_chain, epsilon=0.125)
+        tau = mixing_time(lazy_chain, epsilon=0.125)
+        assert lower <= tau + 1  # the lower bound is asymptotic; allow 1 step slack
+        assert tau <= math.ceil(upper) + 1
+
+    def test_suffix_chain_mixing_is_finite(self, small_params):
+        """The paper's C_F chain (small Delta) mixes quickly."""
+        from repro.core.suffix_chain import SuffixChain
+
+        markov = SuffixChain(small_params).to_markov_chain()
+        tau = mixing_time(markov, epsilon=0.125, max_steps=100_000)
+        assert tau >= 1
+        assert spectral_gap(markov) > 0.0

@@ -1,0 +1,170 @@
+"""Tests for repro.simulation.miners and repro.simulation.adversary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import (
+    BlockTree,
+    HonestPopulation,
+    MaxDelayAdversary,
+    PassiveAdversary,
+    PrivateChainAdversary,
+)
+from repro.simulation.block import Block
+
+
+def make_block(block_id, parent_id, height, honest=True, miner_id=0, round_mined=1):
+    return Block(
+        block_id=block_id,
+        parent_id=parent_id,
+        height=height,
+        round_mined=round_mined,
+        miner_id=miner_id,
+        honest=honest,
+    )
+
+
+class TestHonestPopulation:
+    def test_rejects_zero_miners(self):
+        with pytest.raises(SimulationError):
+            HonestPopulation(0)
+
+    def test_default_mining_parent_is_genesis(self):
+        population = HonestPopulation(10)
+        parent_id, height = population.mining_parent_for(3)
+        assert parent_id == 0
+        assert height == 0
+
+    def test_creator_extends_own_undelivered_block(self):
+        population = HonestPopulation(10)
+        own = make_block(1, 0, 1, miner_id=4)
+        population.record_own_block(own)
+        parent_id, height = population.mining_parent_for(4)
+        assert parent_id == 1
+        assert height == 1
+        # Other miners have not seen it yet.
+        other_parent, other_height = population.mining_parent_for(5)
+        assert other_parent == 0
+        assert other_height == 0
+
+    def test_delivery_moves_block_into_public_view(self):
+        population = HonestPopulation(10)
+        own = make_block(1, 0, 1, miner_id=4)
+        population.record_own_block(own)
+        population.deliver([own])
+        assert population.public_height == 1
+        assert population.undelivered_count() == 0
+        parent_id, _ = population.mining_parent_for(5)
+        assert parent_id == 1
+
+    def test_creator_abandons_own_block_when_public_is_higher(self):
+        population = HonestPopulation(10)
+        own = make_block(1, 0, 1, miner_id=4)
+        population.record_own_block(own)
+        # Deliver a competing two-block chain from elsewhere.
+        population.deliver([make_block(2, 0, 1, miner_id=6)])
+        population.deliver([make_block(3, 2, 2, miner_id=6)])
+        parent_id, height = population.mining_parent_for(4)
+        assert parent_id == 3
+        assert height == 2
+
+    def test_record_own_block_rejects_adversarial(self):
+        population = HonestPopulation(10)
+        with pytest.raises(SimulationError):
+            population.record_own_block(make_block(1, 0, 1, honest=False))
+
+
+class TestPassiveAndMaxDelayAdversary:
+    def test_passive_has_zero_delay(self):
+        adversary = PassiveAdversary(delta=3)
+        assert adversary.delay_for_honest_block(make_block(1, 0, 1), 5) == 0
+
+    def test_max_delay_uses_full_delta(self):
+        adversary = MaxDelayAdversary(delta=3)
+        assert adversary.delay_for_honest_block(make_block(1, 0, 1), 5) == 3
+
+    def test_passive_releases_immediately(self):
+        adversary = PassiveAdversary(delta=3)
+        tree = BlockTree()
+        block = make_block(1, 0, 1, honest=False)
+        adversary.register_adversary_block(block, 2)
+        assert adversary.blocks_to_release(tree, 2) == [block]
+        assert adversary.blocks_to_release(tree, 3) == []
+
+    def test_passive_mines_on_public_tip(self):
+        adversary = PassiveAdversary(delta=3)
+        tree = BlockTree()
+        tree.add(make_block(1, 0, 1))
+        assert adversary.mining_parent(tree, 1) == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(SimulationError):
+            PassiveAdversary(delta=0)
+        with pytest.raises(SimulationError):
+            PassiveAdversary(delta=3, honest_delay=4)
+
+
+class TestPrivateChainAdversary:
+    def test_forks_from_public_tip_then_extends_private(self):
+        adversary = PrivateChainAdversary(delta=3, target_depth=2)
+        tree = BlockTree()
+        tree.add(make_block(1, 0, 1))
+        assert adversary.mining_parent(tree, 1) == 1
+        private1 = make_block(10, 1, 2, honest=False)
+        adversary.register_adversary_block(private1, 1)
+        assert adversary.mining_parent(tree, 2) == 10
+        assert adversary.withheld_count == 1
+        assert adversary.private_height == 2
+
+    def test_withholds_until_deep_enough(self):
+        adversary = PrivateChainAdversary(delta=3, target_depth=3)
+        tree = BlockTree()
+        # Adversary forks from genesis and mines two private blocks.
+        adversary.register_adversary_block(make_block(10, 0, 1, honest=False), 1)
+        adversary.register_adversary_block(make_block(11, 10, 2, honest=False), 2)
+        # Public chain has one block: private is ahead but fork depth (1) < target (3).
+        tree.add(make_block(1, 0, 1))
+        assert adversary.blocks_to_release(tree, 3) == []
+        assert adversary.withheld_count == 2
+
+    def test_releases_when_longer_and_deep(self):
+        adversary = PrivateChainAdversary(delta=3, target_depth=2)
+        tree = BlockTree()
+        adversary.register_adversary_block(make_block(10, 0, 1, honest=False), 1)
+        adversary.register_adversary_block(make_block(11, 10, 2, honest=False), 2)
+        adversary.register_adversary_block(make_block(12, 11, 3, honest=False), 3)
+        tree.add(make_block(1, 0, 1))
+        tree.add(make_block(2, 1, 2))
+        released = adversary.blocks_to_release(tree, 4)
+        assert [block.block_id for block in released] == [10, 11, 12]
+        assert adversary.releases == 1
+        assert adversary.deepest_fork == 2
+        assert adversary.withheld_count == 0
+
+    def test_gives_up_when_hopelessly_behind(self):
+        adversary = PrivateChainAdversary(delta=3, target_depth=2, give_up_deficit=2)
+        tree = BlockTree()
+        adversary.register_adversary_block(make_block(10, 0, 1, honest=False), 1)
+        # Public chain races ahead by 3 blocks.
+        tree.add(make_block(1, 0, 1))
+        tree.add(make_block(2, 1, 2))
+        tree.add(make_block(3, 2, 3))
+        assert adversary.blocks_to_release(tree, 5) == []
+        assert adversary.withheld_count == 0  # abandoned
+        # Next mining restarts from the public tip.
+        assert adversary.mining_parent(tree, 6) == 3
+
+    def test_always_delays_honest_blocks_by_delta(self):
+        adversary = PrivateChainAdversary(delta=4)
+        assert adversary.delay_for_honest_block(make_block(1, 0, 1), 9) == 4
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(SimulationError):
+            PrivateChainAdversary(delta=3, target_depth=0)
+        with pytest.raises(SimulationError):
+            PrivateChainAdversary(delta=3, give_up_deficit=0)
+
+    def test_describe(self):
+        assert PrivateChainAdversary(3).describe() == "PrivateChainAdversary"

@@ -1,0 +1,110 @@
+"""Tests for repro.simulation.oracle and repro.simulation.network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import DeltaDelayNetwork, MiningOracle
+from repro.simulation.block import Block
+
+
+def make_block(block_id, parent_id=0, height=1, round_mined=1):
+    return Block(
+        block_id=block_id,
+        parent_id=parent_id,
+        height=height,
+        round_mined=round_mined,
+        miner_id=0,
+        honest=True,
+    )
+
+
+class TestMiningOracle:
+    def test_rejects_bad_hardness(self, rng):
+        with pytest.raises(SimulationError):
+            MiningOracle(0.0, rng)
+        with pytest.raises(SimulationError):
+            MiningOracle(1.0, rng)
+
+    def test_zero_miners_yield_zero_blocks(self, rng):
+        oracle = MiningOracle(0.1, rng)
+        assert oracle.honest_successes(0) == 0
+        assert oracle.adversary_successes(0) == 0
+
+    def test_negative_miner_count_rejected(self, rng):
+        oracle = MiningOracle(0.1, rng)
+        with pytest.raises(SimulationError):
+            oracle.honest_successes(-1)
+
+    def test_success_counts_within_range(self, rng):
+        oracle = MiningOracle(0.3, rng)
+        for _ in range(100):
+            count = oracle.honest_successes(10)
+            assert 0 <= count <= 10
+
+    def test_empirical_mean_matches_binomial(self, rng):
+        oracle = MiningOracle(0.01, rng)
+        draws = [oracle.honest_successes(1_000) for _ in range(2_000)]
+        assert np.mean(draws) == pytest.approx(10.0, rel=0.05)
+
+    def test_success_positions_distribution(self, rng):
+        oracle = MiningOracle(0.05, rng)
+        counts = [len(oracle.honest_success_positions(200)) for _ in range(2_000)]
+        assert np.mean(counts) == pytest.approx(10.0, rel=0.1)
+
+    def test_query_accounting(self, rng):
+        oracle = MiningOracle(0.1, rng)
+        oracle.honest_successes(10)
+        oracle.honest_successes(10)
+        oracle.adversary_successes(5)
+        assert oracle.honest_queries == 20
+        assert oracle.adversary_queries == 5
+
+
+class TestDeltaDelayNetwork:
+    def test_rejects_bad_delta(self):
+        with pytest.raises(SimulationError):
+            DeltaDelayNetwork(0)
+
+    def test_delay_cap_enforced(self):
+        network = DeltaDelayNetwork(3)
+        with pytest.raises(SimulationError):
+            network.broadcast(make_block(1), sent_round=1, delay=4)
+        with pytest.raises(SimulationError):
+            network.broadcast(make_block(1), sent_round=1, delay=-1)
+
+    def test_delivery_at_correct_round(self):
+        network = DeltaDelayNetwork(3)
+        block = make_block(1)
+        network.broadcast(block, sent_round=2, delay=3)
+        assert network.deliver(4) == []
+        assert network.deliver(5) == [block]
+        assert network.deliver(5) == []  # already delivered
+
+    def test_zero_delay_delivery(self):
+        network = DeltaDelayNetwork(2)
+        block = make_block(1)
+        network.broadcast(block, sent_round=4, delay=0)
+        assert network.deliver(4) == [block]
+
+    def test_delivery_order_is_deterministic(self):
+        network = DeltaDelayNetwork(5)
+        late = make_block(7, round_mined=3)
+        early = make_block(2, round_mined=1)
+        network.broadcast(late, sent_round=3, delay=2)
+        network.broadcast(early, sent_round=1, delay=4)
+        delivered = network.deliver(5)
+        assert [block.block_id for block in delivered] == [2, 7]
+
+    def test_pending_accounting(self):
+        network = DeltaDelayNetwork(4)
+        network.broadcast(make_block(1), sent_round=1, delay=2)
+        network.broadcast(make_block(2), sent_round=1, delay=4)
+        assert network.pending_count() == 2
+        assert network.sent_count == 2
+        network.deliver(3)
+        assert network.pending_count() == 1
+        assert network.delivered_count == 1
+        assert [message.block.block_id for message in network.pending()] == [2]

@@ -1,0 +1,190 @@
+"""Tests for repro.params: Table I quantities and their invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.params import (
+    ProtocolParameters,
+    parameters_for_target_alpha,
+    parameters_from_c,
+)
+
+
+class TestValidation:
+    def test_rejects_p_out_of_range(self):
+        with pytest.raises(ParameterError):
+            ProtocolParameters(p=0.0, n=10, delta=2, nu=0.1)
+        with pytest.raises(ParameterError):
+            ProtocolParameters(p=1.0, n=10, delta=2, nu=0.1)
+        with pytest.raises(ParameterError):
+            ProtocolParameters(p=-0.1, n=10, delta=2, nu=0.1)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ParameterError):
+            ProtocolParameters(p=0.1, n=0, delta=2, nu=0.1)
+        with pytest.raises(ParameterError):
+            ProtocolParameters(p=0.1, n=-3, delta=2, nu=0.1)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ParameterError):
+            ProtocolParameters(p=0.1, n=10, delta=0, nu=0.1)
+
+    def test_strict_model_enforces_inequality_2(self):
+        # nu must be strictly inside (0, 1/2) under the paper's model.
+        with pytest.raises(ParameterError):
+            ProtocolParameters(p=0.1, n=10, delta=2, nu=0.5)
+        with pytest.raises(ParameterError):
+            ProtocolParameters(p=0.1, n=10, delta=2, nu=0.0)
+
+    def test_strict_model_enforces_inequality_3(self):
+        with pytest.raises(ParameterError):
+            ProtocolParameters(p=0.1, n=3, delta=2, nu=0.1)
+
+    def test_relaxed_model_allows_nu_up_to_half(self):
+        params = ProtocolParameters(p=0.1, n=10, delta=2, nu=0.5, strict_model=False)
+        assert params.mu == pytest.approx(0.5)
+
+    def test_relaxed_model_allows_zero_adversary(self):
+        params = ProtocolParameters(p=0.1, n=2, delta=2, nu=0.0, strict_model=False)
+        assert params.adversary_count == 0.0
+
+
+class TestDerivedQuantities:
+    def test_mu_nu_sum_to_one(self, small_params):
+        assert small_params.mu + small_params.nu == pytest.approx(1.0)
+
+    def test_c_definition(self):
+        params = ProtocolParameters(p=1e-6, n=1_000, delta=10, nu=0.2)
+        assert params.c == pytest.approx(1.0 / (1e-6 * 1_000 * 10))
+
+    def test_alpha_plus_alpha_bar_is_one(self, small_params):
+        assert small_params.alpha + small_params.alpha_bar == pytest.approx(1.0)
+
+    def test_alpha_matches_direct_formula(self):
+        params = ProtocolParameters(p=1e-3, n=100, delta=2, nu=0.25)
+        honest = 0.75 * 100
+        expected = 1.0 - (1.0 - 1e-3) ** honest
+        assert params.alpha == pytest.approx(expected, rel=1e-12)
+
+    def test_alpha1_matches_direct_formula(self):
+        params = ProtocolParameters(p=1e-3, n=100, delta=2, nu=0.25)
+        honest = 0.75 * 100
+        expected = 1e-3 * honest * (1.0 - 1e-3) ** (honest - 1)
+        assert params.alpha1 == pytest.approx(expected, rel=1e-12)
+
+    def test_alpha1_less_than_alpha(self, small_params):
+        assert small_params.alpha1 < small_params.alpha
+
+    def test_beta_is_nu_n_p(self, small_params):
+        assert small_params.beta == pytest.approx(
+            small_params.nu * small_params.n * small_params.p
+        )
+
+    def test_log_quantities_consistent(self, small_params):
+        assert math.exp(small_params.log_alpha_bar) == pytest.approx(
+            small_params.alpha_bar, rel=1e-12
+        )
+        assert math.exp(small_params.log_alpha1) == pytest.approx(
+            small_params.alpha1, rel=1e-12
+        )
+
+    def test_convergence_opportunity_probability(self, small_params):
+        expected = small_params.alpha_bar ** (
+            2 * small_params.delta
+        ) * small_params.alpha1
+        assert small_params.convergence_opportunity_probability == pytest.approx(
+            expected, rel=1e-10
+        )
+
+    def test_paper_scale_does_not_underflow_logs(self, paper_params):
+        # At Delta = 1e13 the linear-scale quantity underflows but the log stays finite.
+        assert math.isfinite(paper_params.log_convergence_opportunity_probability)
+        assert paper_params.log_convergence_opportunity_probability < 0.0
+
+    def test_log_mu_nu_ratio(self, small_params):
+        assert small_params.log_mu_nu_ratio == pytest.approx(math.log(0.8 / 0.2))
+
+
+class TestTransformations:
+    def test_with_nu(self, small_params):
+        changed = small_params.with_nu(0.3)
+        assert changed.nu == pytest.approx(0.3)
+        assert changed.p == small_params.p
+
+    def test_with_p_and_delta(self, small_params):
+        assert small_params.with_p(1e-5).p == pytest.approx(1e-5)
+        assert small_params.with_delta(7).delta == 7
+
+    def test_scaled_to_c(self, small_params):
+        scaled = small_params.scaled_to_c(12.5)
+        assert scaled.c == pytest.approx(12.5)
+
+    def test_scaled_to_c_rejects_nonpositive(self, small_params):
+        with pytest.raises(ParameterError):
+            small_params.scaled_to_c(0.0)
+
+    def test_as_dict_contains_all_symbols(self, small_params):
+        data = small_params.as_dict()
+        for key in ("p", "n", "delta", "mu", "nu", "c", "alpha", "alpha_bar", "alpha1", "beta"):
+            assert key in data
+
+
+class TestConstructors:
+    def test_parameters_from_c_roundtrip(self):
+        params = parameters_from_c(c=7.5, n=10_000, delta=5, nu=0.3)
+        assert params.c == pytest.approx(7.5)
+
+    def test_parameters_from_c_rejects_nonpositive_c(self):
+        with pytest.raises(ParameterError):
+            parameters_from_c(c=0.0, n=100, delta=5, nu=0.3)
+
+    def test_parameters_for_target_alpha(self):
+        params = parameters_for_target_alpha(alpha=0.05, n=500, delta=4, nu=0.2)
+        assert params.alpha == pytest.approx(0.05, rel=1e-9)
+
+    def test_parameters_for_target_alpha_rejects_bad_alpha(self):
+        with pytest.raises(ParameterError):
+            parameters_for_target_alpha(alpha=1.0, n=500, delta=4, nu=0.2)
+
+
+class TestPropertyBased:
+    @given(
+        c=st.floats(min_value=0.01, max_value=1_000.0),
+        nu=st.floats(min_value=1e-6, max_value=0.499),
+        delta=st.integers(min_value=1, max_value=100),
+        n=st.integers(min_value=4, max_value=10**6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_probability_identities(self, c, nu, delta, n):
+        # The implied hardness p = 1/(c n delta) must be a valid probability.
+        assume(c * n * delta > 1.0)
+        params = parameters_from_c(c=c, n=n, delta=delta, nu=nu)
+        # alpha may round to exactly 1.0 (and alpha_bar to 0.0) when the honest
+        # population is large and p is not tiny; the open bounds hold otherwise.
+        assert 0.0 < params.alpha <= 1.0
+        assert 0.0 <= params.alpha_bar < 1.0
+        assert abs(params.alpha + params.alpha_bar - 1.0) < 1e-12
+        assert 0.0 <= params.alpha1 <= params.alpha + 1e-15
+        assert params.c == pytest.approx(c, rel=1e-9)
+
+    @given(
+        p=st.floats(min_value=1e-12, max_value=0.2),
+        nu=st.floats(min_value=1e-4, max_value=0.499),
+        n=st.integers(min_value=4, max_value=10**5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_log_forms_match_linear_forms(self, p, nu, n):
+        params = ProtocolParameters(p=p, n=n, delta=2, nu=nu)
+        assert math.exp(params.log_alpha_bar) == pytest.approx(
+            params.alpha_bar, rel=1e-9
+        )
+        if params.alpha1 > 0:
+            assert math.exp(params.log_alpha1) == pytest.approx(
+                params.alpha1, rel=1e-9
+            )

@@ -1,0 +1,123 @@
+"""Tests for repro.core.probabilities."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.probabilities import (
+    MiningProbabilities,
+    adversary_block_distribution,
+    binomial_pmf,
+    expected_adversary_blocks,
+    expected_honest_blocks,
+    honest_block_distribution,
+    log_binomial_pmf,
+    round_state_probabilities,
+    sample_adversary_blocks,
+    sample_honest_blocks,
+)
+from repro.errors import ParameterError
+from repro.params import ProtocolParameters
+
+
+class TestBinomialPmf:
+    def test_matches_known_value(self):
+        # Binomial(10, 0.1) at k=1: 10 * 0.1 * 0.9^9
+        expected = 10 * 0.1 * 0.9**9
+        assert binomial_pmf(1, 10, 0.1) == pytest.approx(expected, rel=1e-12)
+
+    def test_out_of_range_k_is_zero(self):
+        assert binomial_pmf(-1, 10, 0.1) == 0.0
+        assert binomial_pmf(11, 10, 0.1) == 0.0
+        assert log_binomial_pmf(11, 10, 0.1) == -math.inf
+
+    def test_rejects_bad_success_probability(self):
+        with pytest.raises(ParameterError):
+            binomial_pmf(1, 10, 0.0)
+        with pytest.raises(ParameterError):
+            binomial_pmf(1, 10, 1.0)
+
+    def test_real_valued_trials(self):
+        # The paper treats mu*n as real-valued; the pmf must still be finite and positive.
+        value = binomial_pmf(2, 7.5, 0.2)
+        assert 0.0 < value < 1.0
+
+    @given(
+        trials=st.integers(min_value=1, max_value=200),
+        success=st.floats(min_value=1e-6, max_value=1 - 1e-6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_pmf_sums_to_one(self, trials, success):
+        total = sum(binomial_pmf(k, trials, success) for k in range(trials + 1))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestDistributions:
+    def test_honest_distribution_mean(self, small_params):
+        dist = honest_block_distribution(small_params)
+        assert dist.mean() == pytest.approx(
+            round(small_params.honest_count) * small_params.p
+        )
+
+    def test_adversary_distribution_mean(self, small_params):
+        dist = adversary_block_distribution(small_params)
+        assert dist.mean() == pytest.approx(
+            round(small_params.adversary_count) * small_params.p
+        )
+
+    def test_round_state_probabilities_sum_to_one(self, small_params):
+        probs = round_state_probabilities(small_params, max_blocks=6)
+        assert sum(probs.values()) == pytest.approx(1.0, abs=1e-9)
+        assert probs["N"] == pytest.approx(small_params.alpha_bar)
+        assert probs["H1"] == pytest.approx(small_params.alpha1, rel=1e-9)
+
+    def test_round_state_tail_nonnegative(self, small_params):
+        probs = round_state_probabilities(small_params, max_blocks=2)
+        assert probs["H>=3"] >= 0.0
+
+
+class TestMiningProbabilities:
+    def test_from_parameters_matches_params(self, small_params):
+        probs = MiningProbabilities.from_parameters(small_params)
+        assert probs.alpha == pytest.approx(small_params.alpha)
+        assert probs.alpha_bar == pytest.approx(small_params.alpha_bar)
+        assert probs.alpha1 == pytest.approx(small_params.alpha1)
+        assert probs.beta == pytest.approx(small_params.beta)
+
+    def test_sanity_check(self, small_params):
+        assert MiningProbabilities.from_parameters(small_params).sanity_check()
+
+    def test_convergence_opportunity_matches_params(self, small_params):
+        probs = MiningProbabilities.from_parameters(small_params)
+        assert probs.convergence_opportunity(small_params.delta) == pytest.approx(
+            small_params.convergence_opportunity_probability, rel=1e-10
+        )
+
+    def test_log_convergence_opportunity_finite_at_scale(self, paper_params):
+        probs = MiningProbabilities.from_parameters(paper_params)
+        assert math.isfinite(probs.log_convergence_opportunity(paper_params.delta))
+
+
+class TestExpectationsAndSampling:
+    def test_expected_blocks(self, small_params):
+        assert expected_honest_blocks(small_params, 100) == pytest.approx(
+            100 * small_params.honest_count * small_params.p
+        )
+        assert expected_adversary_blocks(small_params, 100) == pytest.approx(
+            100 * small_params.beta
+        )
+
+    def test_sampling_shapes_and_means(self, small_params, rng):
+        honest = sample_honest_blocks(small_params, 50_000, rng)
+        adversary = sample_adversary_blocks(small_params, 50_000, rng)
+        assert honest.shape == (50_000,)
+        assert adversary.shape == (50_000,)
+        assert honest.mean() == pytest.approx(
+            small_params.honest_count * small_params.p, rel=0.05
+        )
+        assert adversary.mean() == pytest.approx(small_params.beta, rel=0.10)

@@ -1,0 +1,153 @@
+"""Cross-module property-based tests (hypothesis) for the paper's invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    neat_bound,
+    nu_max_neat_bound,
+    theorem1_condition,
+    theorem2_c_threshold,
+)
+from repro.core.concat_chain import ConcatChain, count_convergence_opportunities
+from repro.core.lemmas import delta1_constant, delta4_constant
+from repro.core.pss import nu_max_pss_consistency, nu_min_pss_attack
+from repro.core.suffix_chain import SuffixChain, suffix_trajectory
+from repro.params import parameters_from_c
+from repro.simulation import BlockTree, ConvergenceOpportunityDetector
+from repro.simulation.block import Block
+
+C_VALUES = st.floats(min_value=0.2, max_value=100.0)
+NU_VALUES = st.floats(min_value=0.02, max_value=0.48)
+SMALL_DELTA = st.integers(min_value=1, max_value=8)
+
+
+class TestBoundInvariants:
+    @given(nu=NU_VALUES)
+    @settings(max_examples=200, deadline=None)
+    def test_neat_bound_strictly_between_attack_and_pss(self, nu):
+        """The central qualitative claim: the paper's requirement on c sits
+        strictly between the known-attackable region and the PSS requirement."""
+        from repro.core.pss import attack_c_threshold, pss_c_threshold
+
+        assert attack_c_threshold(nu) < neat_bound(nu) < pss_c_threshold(nu)
+
+    @given(c=C_VALUES, nu=NU_VALUES, delta=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=200, deadline=None)
+    def test_theorem1_holds_whenever_c_is_generously_above_threshold(self, c, nu, delta):
+        """Soundness sanity check: for c at least 4x the Theorem 2 threshold,
+        Inequality (10) holds with the paper's own delta1 constant."""
+        eps1, eps2 = 0.1, 0.01
+        threshold = theorem2_c_threshold(nu, delta, eps1, eps2)
+        assume(c >= 4.0 * threshold)
+        params = parameters_from_c(c=c, n=10_000, delta=delta, nu=nu)
+        delta1 = delta1_constant(nu, eps1, eps2)
+        assert theorem1_condition(params, delta1)
+
+    @given(c=C_VALUES)
+    @settings(max_examples=200, deadline=None)
+    def test_nu_max_curves_never_exceed_half(self, c):
+        assert 0.0 <= nu_max_neat_bound(c) < 0.5
+        assert 0.0 <= nu_max_pss_consistency(c) < 0.5
+        assert 0.0 <= nu_min_pss_attack(c) <= 0.5
+
+    @given(nu=NU_VALUES, eps1=st.floats(min_value=0.05, max_value=0.8), eps2=st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=200, deadline=None)
+    def test_paper_constants_satisfy_their_constraints(self, nu, eps1, eps2):
+        delta4 = delta4_constant(nu, eps1, eps2)
+        delta1 = delta1_constant(nu, eps1, eps2)
+        log_ratio = math.log((1.0 - nu) / nu)
+        assert 0.0 < delta4 < log_ratio
+        assert delta1 > 0.0
+        # The defining relation of Eq. (61): 1 + delta1 = (1+delta4)(1 - eps1*ln/(ln+1)).
+        assert 1.0 + delta1 == pytest.approx(
+            (1.0 + delta4) * (1.0 - eps1 * log_ratio / (log_ratio + 1.0)), rel=1e-12
+        )
+
+
+class TestMarkovChainInvariants:
+    @given(
+        c=st.floats(min_value=0.3, max_value=50.0),
+        nu=NU_VALUES,
+        delta=SMALL_DELTA,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_stationary_distribution_properties(self, c, nu, delta):
+        params = parameters_from_c(c=c, n=200, delta=delta, nu=nu)
+        chain = SuffixChain(params)
+        pi = chain.closed_form_stationary()
+        values = np.array(list(pi.values()))
+        assert values.min() >= 0.0
+        assert values.sum() == pytest.approx(1.0, abs=1e-9)
+        # Eq. (44) never exceeds the LONG_GAP stationary mass.
+        concat = ConcatChain(params)
+        assert concat.convergence_opportunity_probability() <= chain.long_gap_probability() + 1e-15
+
+    @given(
+        states=st.lists(st.booleans(), min_size=1, max_size=300),
+        delta=SMALL_DELTA,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_trajectory_is_well_defined_for_any_input(self, states, delta):
+        trajectory = suffix_trajectory(states, delta)
+        assert len(trajectory) == len(states)
+        valid_states = set(SuffixChain(
+            parameters_from_c(c=1.0, n=100, delta=delta, nu=0.2)
+        ).states)
+        assert set(trajectory) <= valid_states
+
+    @given(
+        trace=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=400),
+        delta=SMALL_DELTA,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_opportunity_counters_bounded_by_single_block_rounds(self, trace, delta):
+        """No counter can report more opportunities than there are H1 rounds."""
+        single_rounds = sum(1 for count in trace if count == 1)
+        offline = count_convergence_opportunities(trace, delta)
+        detector = ConvergenceOpportunityDetector(delta)
+        detector.observe_many(trace)
+        assert offline <= single_rounds
+        assert detector.count <= single_rounds
+        # The streaming detector sees at least as many as the offline counter
+        # (it does not require a full leading window at the trace start).
+        assert detector.count >= offline
+
+
+class TestBlockTreeInvariants:
+    @given(
+        fork_choices=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=60),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_longest_chain_height_matches_tree_height(self, fork_choices):
+        """Randomly grown trees: the selected chain length always equals height+1,
+        heights never decrease, and every chain starts at genesis."""
+        tree = BlockTree()
+        next_id = 1
+        known_ids = [0]
+        previous_height = 0
+        for choice in fork_choices:
+            parent_id = known_ids[choice % len(known_ids)]
+            parent = tree.get(parent_id)
+            block = Block(
+                block_id=next_id,
+                parent_id=parent_id,
+                height=parent.height + 1,
+                round_mined=next_id,
+                miner_id=0,
+                honest=True,
+            )
+            tree.add(block)
+            known_ids.append(next_id)
+            next_id += 1
+            chain = tree.longest_chain()
+            assert chain[0] == 0
+            assert len(chain) == tree.height + 1
+            assert tree.height >= previous_height
+            previous_height = tree.height

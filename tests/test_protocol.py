@@ -1,0 +1,153 @@
+"""Tests for repro.simulation.protocol: the full round-based simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.params import parameters_from_c
+from repro.simulation import (
+    MaxDelayAdversary,
+    NakamotoSimulation,
+    PassiveAdversary,
+    PrivateChainAdversary,
+    SimulationResult,
+)
+
+
+class TestConstruction:
+    def test_adversary_delta_must_match(self, small_params):
+        with pytest.raises(SimulationError):
+            NakamotoSimulation(small_params, adversary=PassiveAdversary(delta=7))
+
+    def test_rejects_bad_snapshot_interval(self, small_params):
+        with pytest.raises(SimulationError):
+            NakamotoSimulation(small_params, snapshot_interval=0)
+
+    def test_rejects_nonpositive_rounds(self, small_params, rng):
+        simulation = NakamotoSimulation(small_params, rng=rng)
+        with pytest.raises(SimulationError):
+            simulation.run(0)
+
+
+class TestBasicRun:
+    def test_result_shape(self, small_params, rng):
+        result = NakamotoSimulation(small_params, rng=rng, snapshot_interval=500).run(2_000)
+        assert isinstance(result, SimulationResult)
+        assert result.rounds == 2_000
+        assert len(result.honest_blocks_per_round) == 2_000
+        assert len(result.records) == 2_000
+        assert result.total_honest_blocks == int(result.honest_blocks_per_round.sum())
+        assert result.total_adversary_blocks == int(result.adversary_blocks_per_round.sum())
+        assert len(result.chain_snapshots) == len(result.snapshot_rounds)
+
+    def test_final_chain_starts_at_genesis_and_is_connected(self, small_params, rng):
+        result = NakamotoSimulation(small_params, rng=rng).run(2_000)
+        assert result.final_chain[0] == 0
+        assert result.final_height == len(result.final_chain) - 1
+        assert result.final_height > 0
+
+    def test_determinism_under_fixed_seed(self, small_params):
+        first = NakamotoSimulation(
+            small_params, rng=np.random.default_rng(99)
+        ).run(3_000)
+        second = NakamotoSimulation(
+            small_params, rng=np.random.default_rng(99)
+        ).run(3_000)
+        assert np.array_equal(first.honest_blocks_per_round, second.honest_blocks_per_round)
+        assert first.final_chain == second.final_chain
+        assert first.convergence_opportunities == second.convergence_opportunities
+
+    def test_summary_keys(self, small_params, rng):
+        summary = NakamotoSimulation(small_params, rng=rng).run(1_000).summary()
+        for key in (
+            "rounds",
+            "c",
+            "nu",
+            "convergence_opportunities",
+            "adversary_blocks",
+            "empirical_convergence_rate",
+            "theoretical_convergence_rate",
+            "max_violation_depth",
+            "chain_quality",
+        ):
+            assert key in summary
+
+
+class TestAgreementWithTheory:
+    def test_honest_rate_matches_binomial_mean(self, small_params, rng):
+        result = NakamotoSimulation(small_params, rng=rng).run(30_000)
+        expected = round(small_params.honest_count) * small_params.p
+        assert result.honest_blocks_per_round.mean() == pytest.approx(expected, rel=0.05)
+
+    def test_adversary_rate_matches_eq_27(self, small_params, rng):
+        result = NakamotoSimulation(small_params, rng=rng).run(30_000)
+        assert result.empirical_adversary_rate == pytest.approx(
+            small_params.beta, rel=0.1
+        )
+
+    def test_convergence_rate_matches_eq_44(self, small_params, rng):
+        result = NakamotoSimulation(small_params, rng=rng).run(60_000)
+        assert result.empirical_convergence_rate == pytest.approx(
+            small_params.convergence_opportunity_probability, rel=0.08
+        )
+
+    def test_lemma1_margin_positive_in_safe_regime(self, small_params, rng):
+        # c = 4 with nu = 0.2 is far above the neat bound: convergence
+        # opportunities must outnumber adversarial blocks.
+        result = NakamotoSimulation(small_params, rng=rng).run(30_000)
+        assert result.convergence_exceeds_adversary
+
+    def test_growth_rate_bounded_by_alpha(self, small_params, rng):
+        # The longest chain can grow by at most one block per round, and at
+        # most at the rate honest+adversarial blocks appear.
+        result = NakamotoSimulation(small_params, rng=rng).run(10_000)
+        assert 0.0 < result.growth_rate <= 1.0
+        assert result.growth_rate <= (
+            small_params.alpha + small_params.beta
+        ) * 1.2 + 0.01
+
+
+class TestAdversaryBehaviour:
+    def test_max_delay_slows_growth(self, rng):
+        params = parameters_from_c(c=1.0, n=1_000, delta=5, nu=0.2)
+        passive = NakamotoSimulation(
+            params, adversary=PassiveAdversary(5), rng=np.random.default_rng(1)
+        ).run(15_000)
+        delayed = NakamotoSimulation(
+            params, adversary=MaxDelayAdversary(5), rng=np.random.default_rng(1)
+        ).run(15_000)
+        assert delayed.growth_rate < passive.growth_rate
+
+    def test_consistency_holds_in_safe_regime(self, rng):
+        params = parameters_from_c(c=6.0, n=1_000, delta=3, nu=0.2)
+        result = NakamotoSimulation(
+            params,
+            adversary=PrivateChainAdversary(3, target_depth=6),
+            rng=np.random.default_rng(3),
+            snapshot_interval=200,
+        ).run(30_000)
+        # Deep reorganisations must be rare/absent when c is far above the bound.
+        assert result.consistency.max_violation_depth <= 6
+
+    def test_attack_breaks_consistency_in_attack_regime(self, attack_params):
+        result = NakamotoSimulation(
+            attack_params,
+            adversary=PrivateChainAdversary(attack_params.delta, target_depth=6),
+            rng=np.random.default_rng(5),
+            snapshot_interval=200,
+        ).run(20_000)
+        assert result.adversary_releases > 0
+        assert result.consistency.max_violation_depth >= 6
+        # In this regime adversarial blocks also outnumber convergence opportunities.
+        assert not result.convergence_exceeds_adversary
+
+    def test_chain_quality_degrades_under_attack(self, attack_params):
+        result = NakamotoSimulation(
+            attack_params,
+            adversary=PrivateChainAdversary(attack_params.delta, target_depth=3),
+            rng=np.random.default_rng(5),
+        ).run(15_000)
+        honest_share = attack_params.mu
+        assert result.quality < honest_share

@@ -1,0 +1,131 @@
+"""Tests for repro.core.pss: the PSS consistency and attack baselines."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import nu_max_neat_bound
+from repro.core.pss import (
+    attack_c_threshold,
+    nu_max_pss_consistency,
+    nu_max_pss_consistency_exact,
+    nu_min_pss_attack,
+    pss_attack_succeeds,
+    pss_c_threshold,
+    pss_consistency_condition_exact,
+    pss_consistency_margin_exact,
+)
+from repro.errors import ParameterError
+from repro.params import parameters_from_c
+
+
+class TestPssConsistencyCurve:
+    def test_zero_below_c_equals_two(self):
+        assert nu_max_pss_consistency(1.0) == 0.0
+        assert nu_max_pss_consistency(2.0) == 0.0
+
+    def test_positive_above_two(self):
+        assert 0.0 < nu_max_pss_consistency(2.5) < 0.5
+
+    def test_inverse_relationship_with_threshold(self):
+        for nu in (0.05, 0.15, 0.3, 0.45):
+            c = pss_c_threshold(nu)
+            assert nu_max_pss_consistency(c) == pytest.approx(nu, abs=1e-9)
+
+    def test_known_value(self):
+        # c = 3: nu_max = (2 - 3 + sqrt(3)) / 2
+        assert nu_max_pss_consistency(3.0) == pytest.approx(
+            (math.sqrt(3.0) - 1.0) / 2.0, rel=1e-12
+        )
+
+    def test_monotone_in_c(self):
+        values = [nu_max_pss_consistency(c) for c in (2.5, 3.0, 5.0, 10.0, 100.0)]
+        assert values == sorted(values)
+
+    def test_rejects_nonpositive_c(self):
+        with pytest.raises(ParameterError):
+            nu_max_pss_consistency(0.0)
+
+    def test_threshold_rejects_nu_above_half(self):
+        with pytest.raises(ParameterError):
+            pss_c_threshold(0.5)
+
+
+class TestPssExactCondition:
+    def test_margin_positive_for_safe_parameters(self):
+        params = parameters_from_c(c=50.0, n=10_000, delta=5, nu=0.1)
+        assert pss_consistency_margin_exact(params) > 0.0
+        assert pss_consistency_condition_exact(params)
+
+    def test_margin_negative_for_aggressive_parameters(self):
+        params = parameters_from_c(c=0.5, n=10_000, delta=5, nu=0.45)
+        assert pss_consistency_margin_exact(params) < 0.0
+        assert not pss_consistency_condition_exact(params)
+
+    def test_exact_nu_max_close_to_approximation_for_large_delta(self):
+        # For large Delta the approximation 2(1-nu)^2/(1-2nu) is accurate.
+        c = 6.0
+        exact = nu_max_pss_consistency_exact(c, n=10_000, delta=10_000)
+        approx = nu_max_pss_consistency(c)
+        assert exact == pytest.approx(approx, abs=0.02)
+
+
+class TestPssAttack:
+    def test_attack_threshold_known_value(self):
+        # c = 1: nu_min = (3 - sqrt(5)) / 2
+        assert nu_min_pss_attack(1.0) == pytest.approx(
+            (3.0 - math.sqrt(5.0)) / 2.0, rel=1e-12
+        )
+
+    def test_attack_succeeds_above_threshold(self):
+        for c in (0.5, 1.0, 3.0, 10.0):
+            threshold = nu_min_pss_attack(c)
+            assert pss_attack_succeeds(c, min(threshold + 1e-6, 0.499))
+            assert not pss_attack_succeeds(c, max(threshold - 1e-6, 1e-9))
+
+    def test_attack_c_threshold_inverse(self):
+        for nu in (0.1, 0.2, 0.3, 0.45):
+            c = attack_c_threshold(nu)
+            assert nu_min_pss_attack(c) == pytest.approx(nu, abs=1e-9)
+
+    def test_threshold_increasing_in_c(self):
+        # A slower protocol (larger c) forces the attacker to control more power.
+        values = [nu_min_pss_attack(c) for c in (0.5, 1.0, 3.0, 10.0, 100.0)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            nu_min_pss_attack(0.0)
+        with pytest.raises(ParameterError):
+            pss_attack_succeeds(1.0, 0.0)
+        with pytest.raises(ParameterError):
+            attack_c_threshold(0.5)
+
+
+class TestOrderingOfTheThreeCurves:
+    """The qualitative content of Figure 1."""
+
+    @given(c=st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=300, deadline=None)
+    def test_ours_between_pss_and_attack(self, c):
+        ours = nu_max_neat_bound(c)
+        pss = nu_max_pss_consistency(c)
+        attack = nu_min_pss_attack(c)
+        # Our bound tolerates at least as much as PSS (strictly more when PSS > 0)
+        assert ours >= pss
+        if pss > 1e-9:
+            assert ours > pss
+        # and never crosses the attack curve.
+        assert ours <= attack + 1e-12
+
+    @given(nu=st.floats(min_value=0.01, max_value=0.49))
+    @settings(max_examples=300, deadline=None)
+    def test_thresholds_ordered_in_c_space(self, nu):
+        from repro.core.bounds import neat_bound
+
+        # attack threshold < our required c < PSS required c
+        assert attack_c_threshold(nu) < neat_bound(nu) < pss_c_threshold(nu)

@@ -1,0 +1,101 @@
+"""Tests for repro.analysis.regions: the (c, nu) security-region partition."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.regions import (
+    RegionAreas,
+    SecurityRegion,
+    classify_point,
+    region_areas,
+)
+from repro.core.bounds import nu_max_neat_bound
+from repro.core.pss import nu_max_pss_consistency, nu_min_pss_attack
+from repro.errors import AnalysisError
+
+
+class TestClassifyPoint:
+    def test_pss_region(self):
+        # c = 10, tiny adversary: even PSS certifies consistency.
+        assert classify_point(10.0, 0.05) is SecurityRegion.PSS_CONSISTENT
+
+    def test_ours_only_region(self):
+        # c = 2.5: PSS tolerates ~0.18, ours ~0.37.
+        nu = (nu_max_pss_consistency(2.5) + nu_max_neat_bound(2.5)) / 2.0
+        assert classify_point(2.5, nu) is SecurityRegion.OURS_ONLY
+
+    def test_gap_region(self):
+        nu = (nu_max_neat_bound(2.5) + nu_min_pss_attack(2.5)) / 2.0
+        assert classify_point(2.5, nu) is SecurityRegion.GAP
+
+    def test_attackable_region(self):
+        assert classify_point(0.5, 0.45) is SecurityRegion.ATTACKABLE
+
+    def test_below_c_two_pss_certifies_nothing(self):
+        # For c <= 2 the PSS curve is at zero, so no point is PSS-consistent.
+        assert classify_point(1.5, 0.01) in (
+            SecurityRegion.OURS_ONLY,
+            SecurityRegion.GAP,
+            SecurityRegion.ATTACKABLE,
+        )
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            classify_point(0.0, 0.2)
+        with pytest.raises(AnalysisError):
+            classify_point(1.0, 0.6)
+
+    @given(
+        c=st.floats(min_value=0.1, max_value=100.0),
+        nu=st.floats(min_value=1e-4, max_value=0.499),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_classification_consistent_with_curves(self, c, nu):
+        region = classify_point(c, nu)
+        if region is SecurityRegion.PSS_CONSISTENT:
+            assert nu < nu_max_pss_consistency(c)
+            assert nu < nu_max_neat_bound(c)
+        elif region is SecurityRegion.OURS_ONLY:
+            assert nu >= nu_max_pss_consistency(c)
+            assert nu < nu_max_neat_bound(c)
+        elif region is SecurityRegion.GAP:
+            assert nu >= nu_max_neat_bound(c)
+            assert nu < nu_min_pss_attack(c)
+        else:
+            assert nu >= nu_min_pss_attack(c)
+
+
+class TestRegionAreas:
+    @pytest.fixture(scope="class")
+    def areas(self) -> RegionAreas:
+        return region_areas(c_values=[0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0], nu_points=100)
+
+    def test_fractions_sum_to_one(self, areas):
+        assert sum(areas.fractions.values()) == pytest.approx(1.0)
+
+    def test_every_region_is_present(self, areas):
+        for region in SecurityRegion:
+            assert areas.fractions[region] > 0.0
+
+    def test_ours_certifies_strictly_more_than_pss(self, areas):
+        assert areas.certified_by_ours > areas.certified_by_pss
+        assert areas.improvement_ratio > 1.0
+
+    def test_open_gap_is_nonzero(self, areas):
+        # The paper's stated future direction: a gap remains between its bound
+        # and the known attack.
+        assert areas.open_gap > 0.0
+
+    def test_as_rows_matches_fractions(self, areas):
+        rows = areas.as_rows()
+        assert len(rows) == len(SecurityRegion)
+        assert sum(row["area fraction"] for row in rows) == pytest.approx(1.0)
+
+    def test_rejects_bad_grids(self):
+        with pytest.raises(AnalysisError):
+            region_areas(nu_points=1)
+        with pytest.raises(AnalysisError):
+            region_areas(c_values=[1.0], nu_points=10)

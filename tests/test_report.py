@@ -1,0 +1,63 @@
+"""Tests for repro.analysis.report: the one-shot experiment report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ReportConfig, generate_report, main
+
+
+@pytest.fixture(scope="module")
+def quick_report() -> str:
+    """Generate one small report shared by the assertions below."""
+    config = ReportConfig(
+        figure1_points=8,
+        validation_rounds=6_000,
+        simulation_rounds=2_000,
+        seed=5,
+    )
+    return generate_report(config)
+
+
+class TestGenerateReport:
+    def test_contains_every_section(self, quick_report):
+        for heading in (
+            "Figure 1",
+            "Table I",
+            "Remark 1",
+            "Validation",
+            "Withholding attack",
+            "Required c per analysis",
+        ):
+            assert heading in quick_report
+
+    def test_contains_key_quantities(self, quick_report):
+        assert "nu_max_ours" in quick_report
+        assert "alpha_bar" in quick_report
+        assert "slack - 1" in quick_report
+        assert "C - A margin" in quick_report
+
+    def test_report_is_nonempty_markdown(self, quick_report):
+        assert quick_report.startswith("# repro")
+        assert len(quick_report.splitlines()) > 40
+
+    def test_config_validation_parameters(self):
+        config = ReportConfig()
+        params = config.validation_parameters()
+        assert params.c == pytest.approx(config.validation_c)
+        assert params.delta == config.validation_delta
+
+
+class TestCli:
+    def test_main_quick_to_file(self, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        exit_code = main(["--quick", "--output", str(output)])
+        assert exit_code == 0
+        assert output.exists()
+        assert "Figure 1" in output.read_text()
+        assert "wrote report" in capsys.readouterr().out
+
+    def test_main_quick_to_stdout(self, capsys):
+        exit_code = main(["--quick"])
+        assert exit_code == 0
+        assert "Figure 1" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Cross-cutting simulation invariants tied to the paper's argument structure.
+
+These tests pin down facts the analysis relies on implicitly:
+
+* convergence opportunities are a function of the honest mining trace alone
+  (the adversary's strategy cannot manufacture or destroy them), which is why
+  Eq. (26) has no adversary term;
+* every broadcast block eventually reaches the public view (the Δ-delay model
+  guarantees delivery), so the final chain accounts for all honest blocks;
+* the consistency report's ``is_consistent(T)`` is exactly the Definition 1
+  predicate evaluated at the recorded snapshots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.params import parameters_from_c
+from repro.simulation import (
+    MaxDelayAdversary,
+    NakamotoSimulation,
+    PassiveAdversary,
+    PrivateChainAdversary,
+)
+
+
+class TestConvergenceOpportunitiesDependOnlyOnHonestMining:
+    def test_same_seed_same_opportunities_across_adversaries(self):
+        """The three adversary strategies leave the honest mining draws (and
+        therefore the convergence-opportunity count) untouched."""
+        params = parameters_from_c(c=3.0, n=800, delta=3, nu=0.25)
+        counts = []
+        for adversary in (
+            PassiveAdversary(3),
+            MaxDelayAdversary(3),
+            PrivateChainAdversary(3, target_depth=4),
+        ):
+            result = NakamotoSimulation(
+                params, adversary=adversary, rng=np.random.default_rng(123)
+            ).run(10_000)
+            counts.append(
+                (result.convergence_opportunities, result.total_honest_blocks)
+            )
+        assert counts[0] == counts[1] == counts[2]
+
+
+class TestDeliveryCompleteness:
+    def test_all_honest_blocks_reach_the_public_view(self):
+        """After the end-of-run network flush, every honest block is known to
+        every honest miner, even under the maximum-delay adversary."""
+        params = parameters_from_c(c=2.0, n=800, delta=5, nu=0.2)
+        simulation = NakamotoSimulation(
+            params, adversary=MaxDelayAdversary(5), rng=np.random.default_rng(7)
+        )
+        result = simulation.run(5_000)
+        # The final chain cannot contain more blocks than were mined, and the
+        # chain height can only have been reached through delivered blocks.
+        total_mined = result.total_honest_blocks + result.total_adversary_blocks
+        assert result.final_height <= total_mined
+        assert result.final_height > 0
+        # The last snapshot is the flushed final chain.
+        assert result.chain_snapshots[-1] == result.final_chain
+
+    def test_snapshot_rounds_are_increasing_and_end_at_final_round(self):
+        params = parameters_from_c(c=3.0, n=500, delta=2, nu=0.2)
+        result = NakamotoSimulation(
+            params, rng=np.random.default_rng(3), snapshot_interval=250
+        ).run(2_000)
+        rounds = result.snapshot_rounds
+        assert rounds == sorted(rounds)
+        assert rounds[-1] == 2_000
+        # Interior snapshots land on multiples of the snapshot interval.
+        assert all(value % 250 == 0 for value in rounds[:-1])
+
+
+class TestConsistencyPredicate:
+    def test_is_consistent_matches_violation_depth(self):
+        params = parameters_from_c(c=0.6, n=800, delta=3, nu=0.45)
+        result = NakamotoSimulation(
+            params,
+            adversary=PrivateChainAdversary(3, target_depth=5),
+            rng=np.random.default_rng(11),
+            snapshot_interval=100,
+        ).run(8_000)
+        depth = result.consistency.max_violation_depth
+        assert not result.consistency.is_consistent(max(depth - 1, 0)) or depth == 0
+        assert result.consistency.is_consistent(depth)
+
+    def test_summary_reports_theory_values_from_params(self):
+        params = parameters_from_c(c=4.0, n=500, delta=2, nu=0.3)
+        result = NakamotoSimulation(params, rng=np.random.default_rng(5)).run(1_000)
+        summary = result.summary()
+        assert summary["theoretical_convergence_rate"] == pytest.approx(
+            params.convergence_opportunity_probability
+        )
+        assert summary["theoretical_adversary_rate"] == pytest.approx(params.beta)

@@ -1,0 +1,189 @@
+"""Tests for repro.core.suffix_chain: the Markov chain C_F."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.suffix_chain import (
+    SuffixChain,
+    SuffixState,
+    SuffixStateKind,
+    suffix_states,
+    suffix_trajectory,
+)
+from repro.errors import MarkovChainError, ParameterError
+from repro.params import ProtocolParameters, parameters_from_c
+
+
+class TestStateEnumeration:
+    def test_state_count_is_2_delta_plus_1(self):
+        for delta in (1, 2, 3, 5, 10):
+            assert len(suffix_states(delta)) == 2 * delta + 1
+
+    def test_states_are_unique(self):
+        states = suffix_states(6)
+        assert len(set(states)) == len(states)
+
+    def test_delta_one_has_three_states(self):
+        states = suffix_states(1)
+        kinds = [state.kind for state in states]
+        assert kinds == [
+            SuffixStateKind.SHORT_GAP_HEAD,
+            SuffixStateKind.LONG_GAP,
+            SuffixStateKind.LONG_GAP_TAIL,
+        ]
+
+    def test_invalid_tail_values_rejected(self):
+        with pytest.raises(MarkovChainError):
+            SuffixState(SuffixStateKind.SHORT_GAP_HEAD, tail=1)
+        with pytest.raises(MarkovChainError):
+            SuffixState(SuffixStateKind.SHORT_GAP_TAIL, tail=0)
+        with pytest.raises(MarkovChainError):
+            SuffixState(SuffixStateKind.LONG_GAP_TAIL, tail=-1)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ParameterError):
+            suffix_states(0)
+
+
+class TestTrajectory:
+    def test_paper_worked_example(self):
+        """The paper's Delta = 3 example: states of rounds 1..10 are
+        H,N,H,H,N,N,H,N,N,N; then F_7..F_10 are HN<=2 H, ...HN^1, ...HN^2, HN>=3."""
+        rounds = [True, False, True, True, False, False, True, False, False, False]
+        trajectory = suffix_trajectory(rounds, delta=3)
+        assert trajectory[6] == SuffixState(SuffixStateKind.SHORT_GAP_HEAD)
+        assert trajectory[7] == SuffixState(SuffixStateKind.SHORT_GAP_TAIL, 1)
+        assert trajectory[8] == SuffixState(SuffixStateKind.SHORT_GAP_TAIL, 2)
+        assert trajectory[9] == SuffixState(SuffixStateKind.LONG_GAP)
+
+    def test_long_gap_then_h_goes_to_long_gap_tail_zero(self):
+        rounds = [False] * 5 + [True]
+        trajectory = suffix_trajectory(rounds, delta=3)
+        assert trajectory[-1] == SuffixState(SuffixStateKind.LONG_GAP_TAIL, 0)
+
+    def test_long_gap_tail_then_h_goes_to_short_gap_head(self):
+        rounds = [False] * 5 + [True, False, True]
+        trajectory = suffix_trajectory(rounds, delta=3)
+        assert trajectory[-1] == SuffixState(SuffixStateKind.SHORT_GAP_HEAD)
+
+    def test_trajectory_length_matches_input(self):
+        rounds = [True, False] * 10
+        assert len(suffix_trajectory(rounds, delta=2)) == 20
+
+
+class TestTransitionMatrix:
+    def test_rows_sum_to_one(self, small_params):
+        chain = SuffixChain(small_params)
+        matrix = chain.transition_matrix()
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_chain_is_ergodic(self, small_params):
+        markov = SuffixChain(small_params).to_markov_chain()
+        assert markov.is_irreducible()
+        assert markov.is_aperiodic()
+        assert markov.is_ergodic()
+
+    def test_every_row_has_exactly_two_targets_or_fewer(self, small_params):
+        # Each state moves to the H-successor w.p. alpha and N-successor w.p. alpha_bar.
+        matrix = SuffixChain(small_params).transition_matrix()
+        nonzero_per_row = (matrix > 0).sum(axis=1)
+        assert np.all(nonzero_per_row <= 2)
+        assert np.all(nonzero_per_row >= 1)
+
+
+class TestStationaryDistribution:
+    def test_closed_form_sums_to_one(self, small_params):
+        chain = SuffixChain(small_params)
+        assert sum(chain.closed_form_stationary().values()) == pytest.approx(1.0)
+
+    def test_closed_form_matches_numerical(self, small_params):
+        chain = SuffixChain(small_params)
+        closed = chain.closed_form_stationary()
+        numeric = chain.numerical_stationary()
+        for state in chain.states:
+            assert closed[state] == pytest.approx(numeric[state], abs=1e-10)
+
+    def test_closed_form_is_invariant_under_transition(self, small_params):
+        """pi P = pi for the closed-form pi of Eqs. (37a)-(37d)."""
+        chain = SuffixChain(small_params)
+        matrix = chain.transition_matrix()
+        pi = np.array([chain.closed_form_stationary()[state] for state in chain.states])
+        assert np.allclose(pi @ matrix, pi, atol=1e-12)
+
+    def test_specific_closed_form_values(self):
+        params = parameters_from_c(c=2.0, n=100, delta=2, nu=0.25)
+        chain = SuffixChain(params)
+        pi = chain.closed_form_stationary()
+        alpha, alpha_bar = params.alpha, params.alpha_bar
+        assert pi[SuffixState(SuffixStateKind.LONG_GAP)] == pytest.approx(alpha_bar**2)
+        assert pi[SuffixState(SuffixStateKind.SHORT_GAP_HEAD)] == pytest.approx(
+            alpha * (1 - alpha_bar**2)
+        )
+        assert pi[SuffixState(SuffixStateKind.SHORT_GAP_TAIL, 1)] == pytest.approx(
+            alpha * (1 - alpha_bar**2) * alpha_bar
+        )
+        assert pi[SuffixState(SuffixStateKind.LONG_GAP_TAIL, 1)] == pytest.approx(
+            alpha * alpha_bar**3
+        )
+
+    def test_log_stationary_matches_linear(self, small_params):
+        chain = SuffixChain(small_params)
+        closed = chain.closed_form_stationary()
+        for state in chain.states:
+            assert math.exp(chain.log_stationary(state)) == pytest.approx(
+                closed[state], rel=1e-10
+            )
+
+    def test_log_stationary_finite_at_paper_scale(self, paper_params):
+        chain = SuffixChain(paper_params, delta=paper_params.delta)
+        # Do not enumerate states at Delta = 1e13; just query the two singletons.
+        long_gap = SuffixState(SuffixStateKind.LONG_GAP)
+        head = SuffixState(SuffixStateKind.SHORT_GAP_HEAD)
+        assert math.isfinite(chain.log_stationary(long_gap))
+        assert math.isfinite(chain.log_stationary(head))
+
+    def test_min_stationary_matches_enumeration(self, small_params):
+        chain = SuffixChain(small_params)
+        closed = chain.closed_form_stationary()
+        assert chain.min_stationary() == pytest.approx(min(closed.values()), rel=1e-9)
+
+    def test_long_gap_probability(self, small_params):
+        chain = SuffixChain(small_params)
+        assert chain.long_gap_probability() == pytest.approx(
+            small_params.alpha_bar**small_params.delta, rel=1e-10
+        )
+
+    @given(
+        c=st.floats(min_value=0.2, max_value=100.0),
+        nu=st.floats(min_value=0.01, max_value=0.49),
+        delta=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_closed_form_always_a_distribution_and_invariant(self, c, nu, delta):
+        params = parameters_from_c(c=c, n=500, delta=delta, nu=nu)
+        chain = SuffixChain(params)
+        closed = chain.closed_form_stationary()
+        values = np.array([closed[state] for state in chain.states])
+        assert np.all(values >= 0.0)
+        assert values.sum() == pytest.approx(1.0, abs=1e-9)
+        matrix = chain.transition_matrix()
+        assert np.allclose(values @ matrix, values, atol=1e-9)
+
+
+class TestEmpiricalAgreement:
+    def test_empirical_close_to_closed_form(self, small_params, rng):
+        chain = SuffixChain(small_params)
+        empirical = chain.empirical_stationary(150_000, rng)
+        closed = chain.closed_form_stationary()
+        for state in chain.states:
+            assert empirical[state] == pytest.approx(closed[state], abs=0.01)
+
+    def test_sample_rejects_nonpositive_rounds(self, small_params, rng):
+        with pytest.raises(ParameterError):
+            SuffixChain(small_params).sample_round_states(0, rng)

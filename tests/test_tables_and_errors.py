@@ -1,0 +1,87 @@
+"""Tests for repro.errors and the table-rendering edge cases."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.tables import format_value, render_mapping, render_table
+from repro.errors import (
+    AnalysisError,
+    MarkovChainError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for error_type in (ParameterError, MarkovChainError, SimulationError, AnalysisError):
+            assert issubclass(error_type, ReproError)
+
+    def test_parameter_error_is_value_error(self):
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(MarkovChainError, ValueError)
+
+    def test_runtime_flavoured_errors(self):
+        assert issubclass(SimulationError, RuntimeError)
+        assert issubclass(AnalysisError, RuntimeError)
+
+    def test_catching_base_class(self):
+        with pytest.raises(ReproError):
+            raise SimulationError("boom")
+
+
+class TestFormatValue:
+    def test_booleans(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_integers_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_zero_and_specials(self):
+        assert format_value(0.0) == "0"
+        assert format_value(float("nan")) == "nan"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("-inf")) == "-inf"
+
+    def test_small_values_use_scientific_notation(self):
+        rendered = format_value(1.23e-7)
+        assert "e-07" in rendered
+
+    def test_large_values_use_scientific_notation(self):
+        rendered = format_value(4.56e9)
+        assert "e+09" in rendered
+
+    def test_moderate_values_use_fixed_notation(self):
+        assert "e" not in format_value(3.14159)
+
+    def test_strings_passthrough(self):
+        assert format_value("hello") == "hello"
+
+
+class TestRenderTable:
+    def test_missing_column_renders_empty(self):
+        text = render_table([{"a": 1, "b": 2}, {"a": 3}], columns=["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[-1].startswith("3")
+
+    def test_explicit_column_order_respected(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_column_widths_accommodate_long_values(self):
+        text = render_table([{"name": "x" * 30, "value": 1}])
+        header, separator, row = text.splitlines()
+        assert len(separator) >= 30
+
+    def test_render_mapping_preserves_insertion_order(self):
+        text = render_mapping({"zeta": 1, "alpha": 2})
+        lines = text.splitlines()
+        assert lines[2].startswith("zeta")
+        assert lines[3].startswith("alpha")
