@@ -9,12 +9,21 @@ and consistency-violation depths.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.analysis import render_table, simulation_sweep
+from repro.analysis import batch_simulation_sweep, render_table, simulation_sweep
 from repro.params import parameters_from_c
-from repro.simulation import NakamotoSimulation, PassiveAdversary, PrivateChainAdversary
+from repro.simulation import (
+    BatchSimulation,
+    NakamotoSimulation,
+    PassiveAdversary,
+    PrivateChainAdversary,
+)
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
 
 #: Scenarios straddling the bound/attack curves (Delta = 3, n = 500).
 SCENARIOS = [
@@ -64,6 +73,48 @@ def test_simulation_throughput_passive(benchmark):
 
     result = benchmark(run)
     assert result.rounds == 5_000
+
+
+@pytest.mark.benchmark(group="simulation")
+def test_batch_engine_throughput(benchmark):
+    """Vectorized batch throughput: (trials x rounds) protocol rounds per call."""
+    params = parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
+    trials = 8 if QUICK else 64
+    rounds = 2_000 if QUICK else 10_000
+
+    result = benchmark(lambda: BatchSimulation(params, rng=0).run(trials, rounds))
+    assert result.trials == trials
+    assert result.rounds == rounds
+
+
+@pytest.mark.benchmark(group="simulation")
+def test_batch_sweep_crossover(benchmark):
+    """The batch-engine counterpart of the crossover sweep, with Lemma 1 fractions."""
+    trials = 4 if QUICK else 16
+    rounds = 2_000 if QUICK else 8_000
+    rows = benchmark(batch_simulation_sweep, SCENARIOS, trials, rounds, 500, 3, 17)
+    print("\nBatch Monte Carlo sweep across the (c, nu) plane")
+    print(
+        render_table(
+            [
+                {
+                    "c": row["c"],
+                    "nu": row["nu"],
+                    "neat bound satisfied": row["neat_bound_satisfied"],
+                    "attack predicted": row["attack_predicted"],
+                    "mean conv rate": row["mean_convergence_rate"],
+                    "mean adv rate": row["mean_adversary_rate"],
+                    "lemma1 fraction": row["lemma1_fraction"],
+                    "max worst deficit": row["max_worst_deficit"],
+                }
+                for row in rows
+            ]
+        )
+    )
+    # Safe scenarios hold the Lemma 1 event in (almost) every trial; the deep
+    # attack region loses it in (almost) every trial.
+    assert rows[0]["lemma1_fraction"] > 0.9
+    assert rows[-1]["lemma1_fraction"] < 0.1
 
 
 @pytest.mark.benchmark(group="simulation")

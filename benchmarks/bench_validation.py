@@ -8,17 +8,28 @@ full protocol simulator, and prints the paper-vs-measured comparison rows.
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
 from repro.analysis import (
     render_table,
     validate_expectations,
+    validate_expectations_batch,
     validate_suffix_stationary,
 )
 from repro.params import parameters_from_c
+from repro.simulation import BatchSimulation, NakamotoSimulation, PassiveAdversary, spawn_rngs
 
 PARAMS = parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
+
+#: Quick mode (REPRO_BENCH_QUICK=1) shrinks trial counts so the benchmark
+#: suite doubles as a fast CI smoke test.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+BATCH_TRIALS = 4 if QUICK else 32
+BATCH_ROUNDS = 1_500 if QUICK else 20_000
 
 
 @pytest.mark.benchmark(group="validation")
@@ -77,6 +88,72 @@ def test_expectations_iid_validation(benchmark):
     # benchmark may re-run the sampling many times, so only guard against
     # gross disagreement.
     assert result.agrees(tolerance=0.3)
+
+
+@pytest.mark.benchmark(group="validation")
+def test_expectations_batch_validation(benchmark):
+    """Eq. (44) / Eq. (27) against the vectorized batch engine, with CIs."""
+    result = benchmark(
+        validate_expectations_batch,
+        PARAMS,
+        BATCH_TRIALS,
+        BATCH_ROUNDS,
+        np.random.default_rng(9),
+    )
+    print(f"\nBatch expectations ({result.trials} trials x {result.rounds} rounds)")
+    print(
+        render_table(
+            [
+                {
+                    "quantity": "convergence opportunities / round",
+                    "theory": result.theoretical_convergence_rate,
+                    "batch mean": result.mean_convergence_rate,
+                    "ci95 low": result.convergence_rate_ci95[0],
+                    "ci95 high": result.convergence_rate_ci95[1],
+                },
+                {
+                    "quantity": "adversarial blocks / round",
+                    "theory": result.theoretical_adversary_rate,
+                    "batch mean": result.mean_adversary_rate,
+                    "ci95 low": result.adversary_rate_ci95[0],
+                    "ci95 high": result.adversary_rate_ci95[1],
+                },
+            ]
+        )
+    )
+    assert result.agrees(tolerance=0.3)
+    assert result.lemma1_fraction > 0.5
+
+
+def test_batch_engine_speedup_over_legacy_loop():
+    """The batch engine must beat the legacy per-trial loop by >= 5x.
+
+    Both sides execute the same number of (trials x rounds) protocol rounds
+    with the same passive-adversary workload; the legacy side is the pure
+    Python round loop, the batch side the vectorized engine.
+    """
+    trials = BATCH_TRIALS
+    rounds = BATCH_ROUNDS
+
+    start = time.perf_counter()
+    for rng in spawn_rngs(0, trials):
+        NakamotoSimulation(
+            PARAMS, adversary=PassiveAdversary(PARAMS.delta), rng=rng
+        ).run(rounds)
+    legacy_seconds = time.perf_counter() - start
+
+    batch_seconds = float("inf")
+    for repeat in range(3):
+        start = time.perf_counter()
+        BatchSimulation(PARAMS, rng=repeat).run(trials, rounds)
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+    speedup = legacy_seconds / batch_seconds
+    print(
+        f"\nBatch engine speedup at {trials} trials x {rounds} rounds: "
+        f"legacy {legacy_seconds:.3f}s, batch {batch_seconds:.4f}s, {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, f"batch engine only {speedup:.1f}x faster than legacy loop"
 
 
 @pytest.mark.benchmark(group="validation")

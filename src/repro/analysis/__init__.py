@@ -13,6 +13,7 @@ from .regions import RegionAreas, SecurityRegion, classify_point, region_areas
 from .remark1 import PAPER_SETTINGS, Remark1Row, remark1_row, remark1_table
 from .report import ReportConfig, generate_report
 from .sweeps import (
+    batch_simulation_sweep,
     bound_sweep,
     implication_chain_ablation,
     security_margin_sweep,
@@ -20,11 +21,13 @@ from .sweeps import (
 )
 from .tables import format_value, render_mapping, render_table, table_i
 from .validation import (
+    BatchExpectationValidation,
     ConsistencyScenario,
     ExpectationValidation,
     StationaryValidation,
     validate_consistency_scenario,
     validate_expectations,
+    validate_expectations_batch,
     validate_suffix_stationary,
 )
 
@@ -50,12 +53,15 @@ __all__ = [
     "table_i",
     "StationaryValidation",
     "ExpectationValidation",
+    "BatchExpectationValidation",
     "ConsistencyScenario",
     "validate_suffix_stationary",
     "validate_expectations",
+    "validate_expectations_batch",
     "validate_consistency_scenario",
     "bound_sweep",
     "security_margin_sweep",
     "simulation_sweep",
+    "batch_simulation_sweep",
     "implication_chain_ablation",
 ]

@@ -24,12 +24,15 @@ from ..core.pss import attack_c_threshold, nu_max_pss_consistency, pss_attack_su
 from ..errors import AnalysisError
 from ..params import ProtocolParameters, parameters_from_c
 from ..simulation import NakamotoSimulation, PrivateChainAdversary
+from ..simulation.rng import spawn_rngs
+from ..simulation.runner import ExperimentRunner
 from .validation import ConsistencyScenario, validate_consistency_scenario
 
 __all__ = [
     "bound_sweep",
     "security_margin_sweep",
     "simulation_sweep",
+    "batch_simulation_sweep",
     "implication_chain_ablation",
 ]
 
@@ -98,15 +101,20 @@ def simulation_sweep(
     delta: int = 3,
     seed: int = 0,
 ) -> List[ConsistencyScenario]:
-    """Run the withholding-attack simulation at each ``{"c": ..., "nu": ...}`` scenario."""
+    """Run the withholding-attack simulation at each ``{"c": ..., "nu": ...}`` scenario.
+
+    Each scenario gets its own child generator spawned from ``seed`` (via
+    :func:`repro.simulation.rng.spawn_rngs`), so the per-scenario random
+    streams are independent and stable under re-ordering.
+    """
     if rounds <= 0:
         raise AnalysisError("rounds must be positive")
     results: List[ConsistencyScenario] = []
-    for index, scenario in enumerate(scenarios):
+    rngs = spawn_rngs(seed, len(scenarios))
+    for scenario, rng in zip(scenarios, rngs):
         params = parameters_from_c(
             c=float(scenario["c"]), n=n, delta=delta, nu=float(scenario["nu"])
         )
-        rng = np.random.default_rng(seed + index)
         results.append(
             validate_consistency_scenario(
                 params,
@@ -116,6 +124,43 @@ def simulation_sweep(
             )
         )
     return results
+
+
+def batch_simulation_sweep(
+    scenarios: Sequence[Dict[str, float]],
+    trials: int = 32,
+    rounds: int = 20_000,
+    n: int = 1_000,
+    delta: int = 3,
+    seed: int = 0,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[Dict[str, object]]:
+    """Vectorized many-trial sweep over ``{"c": ..., "nu": ...}`` scenarios.
+
+    Runs every scenario through the batch Monte Carlo engine (via an
+    :class:`~repro.simulation.runner.ExperimentRunner`, so caching and
+    multiprocess sharding are available) and returns one row per scenario
+    with batch-mean rates, confidence intervals, the Lemma 1 event fraction
+    and the worst windowed ``A - C`` deficit observed across trials.
+    """
+    if rounds <= 0:
+        raise AnalysisError("rounds must be positive")
+    if trials <= 0:
+        raise AnalysisError("trials must be positive")
+    runner = runner if runner is not None else ExperimentRunner(base_seed=seed)
+    points = [
+        parameters_from_c(
+            c=float(scenario["c"]), n=n, delta=delta, nu=float(scenario["nu"])
+        )
+        for scenario in scenarios
+    ]
+    rows: List[Dict[str, object]] = []
+    for params, result in zip(points, runner.run_grid(points, trials, rounds)):
+        summary = result.summary()
+        summary["neat_bound_satisfied"] = params.c > neat_bound(params.nu)
+        summary["attack_predicted"] = pss_attack_succeeds(params.c, params.nu)
+        rows.append(summary)
+    return rows
 
 
 def implication_chain_ablation(

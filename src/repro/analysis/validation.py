@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -27,16 +27,21 @@ from ..errors import AnalysisError
 from ..params import ProtocolParameters
 from ..simulation import (
     AdversaryStrategy,
+    BatchResult,
+    BatchSimulation,
     NakamotoSimulation,
     PassiveAdversary,
     PrivateChainAdversary,
 )
+from ..simulation.rng import SeedLike
 
 __all__ = [
     "StationaryValidation",
     "validate_suffix_stationary",
     "ExpectationValidation",
     "validate_expectations",
+    "BatchExpectationValidation",
+    "validate_expectations_batch",
     "ConsistencyScenario",
     "validate_consistency_scenario",
 ]
@@ -171,6 +176,103 @@ def validate_expectations(
         theoretical_convergence_rate=params.convergence_opportunity_probability,
         empirical_adversary_rate=empirical_adversary,
         theoretical_adversary_rate=params.beta,
+    )
+
+
+# ----------------------------------------------------------------------
+# Batch (many-trial) validation of the expectations, with confidence bands
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchExpectationValidation:
+    """Batch-level agreement between theory and many independent trials.
+
+    Where :class:`ExpectationValidation` compares one long run against the
+    theoretical rates, this compares the *distribution over trials*: the
+    batch mean of each empirical rate, its 95% confidence interval, and the
+    fraction of trials in which the Lemma 1 event ``C > A`` held.
+    """
+
+    trials: int
+    rounds: int
+    mean_convergence_rate: float
+    convergence_rate_ci95: Tuple[float, float]
+    theoretical_convergence_rate: float
+    mean_adversary_rate: float
+    adversary_rate_ci95: Tuple[float, float]
+    theoretical_adversary_rate: float
+    lemma1_fraction: float
+
+    @property
+    def convergence_relative_error(self) -> float:
+        """``|batch mean - theory| / theory`` for the convergence rate."""
+        return abs(
+            self.mean_convergence_rate - self.theoretical_convergence_rate
+        ) / self.theoretical_convergence_rate
+
+    @property
+    def adversary_relative_error(self) -> float:
+        """``|batch mean - theory| / theory`` for the adversarial rate.
+
+        For adversary-free configurations (``nu = 0``, where ``beta = 0``)
+        the error is 0 when the batch saw no adversarial blocks either, and
+        infinite otherwise.
+        """
+        if self.theoretical_adversary_rate == 0.0:
+            return 0.0 if self.mean_adversary_rate == 0.0 else math.inf
+        return abs(
+            self.mean_adversary_rate - self.theoretical_adversary_rate
+        ) / self.theoretical_adversary_rate
+
+    @property
+    def convergence_theory_in_ci(self) -> bool:
+        """Whether Eq. (44) lies inside the batch 95% confidence interval."""
+        low, high = self.convergence_rate_ci95
+        return low <= self.theoretical_convergence_rate <= high
+
+    @property
+    def adversary_theory_in_ci(self) -> bool:
+        """Whether ``p nu n`` lies inside the batch 95% confidence interval."""
+        low, high = self.adversary_rate_ci95
+        return low <= self.theoretical_adversary_rate <= high
+
+    def agrees(self, tolerance: float = 0.05) -> bool:
+        """Whether both batch means are within ``tolerance`` of theory."""
+        return (
+            self.convergence_relative_error <= tolerance
+            and self.adversary_relative_error <= tolerance
+        )
+
+
+def validate_expectations_batch(
+    params: ProtocolParameters,
+    trials: int = 64,
+    rounds: int = 20_000,
+    rng: SeedLike = None,
+    draw_mode: str = "binomial",
+) -> BatchExpectationValidation:
+    """Validate Eqs. (26)-(27)/(44) with the vectorized batch engine.
+
+    Runs ``trials`` independent trials simultaneously and summarises the
+    per-trial empirical rates against the theoretical values; many short
+    trials give a confidence band that one long run cannot.
+    """
+    if trials <= 0:
+        raise AnalysisError("trials must be positive")
+    if rounds <= 0:
+        raise AnalysisError("rounds must be positive")
+    result: BatchResult = BatchSimulation(params, rng=rng, draw_mode=draw_mode).run(
+        trials, rounds
+    )
+    return BatchExpectationValidation(
+        trials=trials,
+        rounds=rounds,
+        mean_convergence_rate=result.mean_convergence_rate,
+        convergence_rate_ci95=result.convergence_rate_ci95,
+        theoretical_convergence_rate=result.theoretical_convergence_rate,
+        mean_adversary_rate=result.mean_adversary_rate,
+        adversary_rate_ci95=result.adversary_rate_ci95,
+        theoretical_adversary_rate=result.theoretical_adversary_rate,
+        lemma1_fraction=result.lemma1_fraction,
     )
 
 

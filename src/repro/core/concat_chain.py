@@ -40,6 +40,7 @@ from .suffix_chain import SuffixChain, SuffixState, SuffixStateKind
 __all__ = [
     "DetailedState",
     "ConcatChain",
+    "convergence_opportunity_mask",
     "count_convergence_opportunities",
 ]
 
@@ -209,6 +210,42 @@ def _log1mexp_local(log_value: float) -> float:
     return math.log1p(-math.exp(log_value))
 
 
+def convergence_opportunity_mask(honest_counts, delta: int) -> np.ndarray:
+    """Boolean ``(trials, rounds)`` mask of completed convergence opportunities.
+
+    Entry ``[t, r]`` is ``True`` when the pattern ``N^Δ H_1 N^Δ`` of Eq. (42)
+    *completes* at round ``r`` of trial ``t`` — round ``r - Δ`` produced
+    exactly one honest block and the Δ rounds on either side produced none.
+    This is the single vectorized implementation of the window test shared by
+    the scalar counter below and the batch engine
+    (:mod:`repro.simulation.batch`); summing along the round axis reproduces
+    the streaming detector's count.
+    """
+    if delta < 1:
+        raise ParameterError(f"delta must be >= 1, got {delta!r}")
+    counts = np.asarray(honest_counts, dtype=np.int64)
+    if counts.ndim != 2:
+        raise ParameterError(
+            f"honest_counts must be 2-dimensional (trials, rounds), got shape {counts.shape}"
+        )
+    trials, rounds = counts.shape
+    mask = np.zeros((trials, rounds), dtype=bool)
+    if rounds < 2 * delta + 1:
+        return mask
+    empty = counts == 0
+    single = counts == 1
+    # Sliding-window check: the all-empty tests on either side of the single
+    # honest block are window sums over the `empty` indicator, via cumsums.
+    cumulative = np.zeros((trials, rounds + 1), dtype=np.int64)
+    np.cumsum(empty, axis=1, out=cumulative[:, 1:])
+    centres = np.arange(delta, rounds - delta)
+    empties_before = cumulative[:, centres] - cumulative[:, centres - delta]
+    empties_after = cumulative[:, centres + delta + 1] - cumulative[:, centres + 1]
+    hits = single[:, centres] & (empties_before == delta) & (empties_after == delta)
+    mask[:, centres + delta] = hits
+    return mask
+
+
 def count_convergence_opportunities(
     honest_blocks_per_round: Sequence[int], delta: int
 ) -> int:
@@ -225,26 +262,9 @@ def count_convergence_opportunities(
     ``C(t0, t0 + T - 1)`` of Eq. (46); dividing by the trace length converges
     to ``alpha_bar^(2 Delta) alpha1`` (Eq. 44) by ergodicity.
     """
-    if delta < 1:
-        raise ParameterError(f"delta must be >= 1, got {delta!r}")
     counts = np.asarray(honest_blocks_per_round, dtype=np.int64)
-    total_rounds = len(counts)
-    window = 2 * delta + 1
-    if total_rounds < window:
-        return 0
-    empty = counts == 0
-    single = counts == 1
-    # Sliding-window check using cumulative sums of the `empty` indicator.
-    empty_cumulative = np.concatenate([[0], np.cumsum(empty)])
-    opportunities = 0
-    for t in range(window - 1, total_rounds):
-        single_round = t - delta
-        if not single[single_round]:
-            continue
-        before_start, before_end = t - 2 * delta, t - delta  # [start, end)
-        after_start, after_end = t - delta + 1, t + 1
-        empties_before = empty_cumulative[before_end] - empty_cumulative[before_start]
-        empties_after = empty_cumulative[after_end] - empty_cumulative[after_start]
-        if empties_before == delta and empties_after == delta:
-            opportunities += 1
-    return opportunities
+    if counts.ndim != 1:
+        raise ParameterError(
+            f"honest_blocks_per_round must be 1-dimensional, got shape {counts.shape}"
+        )
+    return int(convergence_opportunity_mask(counts[np.newaxis, :], delta).sum())

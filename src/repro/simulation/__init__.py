@@ -26,6 +26,16 @@ Components
     Consistency (Definition 1), chain growth and chain quality.
 ``protocol``
     The :class:`NakamotoSimulation` driver and its result object.
+``batch``
+    The NumPy-vectorized batch Monte Carlo engine: ``T`` independent trials
+    executed simultaneously as array operations, with per-trial Lemma 1
+    statistics and batch-level mean/CI aggregates.
+``runner``
+    :class:`ExperimentRunner`: seeded, cached, optionally multiprocess
+    experiments over grids of parameter points.
+``rng``
+    The single-generator seeding discipline (:func:`resolve_rng`,
+    :func:`spawn_rngs`) threaded through every stochastic component.
 """
 
 from .adversary import (
@@ -45,10 +55,20 @@ from .metrics import (
     consistency_report,
     consistency_violation_depth,
 )
+from .batch import (
+    BatchResult,
+    BatchSimulation,
+    convergence_opportunity_mask,
+    count_convergence_opportunities_batch,
+    draw_mining_traces,
+    worst_window_deficits,
+)
 from .miners import HonestPopulation
 from .network import DeltaDelayNetwork, InFlightMessage
-from .oracle import MiningOracle
+from .oracle import MiningOracle, ScriptedMiningOracle
 from .protocol import NakamotoSimulation, SimulationResult
+from .rng import resolve_rng, spawn_rngs
+from .runner import ENGINE_VERSION, ExperimentRunner
 
 __all__ = [
     "Block",
@@ -75,4 +95,15 @@ __all__ = [
     "chain_quality",
     "NakamotoSimulation",
     "SimulationResult",
+    "ScriptedMiningOracle",
+    "BatchSimulation",
+    "BatchResult",
+    "draw_mining_traces",
+    "convergence_opportunity_mask",
+    "count_convergence_opportunities_batch",
+    "worst_window_deficits",
+    "ExperimentRunner",
+    "ENGINE_VERSION",
+    "resolve_rng",
+    "spawn_rngs",
 ]

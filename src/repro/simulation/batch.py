@@ -1,0 +1,367 @@
+"""Vectorized batch Monte Carlo engine: many independent trials at once.
+
+The legacy :class:`~repro.simulation.protocol.NakamotoSimulation` executes one
+trial at a time with Python loops over rounds and per-miner oracle queries —
+faithful to the model of Section III, but far too slow for the many-trial
+validation sweeps behind Figure 1, Remark 1 and the Lemma 1 concentration
+events.  This module executes ``T`` independent trials *simultaneously* with
+NumPy array operations:
+
+* **oracle draws** — per-round honest/adversarial success counts for the
+  whole batch are drawn in one shot, either as ``(trials, rounds)`` binomial
+  tensors (the default; exactly the per-round distribution of Eq. 41) or as
+  an explicit ``(trials, rounds, miners)`` Bernoulli tensor reduced over the
+  miner axis (identical in distribution, useful for auditing the binomial
+  shortcut);
+* **convergence-opportunity detection** — the pattern ``N^Δ H_1 N^Δ`` of
+  Eq. (42) is located for every trial at once with cumulative-sum window
+  tests, matching the streaming
+  :class:`~repro.simulation.events.ConvergenceOpportunityDetector` and the
+  offline :func:`~repro.core.concat_chain.count_convergence_opportunities`
+  exactly;
+* **adversarial accounting** — per-trial adversarial block totals, Lemma 1
+  margins ``C - A``, and the worst *windowed* deficit
+  ``max_{s<=t} (A(s,t) - C(s,t))`` (the quantity whose positivity over every
+  window is what Lemma 1 rules out, computed as a running-maximum drawdown).
+
+The engine deliberately works at the level of per-round aggregate counts —
+the same abstraction the paper's analysis lives at.  Full block-tree dynamics
+(network delays, withholding releases, Definition 1 snapshots) remain the
+business of the legacy simulator, which stays as the reference
+implementation; the seed-equivalence tests drive both engines from one
+pre-drawn trace via :class:`~repro.simulation.oracle.ScriptedMiningOracle`
+and require identical per-round counts and convergence tallies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.concat_chain import convergence_opportunity_mask
+from ..errors import SimulationError
+from ..params import ProtocolParameters
+from .rng import SeedLike, resolve_rng
+
+__all__ = [
+    "DRAW_MODES",
+    "draw_mining_traces",
+    "convergence_opportunity_mask",
+    "count_convergence_opportunities_batch",
+    "worst_window_deficits",
+    "BatchResult",
+    "BatchSimulation",
+]
+
+#: Supported ways of drawing the per-round success counts.
+DRAW_MODES = ("binomial", "bernoulli")
+
+#: Trials per chunk when materialising the (trials, rounds, miners) tensor.
+_BERNOULLI_CHUNK_CELLS = 32_000_000
+
+
+def draw_mining_traces(
+    params: ProtocolParameters,
+    trials: int,
+    rounds: int,
+    rng: SeedLike = None,
+    draw_mode: str = "binomial",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw ``(trials, rounds)`` honest and adversarial success-count tensors.
+
+    The honest tensor is drawn first, then the adversarial tensor, each in a
+    single vectorized call — this fixed order is the batch engine's draw
+    protocol, so a seed fully determines both tensors.
+
+    ``draw_mode="binomial"`` samples the per-round counts directly as
+    ``Binomial(miners, p)`` (Eq. 41).  ``draw_mode="bernoulli"`` materialises
+    the underlying ``(trials, rounds, miners)`` per-query Bernoulli tensor
+    and reduces over the miner axis — the same distribution, kept for
+    auditing, and chunked over trials so memory stays bounded.
+    """
+    if trials < 1:
+        raise SimulationError(f"trials must be positive, got {trials!r}")
+    if rounds < 1:
+        raise SimulationError(f"rounds must be positive, got {rounds!r}")
+    if draw_mode not in DRAW_MODES:
+        raise SimulationError(
+            f"draw_mode must be one of {DRAW_MODES}, got {draw_mode!r}"
+        )
+    generator = resolve_rng(rng)
+    honest_miners = max(int(round(params.honest_count)), 1)
+    adversary_miners = int(round(params.adversary_count))
+
+    if draw_mode == "binomial":
+        honest = generator.binomial(honest_miners, params.p, size=(trials, rounds))
+        if adversary_miners > 0:
+            adversary = generator.binomial(
+                adversary_miners, params.p, size=(trials, rounds)
+            )
+        else:
+            adversary = np.zeros((trials, rounds), dtype=np.int64)
+        return honest.astype(np.int64), adversary.astype(np.int64)
+
+    honest = _bernoulli_counts(generator, trials, rounds, honest_miners, params.p)
+    adversary = _bernoulli_counts(generator, trials, rounds, adversary_miners, params.p)
+    return honest, adversary
+
+
+def _bernoulli_counts(
+    generator: np.random.Generator,
+    trials: int,
+    rounds: int,
+    miners: int,
+    hardness: float,
+) -> np.ndarray:
+    """Sum a ``(trials, rounds, miners)`` Bernoulli tensor over the miner axis."""
+    if miners <= 0:
+        return np.zeros((trials, rounds), dtype=np.int64)
+    counts = np.empty((trials, rounds), dtype=np.int64)
+    chunk = max(int(_BERNOULLI_CHUNK_CELLS // max(rounds * miners, 1)), 1)
+    for start in range(0, trials, chunk):
+        stop = min(start + chunk, trials)
+        draws = generator.random((stop - start, rounds, miners)) < hardness
+        counts[start:stop] = draws.sum(axis=2, dtype=np.int64)
+    return counts
+
+
+def count_convergence_opportunities_batch(
+    honest_counts: np.ndarray, delta: int
+) -> np.ndarray:
+    """Per-trial convergence-opportunity counts for a ``(trials, rounds)`` tensor."""
+    return convergence_opportunity_mask(honest_counts, delta).sum(axis=1)
+
+
+def worst_window_deficits(
+    opportunity_mask: np.ndarray, adversary_counts: np.ndarray
+) -> np.ndarray:
+    """Per-trial worst windowed deficit ``max_{s<=t} (A(s,t) - C(s,t))``.
+
+    Lemma 1's consistency argument needs every window of rounds to contain
+    more convergence opportunities than adversarial blocks; the worst window
+    is found per trial as the maximum drawdown of the running difference
+    ``D_r = C(1,r) - A(1,r)``.  A value of ``d`` means some window existed in
+    which adversarial blocks outnumbered convergence opportunities by ``d`` —
+    the analytical analogue of a depth-``d`` consistency threat.
+    """
+    mask = np.asarray(opportunity_mask)
+    adversary = np.asarray(adversary_counts, dtype=np.int64)
+    if mask.shape != adversary.shape:
+        raise SimulationError(
+            f"mask shape {mask.shape} does not match adversary shape {adversary.shape}"
+        )
+    difference = np.cumsum(mask.astype(np.int64) - adversary, axis=1)
+    # Prepend the empty-window baseline 0 so windows starting at round 1 count.
+    baseline = np.zeros((difference.shape[0], 1), dtype=np.int64)
+    padded = np.concatenate([baseline, difference], axis=1)
+    running_max = np.maximum.accumulate(padded, axis=1)
+    return (running_max - padded).max(axis=1)
+
+
+def _confidence_interval(values: np.ndarray) -> Tuple[float, float]:
+    """Normal-approximation 95% confidence interval for the mean of ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    mean = float(values.mean())
+    if values.size < 2:
+        return (mean, mean)
+    half_width = 1.96 * float(values.std(ddof=1)) / math.sqrt(values.size)
+    return (mean - half_width, mean + half_width)
+
+
+@dataclass
+class BatchResult:
+    """Per-trial outcomes plus aggregate statistics for one batch run.
+
+    All per-trial arrays have shape ``(trials,)``.  ``honest_counts`` and
+    ``adversary_counts`` (shape ``(trials, rounds)``) are retained only when
+    the run was made with ``keep_traces=True``.
+    """
+
+    params: ProtocolParameters
+    trials: int
+    rounds: int
+    draw_mode: str
+    convergence_opportunities: np.ndarray
+    honest_blocks: np.ndarray
+    adversary_blocks: np.ndarray
+    worst_deficits: np.ndarray
+    honest_counts: Optional[np.ndarray] = field(default=None, repr=False)
+    adversary_counts: Optional[np.ndarray] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Per-trial derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def lemma1_margins(self) -> np.ndarray:
+        """Per-trial Lemma 1 margins ``C - A`` over the whole run."""
+        return self.convergence_opportunities - self.adversary_blocks
+
+    @property
+    def empirical_convergence_rates(self) -> np.ndarray:
+        """Per-trial convergence opportunities per round (compare to Eq. 44)."""
+        return self.convergence_opportunities / self.rounds
+
+    @property
+    def empirical_adversary_rates(self) -> np.ndarray:
+        """Per-trial adversarial blocks per round (compare to ``p nu n``)."""
+        return self.adversary_blocks / self.rounds
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def mean_convergence_rate(self) -> float:
+        """Batch mean of the per-trial convergence-opportunity rates."""
+        return float(self.empirical_convergence_rates.mean())
+
+    @property
+    def convergence_rate_ci95(self) -> Tuple[float, float]:
+        """95% confidence interval for the convergence-opportunity rate."""
+        return _confidence_interval(self.empirical_convergence_rates)
+
+    @property
+    def mean_adversary_rate(self) -> float:
+        """Batch mean of the per-trial adversarial block rates."""
+        return float(self.empirical_adversary_rates.mean())
+
+    @property
+    def adversary_rate_ci95(self) -> Tuple[float, float]:
+        """95% confidence interval for the adversarial block rate."""
+        return _confidence_interval(self.empirical_adversary_rates)
+
+    @property
+    def lemma1_fraction(self) -> float:
+        """Fraction of trials in which the Lemma 1 event ``C > A`` held."""
+        return float((self.lemma1_margins > 0).mean())
+
+    @property
+    def theoretical_convergence_rate(self) -> float:
+        """``alpha_bar^(2Δ) alpha1`` (Eq. 44)."""
+        return self.params.convergence_opportunity_probability
+
+    @property
+    def theoretical_adversary_rate(self) -> float:
+        """``p nu n`` (Eq. 27)."""
+        return self.params.beta
+
+    def deficit_exceeds(self, depth: int) -> np.ndarray:
+        """Per-trial flags: some window had ``A - C >= depth`` (depth-``depth`` threat)."""
+        if depth < 0:
+            raise SimulationError("depth must be non-negative")
+        return self.worst_deficits >= depth
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary of the headline numbers (for tables)."""
+        convergence_ci = self.convergence_rate_ci95
+        adversary_ci = self.adversary_rate_ci95
+        return {
+            "trials": self.trials,
+            "rounds": self.rounds,
+            "c": self.params.c,
+            "nu": self.params.nu,
+            "delta": self.params.delta,
+            "mean_convergence_rate": self.mean_convergence_rate,
+            "convergence_rate_ci95_low": convergence_ci[0],
+            "convergence_rate_ci95_high": convergence_ci[1],
+            "theoretical_convergence_rate": self.theoretical_convergence_rate,
+            "mean_adversary_rate": self.mean_adversary_rate,
+            "adversary_rate_ci95_low": adversary_ci[0],
+            "adversary_rate_ci95_high": adversary_ci[1],
+            "theoretical_adversary_rate": self.theoretical_adversary_rate,
+            "lemma1_fraction": self.lemma1_fraction,
+            "mean_worst_deficit": float(self.worst_deficits.mean()),
+            "max_worst_deficit": int(self.worst_deficits.max()),
+        }
+
+
+class BatchSimulation:
+    """NumPy-vectorized batch Monte Carlo execution of the mining model.
+
+    Parameters
+    ----------
+    params:
+        Protocol parameters (``p``, ``n``, ``Δ``, ``nu``).
+    rng:
+        Source of randomness (generator, integer seed, seed sequence or
+        ``None`` for the default seeded generator); the single generator
+        drives every draw, so one seed determines the whole batch.
+    draw_mode:
+        ``"binomial"`` (default) or ``"bernoulli"`` — see
+        :func:`draw_mining_traces`.
+
+    Examples
+    --------
+    >>> from repro.params import parameters_from_c
+    >>> params = parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
+    >>> result = BatchSimulation(params, rng=0).run(trials=32, rounds=2_000)
+    >>> result.convergence_opportunities.shape
+    (32,)
+    >>> bool(result.lemma1_fraction > 0.5)
+    True
+    """
+
+    def __init__(
+        self,
+        params: ProtocolParameters,
+        rng: SeedLike = None,
+        draw_mode: str = "binomial",
+    ):
+        if draw_mode not in DRAW_MODES:
+            raise SimulationError(
+                f"draw_mode must be one of {DRAW_MODES}, got {draw_mode!r}"
+            )
+        self.params = params
+        self.rng = resolve_rng(rng)
+        self.draw_mode = draw_mode
+
+    def run(
+        self, trials: int, rounds: int, keep_traces: bool = False
+    ) -> BatchResult:
+        """Draw fresh traces for ``trials`` independent runs and analyse them."""
+        honest, adversary = draw_mining_traces(
+            self.params, trials, rounds, self.rng, self.draw_mode
+        )
+        return self.run_traces(honest, adversary, keep_traces=keep_traces)
+
+    def run_traces(
+        self,
+        honest_counts: np.ndarray,
+        adversary_counts: np.ndarray,
+        keep_traces: bool = False,
+    ) -> BatchResult:
+        """Analyse pre-drawn ``(trials, rounds)`` success-count tensors.
+
+        This is the deterministic half of the engine: given the same tensors
+        it always produces the same result, which is what the equivalence
+        tests against the legacy simulator exercise.
+        """
+        honest = np.asarray(honest_counts, dtype=np.int64)
+        adversary = np.asarray(adversary_counts, dtype=np.int64)
+        if honest.ndim != 2:
+            raise SimulationError(
+                f"honest_counts must have shape (trials, rounds), got {honest.shape}"
+            )
+        if honest.shape != adversary.shape:
+            raise SimulationError(
+                f"honest shape {honest.shape} does not match adversary shape "
+                f"{adversary.shape}"
+            )
+        trials, rounds = honest.shape
+        if rounds < 1:
+            raise SimulationError("rounds must be positive")
+        mask = convergence_opportunity_mask(honest, self.params.delta)
+        return BatchResult(
+            params=self.params,
+            trials=trials,
+            rounds=rounds,
+            draw_mode=self.draw_mode,
+            convergence_opportunities=mask.sum(axis=1),
+            honest_blocks=honest.sum(axis=1),
+            adversary_blocks=adversary.sum(axis=1),
+            worst_deficits=worst_window_deficits(mask, adversary),
+            honest_counts=honest if keep_traces else None,
+            adversary_counts=adversary if keep_traces else None,
+        )

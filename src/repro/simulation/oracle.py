@@ -13,13 +13,13 @@ simulation reproducible: one :class:`numpy.random.Generator` drives all draws.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
 from ..errors import SimulationError
 
-__all__ = ["MiningOracle"]
+__all__ = ["MiningOracle", "ScriptedMiningOracle"]
 
 
 class MiningOracle:
@@ -90,6 +90,86 @@ class MiningOracle:
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
+    @property
+    def honest_queries(self) -> int:
+        """Total honest oracle queries made so far."""
+        return self._honest_queries
+
+    @property
+    def adversary_queries(self) -> int:
+        """Total adversarial oracle queries made so far."""
+        return self._adversary_queries
+
+
+class ScriptedMiningOracle:
+    """An oracle that replays pre-drawn per-round success counts.
+
+    The batch engine (:mod:`repro.simulation.batch`) draws whole
+    ``(trials, rounds)`` success tensors in one vectorized shot; feeding one
+    row of such a tensor through this oracle drives the legacy round-by-round
+    simulator with *exactly* the same mining outcomes, which is how the
+    seed-equivalence tests compare the two engines.
+
+    Parameters
+    ----------
+    honest_counts:
+        Per-round honest success counts; round ``r`` (1-indexed in the
+        simulator) consumes entry ``r - 1``.
+    adversary_counts:
+        Per-round adversarial success counts, same indexing.
+    """
+
+    def __init__(self, honest_counts: Sequence[int], adversary_counts: Sequence[int]):
+        self._honest = np.asarray(honest_counts, dtype=np.int64)
+        self._adversary = np.asarray(adversary_counts, dtype=np.int64)
+        if self._honest.ndim != 1 or self._adversary.ndim != 1:
+            raise SimulationError("scripted success counts must be 1-dimensional")
+        if len(self._honest) != len(self._adversary):
+            raise SimulationError(
+                "honest and adversary scripts must cover the same number of rounds"
+            )
+        if (self._honest < 0).any() or (self._adversary < 0).any():
+            raise SimulationError("scripted success counts must be non-negative")
+        self._honest_cursor = 0
+        self._adversary_cursor = 0
+        self._honest_queries = 0
+        self._adversary_queries = 0
+
+    @property
+    def rounds_scripted(self) -> int:
+        """Number of rounds the script covers."""
+        return len(self._honest)
+
+    def honest_successes(self, miner_count: int) -> int:
+        """Next scripted honest success count (must not exceed ``miner_count``)."""
+        if miner_count < 0:
+            raise SimulationError("miner_count must be non-negative")
+        if self._honest_cursor >= len(self._honest):
+            raise SimulationError("scripted oracle exhausted its honest rounds")
+        value = int(self._honest[self._honest_cursor])
+        if value > miner_count:
+            raise SimulationError(
+                f"script demands {value} honest successes from {miner_count} miners"
+            )
+        self._honest_queries += miner_count
+        self._honest_cursor += 1
+        return value
+
+    def adversary_successes(self, miner_count: int) -> int:
+        """Next scripted adversarial success count (must not exceed ``miner_count``)."""
+        if miner_count < 0:
+            raise SimulationError("miner_count must be non-negative")
+        if self._adversary_cursor >= len(self._adversary):
+            raise SimulationError("scripted oracle exhausted its adversary rounds")
+        value = int(self._adversary[self._adversary_cursor])
+        if value > miner_count:
+            raise SimulationError(
+                f"script demands {value} adversarial successes from {miner_count} miners"
+            )
+        self._adversary_queries += miner_count
+        self._adversary_cursor += 1
+        return value
+
     @property
     def honest_queries(self) -> int:
         """Total honest oracle queries made so far."""

@@ -42,6 +42,7 @@ from .metrics import (
 from .miners import HonestPopulation
 from .network import DeltaDelayNetwork
 from .oracle import MiningOracle
+from .rng import SeedLike, resolve_rng
 
 __all__ = ["SimulationResult", "NakamotoSimulation"]
 
@@ -116,10 +117,20 @@ class NakamotoSimulation:
     adversary:
         The adversary strategy; defaults to :class:`PassiveAdversary`.
     rng:
-        Random generator; defaults to a fresh seeded generator.
+        Source of randomness: a :class:`numpy.random.Generator`, an integer
+        seed, a :class:`numpy.random.SeedSequence`, or ``None`` for the
+        default seeded generator.  One generator drives every draw of the
+        run (oracle successes and miner-id attribution), so a seed fully
+        determines the trajectory.
     snapshot_interval:
         Record the public longest chain every this many rounds for the
         consistency check (Definition 1 compares chains at different rounds).
+    oracle:
+        Optional mining oracle override.  The default is a fresh
+        :class:`MiningOracle` on ``rng``; pass a
+        :class:`~repro.simulation.oracle.ScriptedMiningOracle` to replay
+        pre-drawn per-round success counts (used by the batch-engine
+        equivalence tests).
 
     Examples
     --------
@@ -134,8 +145,9 @@ class NakamotoSimulation:
         self,
         params: ProtocolParameters,
         adversary: Optional[AdversaryStrategy] = None,
-        rng: Optional[np.random.Generator] = None,
+        rng: SeedLike = None,
         snapshot_interval: int = 100,
+        oracle=None,
     ):
         if snapshot_interval < 1:
             raise SimulationError("snapshot_interval must be >= 1")
@@ -146,8 +158,10 @@ class NakamotoSimulation:
                 f"adversary delta ({self.adversary.delta}) must match params.delta "
                 f"({params.delta})"
             )
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = resolve_rng(rng)
         self.snapshot_interval = snapshot_interval
+        self.oracle = oracle
+        self._oracle_consumed = False
         self.honest_count = max(int(round(params.honest_count)), 1)
         self.adversary_count = int(round(params.adversary_count))
 
@@ -159,7 +173,18 @@ class NakamotoSimulation:
         if rounds <= 0:
             raise SimulationError("rounds must be positive")
 
-        oracle = MiningOracle(self.params.p, self.rng)
+        if self.oracle is not None:
+            # The default path builds a fresh oracle per run; an injected
+            # oracle carries cursor/accounting state, so it drives one run only.
+            if self._oracle_consumed:
+                raise SimulationError(
+                    "an injected oracle drives exactly one run(); construct a new "
+                    "simulation (or inject a fresh oracle) for another run"
+                )
+            self._oracle_consumed = True
+            oracle = self.oracle
+        else:
+            oracle = MiningOracle(self.params.p, self.rng)
         network = DeltaDelayNetwork(self.params.delta)
         population = HonestPopulation(self.honest_count)
         detector = ConvergenceOpportunityDetector(self.params.delta)

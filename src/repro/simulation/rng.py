@@ -1,0 +1,79 @@
+"""Random-generator plumbing for the simulation layer.
+
+Every stochastic component of :mod:`repro.simulation` draws from a single
+:class:`numpy.random.Generator` threaded through explicitly — there is no
+module-level RNG and no call to the legacy global ``numpy.random`` state.
+This module centralises the two operations that keep experiments
+reproducible and shardable:
+
+* :func:`resolve_rng` — normalise "whatever the caller passed" (nothing, an
+  integer seed, a :class:`~numpy.random.SeedSequence` or an existing
+  generator) into a :class:`numpy.random.Generator`;
+* :func:`spawn_rngs` — derive ``count`` statistically independent child
+  generators from one seed, so per-trial / per-scenario streams never
+  overlap no matter how work is sharded across processes.
+
+Child spawning uses :meth:`numpy.random.SeedSequence.spawn`, which is the
+NumPy-recommended mechanism for parallel streams: children are independent
+of each other and of the parent, and the assignment "trial ``t`` gets child
+``t``" is stable regardless of execution order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "resolve_rng", "spawn_rngs", "derive_seed_sequence"]
+
+#: Anything accepted where a source of randomness is expected.
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+def resolve_rng(rng: SeedLike = None, *, default_seed: int = 0) -> np.random.Generator:
+    """Normalise ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` resolves to a fresh generator seeded with ``default_seed`` (so
+    the no-argument path stays deterministic, matching the simulator's
+    historical behaviour); integers and seed sequences are fed to
+    :func:`numpy.random.default_rng`; generators pass through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng(default_seed)
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def derive_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """A :class:`~numpy.random.SeedSequence` corresponding to ``seed``.
+
+    Generators cannot be converted back into seed sequences, so passing a
+    :class:`~numpy.random.Generator` here raises ``TypeError`` — callers that
+    need child streams from a live generator should use :func:`spawn_rngs`,
+    which handles that case via :meth:`numpy.random.Generator.spawn`.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        raise TypeError(
+            "cannot derive a SeedSequence from a live Generator; "
+            "pass the seed itself or use spawn_rngs"
+        )
+    return np.random.SeedSequence(0 if seed is None else seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """``count`` independent child generators derived from ``seed``.
+
+    Accepts the same inputs as :func:`resolve_rng`; a live generator spawns
+    children from its own internal seed sequence, anything else goes through
+    :class:`~numpy.random.SeedSequence` spawning.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count!r}")
+    if isinstance(seed, np.random.Generator):
+        return list(seed.spawn(count))
+    sequence = derive_seed_sequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

@@ -1,0 +1,247 @@
+"""Experiment orchestration on top of the batch Monte Carlo engine.
+
+:class:`ExperimentRunner` turns the raw :class:`~repro.simulation.batch.BatchSimulation`
+into a sweep-scale tool:
+
+* **deterministic seeding** — every parameter point gets its own
+  :class:`numpy.random.SeedSequence` derived from the runner's base seed and
+  the point's cache key, so a point's result is identical whether it is run
+  alone, inside a grid, serially or sharded across processes;
+* **multiprocessing sharding** — grids of parameter points can be fanned out
+  over a :mod:`multiprocessing` pool (one point per task; the batch engine
+  already vectorizes over trials within a point);
+* **on-disk caching** — results are persisted as ``.npz`` files keyed by a
+  digest of ``(engine version, parameters, trials, rounds, draw mode, base
+  seed)``, so repeated sweeps (e.g. re-running a benchmark or extending a
+  grid) only pay for the new points.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..params import ProtocolParameters
+from .batch import DRAW_MODES, BatchResult, BatchSimulation
+
+__all__ = ["ENGINE_VERSION", "ExperimentRunner"]
+
+#: Bumped whenever the batch engine's draw protocol or statistics change, so
+#: stale cache entries are never reused across incompatible versions.
+ENGINE_VERSION = 1
+
+
+def _params_payload(params: ProtocolParameters) -> dict:
+    """The primary fields of ``params`` (enough to reconstruct it exactly)."""
+    return {
+        "p": params.p,
+        "n": params.n,
+        "delta": params.delta,
+        "nu": params.nu,
+        "strict_model": params.strict_model,
+    }
+
+
+def _params_from_payload(payload: dict) -> ProtocolParameters:
+    return ProtocolParameters(
+        p=float(payload["p"]),
+        n=int(payload["n"]),
+        delta=int(payload["delta"]),
+        nu=float(payload["nu"]),
+        strict_model=bool(payload.get("strict_model", True)),
+    )
+
+
+def _run_point_task(args: tuple) -> tuple:
+    """Top-level worker so grid points can be shipped to a process pool.
+
+    Returns ``(result, cache_hits, cache_misses)`` so the parent runner can
+    fold the worker-side cache accounting into its own counters.
+    """
+    payload, trials, rounds, base_seed, draw_mode, cache_dir = args
+    runner = ExperimentRunner(
+        base_seed=base_seed,
+        cache_dir=cache_dir,
+        processes=None,
+        draw_mode=draw_mode,
+    )
+    result = runner.run_point(_params_from_payload(payload), trials, rounds)
+    return result, runner.cache_hits, runner.cache_misses
+
+
+class ExperimentRunner:
+    """Seeded, cached, optionally parallel batch experiments.
+
+    Parameters
+    ----------
+    base_seed:
+        Root of all randomness: combined with each point's cache key to
+        derive that point's :class:`~numpy.random.SeedSequence`.
+    cache_dir:
+        Directory for on-disk result caching; ``None`` disables caching.
+    processes:
+        Number of worker processes for :meth:`run_grid`; ``None`` or ``1``
+        runs serially in-process.
+    draw_mode:
+        Forwarded to :class:`~repro.simulation.batch.BatchSimulation`.
+    """
+
+    def __init__(
+        self,
+        base_seed: int = 0,
+        cache_dir: Optional[str] = None,
+        processes: Optional[int] = None,
+        draw_mode: str = "binomial",
+    ):
+        if draw_mode not in DRAW_MODES:
+            raise SimulationError(
+                f"draw_mode must be one of {DRAW_MODES}, got {draw_mode!r}"
+            )
+        if processes is not None and processes < 1:
+            raise SimulationError(f"processes must be >= 1, got {processes!r}")
+        self.base_seed = int(base_seed)
+        self.cache_dir = cache_dir
+        self.processes = processes
+        self.draw_mode = draw_mode
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Keys and seeds
+    # ------------------------------------------------------------------
+    def cache_key(
+        self, params: ProtocolParameters, trials: int, rounds: int
+    ) -> str:
+        """Hex digest identifying one (engine, params, shape, seed) result."""
+        payload = {
+            "engine_version": ENGINE_VERSION,
+            "params": _params_payload(params),
+            "trials": int(trials),
+            "rounds": int(rounds),
+            "draw_mode": self.draw_mode,
+            "base_seed": self.base_seed,
+        }
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def seed_sequence_for(
+        self, params: ProtocolParameters, trials: int, rounds: int
+    ) -> np.random.SeedSequence:
+        """The point's seed sequence: base seed plus cache-key entropy words.
+
+        Deriving the entropy from the cache key makes the stream a pure
+        function of (engine version, parameters, shape, draw mode, base
+        seed) — independent of grid composition and execution order.
+        """
+        digest = self.cache_key(params, trials, rounds)
+        words = [int(digest[index : index + 8], 16) for index in range(0, 32, 8)]
+        return np.random.SeedSequence([self.base_seed, *words])
+
+    # ------------------------------------------------------------------
+    # Cache persistence
+    # ------------------------------------------------------------------
+    def _cache_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"batch_{key}.npz")
+
+    def _load_cached(self, path: str) -> Optional[BatchResult]:
+        if not os.path.exists(path):
+            return None
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            return BatchResult(
+                params=_params_from_payload(meta["params"]),
+                trials=int(meta["trials"]),
+                rounds=int(meta["rounds"]),
+                draw_mode=str(meta["draw_mode"]),
+                convergence_opportunities=archive["convergence_opportunities"],
+                honest_blocks=archive["honest_blocks"],
+                adversary_blocks=archive["adversary_blocks"],
+                worst_deficits=archive["worst_deficits"],
+            )
+
+    def _store_cached(self, path: str, result: BatchResult) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        meta = json.dumps(
+            {
+                "engine_version": ENGINE_VERSION,
+                "params": _params_payload(result.params),
+                "trials": result.trials,
+                "rounds": result.rounds,
+                "draw_mode": result.draw_mode,
+                "base_seed": self.base_seed,
+            },
+            sort_keys=True,
+        )
+        temporary = f"{path}.tmp.{os.getpid()}"
+        np.savez(
+            temporary,
+            meta=np.asarray(meta),
+            convergence_opportunities=result.convergence_opportunities,
+            honest_blocks=result.honest_blocks,
+            adversary_blocks=result.adversary_blocks,
+            worst_deficits=result.worst_deficits,
+        )
+        os.replace(f"{temporary}.npz", path)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_point(
+        self, params: ProtocolParameters, trials: int, rounds: int
+    ) -> BatchResult:
+        """Run (or fetch from cache) one parameter point."""
+        path = self._cache_path(self.cache_key(params, trials, rounds))
+        if path is not None:
+            cached = self._load_cached(path)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        self.cache_misses += 1
+        rng = np.random.default_rng(self.seed_sequence_for(params, trials, rounds))
+        simulation = BatchSimulation(params, rng=rng, draw_mode=self.draw_mode)
+        result = simulation.run(trials, rounds)
+        if path is not None:
+            self._store_cached(path, result)
+        return result
+
+    def run_grid(
+        self,
+        points: Sequence[ProtocolParameters],
+        trials: int,
+        rounds: int,
+    ) -> List[BatchResult]:
+        """Run every parameter point, sharded across processes when configured."""
+        points = list(points)
+        if not points:
+            return []
+        if self.processes is None or self.processes <= 1 or len(points) == 1:
+            return [self.run_point(point, trials, rounds) for point in points]
+        tasks = [
+            (
+                _params_payload(point),
+                trials,
+                rounds,
+                self.base_seed,
+                self.draw_mode,
+                self.cache_dir,
+            )
+            for point in points
+        ]
+        import multiprocessing
+
+        with multiprocessing.Pool(min(self.processes, len(points))) as pool:
+            outcomes = pool.map(_run_point_task, tasks)
+        results = []
+        for result, hits, misses in outcomes:
+            self.cache_hits += hits
+            self.cache_misses += misses
+            results.append(result)
+        return results

@@ -1,0 +1,111 @@
+"""Seeded equivalence: the batch engine versus the legacy simulator.
+
+The batch engine and the legacy :class:`NakamotoSimulation` are driven from
+the *same* pre-drawn mining trace — the ``(trials, rounds)`` tensors that one
+seed determines through :func:`draw_mining_traces`, replayed into the legacy
+round loop via :class:`ScriptedMiningOracle`.  Both engines must then report
+identical per-round honest/adversarial block counts, identical
+convergence-opportunity tallies, and identical Lemma 1 margins, across the
+(nu, delta) grid the issue prescribes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.params import parameters_from_c
+from repro.simulation import (
+    BatchSimulation,
+    MaxDelayAdversary,
+    NakamotoSimulation,
+    PassiveAdversary,
+    ScriptedMiningOracle,
+    draw_mining_traces,
+)
+
+TRIALS = 3
+ROUNDS = 1_200
+GRID = [
+    (nu, delta) for nu in (0.1, 0.25, 0.4) for delta in (1, 10)
+]
+
+
+def _params(nu: float, delta: int):
+    return parameters_from_c(c=3.0, n=600, delta=delta, nu=nu)
+
+
+@pytest.mark.parametrize("nu, delta", GRID)
+class TestSeededEquivalence:
+    def test_per_round_counts_and_tallies_match(self, nu, delta):
+        """Same seed, same trace, same counts, same convergence tallies."""
+        params = _params(nu, delta)
+        seed = 1_000 + int(nu * 100) + delta
+        honest, adversary = draw_mining_traces(params, TRIALS, ROUNDS, rng=seed)
+        batch = BatchSimulation(params).run_traces(honest, adversary)
+
+        for trial in range(TRIALS):
+            legacy = NakamotoSimulation(
+                params,
+                adversary=PassiveAdversary(delta),
+                rng=np.random.default_rng(0),
+                oracle=ScriptedMiningOracle(honest[trial], adversary[trial]),
+            ).run(ROUNDS)
+
+            assert np.array_equal(legacy.honest_blocks_per_round, honest[trial])
+            assert np.array_equal(legacy.adversary_blocks_per_round, adversary[trial])
+            assert (
+                legacy.convergence_opportunities
+                == batch.convergence_opportunities[trial]
+            )
+            assert legacy.total_honest_blocks == batch.honest_blocks[trial]
+            assert legacy.total_adversary_blocks == batch.adversary_blocks[trial]
+            assert (
+                legacy.convergence_opportunities - legacy.total_adversary_blocks
+                == batch.lemma1_margins[trial]
+            )
+
+    def test_equivalence_is_adversary_independent(self, nu, delta):
+        """Convergence tallies depend only on the honest trace (Eq. 26), so the
+        batch count must also match a legacy run under a different adversary."""
+        params = _params(nu, delta)
+        honest, adversary = draw_mining_traces(params, 1, ROUNDS, rng=77)
+        batch = BatchSimulation(params).run_traces(honest, adversary)
+        legacy = NakamotoSimulation(
+            params,
+            adversary=MaxDelayAdversary(delta),
+            rng=np.random.default_rng(0),
+            oracle=ScriptedMiningOracle(honest[0], adversary[0]),
+        ).run(ROUNDS)
+        assert legacy.convergence_opportunities == batch.convergence_opportunities[0]
+
+
+def test_injected_oracle_drives_exactly_one_run():
+    """An injected oracle carries cursor state, so a second run() must refuse
+    cleanly instead of replaying stale or exhausted draws."""
+    params = _params(0.25, 3)
+    honest, adversary = draw_mining_traces(params, 1, 100, rng=5)
+    simulation = NakamotoSimulation(
+        params, oracle=ScriptedMiningOracle(honest[0], adversary[0])
+    )
+    simulation.run(100)
+    with pytest.raises(Exception, match="exactly one run"):
+        simulation.run(100)
+    # The default path still builds a fresh oracle per run.
+    reusable = NakamotoSimulation(params, rng=np.random.default_rng(0))
+    reusable.run(100)
+    reusable.run(100)
+
+
+def test_batch_engine_agrees_on_legacy_generated_traces():
+    """The reverse direction: traces produced by the legacy simulator's own
+    oracle, re-analysed by the batch engine, yield the legacy tallies."""
+    params = _params(0.25, 3)
+    legacy = NakamotoSimulation(params, rng=np.random.default_rng(42)).run(4_000)
+    batch = BatchSimulation(params).run_traces(
+        legacy.honest_blocks_per_round[np.newaxis, :],
+        legacy.adversary_blocks_per_round[np.newaxis, :],
+    )
+    assert batch.convergence_opportunities[0] == legacy.convergence_opportunities
+    assert batch.honest_blocks[0] == legacy.total_honest_blocks
+    assert batch.adversary_blocks[0] == legacy.total_adversary_blocks

@@ -1,0 +1,131 @@
+"""Golden regression tests: pin the paper's headline numbers at 1e-9.
+
+These values anchor the Figure 1 curves and the Table I-style quantities so
+future refactors of the math layers cannot silently drift them.  They were
+produced by the current implementation and cross-checked against the paper's
+closed forms (``2 mu / ln(mu/nu)``, ``2 (1-nu)^2 / (1-2 nu)``,
+``nu (1-nu)/(1-2 nu)``, Eqs. 7-9/44); any change beyond 1e-9 relative
+tolerance is a behaviour change, not noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import security_margin_sweep
+from repro.core.bounds import neat_bound, nu_max_neat_bound, theorem2_c_threshold
+from repro.core.kiffer import correction_ratio
+from repro.core.pss import (
+    attack_c_threshold,
+    nu_max_pss_consistency,
+    nu_min_pss_attack,
+    pss_c_threshold,
+)
+from repro.params import parameters_from_c
+
+TOL = dict(rel=1e-9, abs=1e-12)
+
+
+class TestNeatBoundGoldens:
+    """The magenta curve of Figure 1: ``2 mu / ln(mu/nu)`` and its inverse."""
+
+    @pytest.mark.parametrize(
+        "nu, expected",
+        [
+            (0.1, 0.8192153039641537),
+            (0.2, 1.1541560327111708),
+            (0.25, 1.365358839940256),
+            (1.0 / 3.0, 1.9235933878519509),
+            (0.4, 2.9595641548517193),
+            (0.45, 5.481617520020368),
+        ],
+    )
+    def test_neat_bound(self, nu, expected):
+        assert neat_bound(nu) == pytest.approx(expected, **TOL)
+
+    @pytest.mark.parametrize(
+        "c, expected",
+        [
+            (0.5, 0.019410124314230264),
+            (1.0, 0.15605300058579624),
+            (2.0, 0.3409539315925933),
+            (4.0, 0.42912067834646717),
+            (10.0, 0.47370975636753415),
+        ],
+    )
+    def test_nu_max_neat_bound(self, c, expected):
+        assert nu_max_neat_bound(c) == pytest.approx(expected, **TOL)
+
+    def test_theorem2_threshold_at_reference_point(self):
+        assert theorem2_c_threshold(0.25, 10, 0.1, 0.01) == pytest.approx(
+            1.644458253710732, **TOL
+        )
+
+
+class TestPssBaselineGoldens:
+    """The blue (PSS consistency) and red (Remark 8.5 attack) curves."""
+
+    @pytest.mark.parametrize(
+        "nu, consistency, attack",
+        [
+            (0.1, 2.025, 0.1125),
+            (0.25, 2.25, 0.375),
+            (0.4, 3.6000000000000005, 1.2000000000000002),
+        ],
+    )
+    def test_c_space_thresholds(self, nu, consistency, attack):
+        assert pss_c_threshold(nu) == pytest.approx(consistency, **TOL)
+        assert attack_c_threshold(nu) == pytest.approx(attack, **TOL)
+
+    @pytest.mark.parametrize(
+        "c, pss_nu, attack_nu",
+        [
+            (3.0, 0.3660254037844386, 0.45861873485089033),
+            (4.0, 0.41421356237309515, 0.46887112585072543),
+            (10.0, 0.4721359549995796, 0.48750780274960626),
+        ],
+    )
+    def test_nu_space_crossovers(self, c, pss_nu, attack_nu):
+        assert nu_max_pss_consistency(c) == pytest.approx(pss_nu, **TOL)
+        assert nu_min_pss_attack(c) == pytest.approx(attack_nu, **TOL)
+
+    @pytest.mark.parametrize(
+        "nu, improvement, gap",
+        [
+            (0.1, 2.471877649503247, 7.2819138130146985),
+            (0.25, 1.6479184330021646, 3.6409569065073497),
+            (0.4, 1.2163953243244927, 2.4663034623764326),
+        ],
+    )
+    def test_improvement_over_pss(self, nu, improvement, gap):
+        """The paper's headline comparison: its bound vs PSS vs the attack."""
+        (row,) = security_margin_sweep([nu])
+        assert row["improvement_factor"] == pytest.approx(improvement, **TOL)
+        assert row["gap_to_attack"] == pytest.approx(gap, **TOL)
+
+
+class TestKifferAndTableIGoldens:
+    """The Kiffer-correction ratio and Table I quantities at fixed points."""
+
+    def test_kiffer_correction_ratio_small_configuration(self):
+        params = parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
+        assert correction_ratio(params) == pytest.approx(1.0540559650331727, **TOL)
+
+    def test_table_i_quantities_at_paper_scale(self):
+        """Eqs. (7)-(9)/(44) at the Figure 1 operating point (n=1e5, Δ=1e13)."""
+        params = parameters_from_c(c=10.0, n=100_000, delta=10**13, nu=0.25)
+        assert params.alpha == pytest.approx(7.499999999999971e-15, **TOL)
+        assert params.alpha1 == pytest.approx(7.499999999999944e-15, **TOL)
+        assert params.beta == pytest.approx(2.5e-15, **TOL)
+        assert params.log_convergence_opportunity_probability == pytest.approx(
+            -32.673873374368426, **TOL
+        )
+
+    def test_small_configuration_rates(self):
+        """The (c=4, n=1000, Δ=3, nu=0.2) workhorse used across the test suite."""
+        params = parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
+        assert params.p == pytest.approx(1.0 / 12_000.0, **TOL)
+        assert params.convergence_opportunity_probability == pytest.approx(
+            0.04180861013853035, **TOL
+        )
+        assert params.beta == pytest.approx(1.0 / 60.0, **TOL)

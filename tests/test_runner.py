@@ -1,0 +1,120 @@
+"""Tests for the ExperimentRunner: seeding, caching, sharding."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.params import parameters_from_c
+from repro.simulation import ExperimentRunner
+
+PARAMS = parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
+OTHER = parameters_from_c(c=2.0, n=1_000, delta=3, nu=0.3)
+
+
+class TestSeeding:
+    def test_same_base_seed_reproduces_results(self):
+        first = ExperimentRunner(base_seed=5).run_point(PARAMS, trials=6, rounds=800)
+        second = ExperimentRunner(base_seed=5).run_point(PARAMS, trials=6, rounds=800)
+        assert np.array_equal(
+            first.convergence_opportunities, second.convergence_opportunities
+        )
+        assert np.array_equal(first.adversary_blocks, second.adversary_blocks)
+
+    def test_different_base_seed_changes_results(self):
+        first = ExperimentRunner(base_seed=5).run_point(PARAMS, trials=6, rounds=800)
+        third = ExperimentRunner(base_seed=6).run_point(PARAMS, trials=6, rounds=800)
+        assert not np.array_equal(first.honest_blocks, third.honest_blocks)
+
+    def test_point_results_independent_of_grid_composition(self):
+        """A point's stream is a pure function of (params, shape, seed)."""
+        runner = ExperimentRunner(base_seed=9)
+        solo = runner.run_point(PARAMS, trials=4, rounds=600)
+        grid = ExperimentRunner(base_seed=9).run_grid(
+            [OTHER, PARAMS], trials=4, rounds=600
+        )
+        assert np.array_equal(
+            solo.convergence_opportunities, grid[1].convergence_opportunities
+        )
+        assert np.array_equal(solo.honest_blocks, grid[1].honest_blocks)
+
+    def test_cache_key_separates_configurations(self):
+        runner = ExperimentRunner(base_seed=0)
+        baseline = runner.cache_key(PARAMS, 4, 100)
+        assert runner.cache_key(PARAMS, 5, 100) != baseline
+        assert runner.cache_key(PARAMS, 4, 101) != baseline
+        assert runner.cache_key(OTHER, 4, 100) != baseline
+        assert ExperimentRunner(base_seed=1).cache_key(PARAMS, 4, 100) != baseline
+
+
+class TestCache:
+    def test_roundtrip_hit_returns_identical_result(self, tmp_path):
+        runner = ExperimentRunner(base_seed=3, cache_dir=str(tmp_path))
+        cold = runner.run_point(PARAMS, trials=5, rounds=500)
+        assert runner.cache_misses == 1 and runner.cache_hits == 0
+        files = [name for name in os.listdir(tmp_path) if name.endswith(".npz")]
+        assert len(files) == 1
+
+        warm = runner.run_point(PARAMS, trials=5, rounds=500)
+        assert runner.cache_hits == 1
+        assert np.array_equal(
+            cold.convergence_opportunities, warm.convergence_opportunities
+        )
+        assert np.array_equal(cold.worst_deficits, warm.worst_deficits)
+        assert warm.params == PARAMS
+        assert warm.trials == 5 and warm.rounds == 500
+
+    def test_cache_shared_across_runner_instances(self, tmp_path):
+        first = ExperimentRunner(base_seed=3, cache_dir=str(tmp_path))
+        cold = first.run_point(PARAMS, trials=4, rounds=400)
+        second = ExperimentRunner(base_seed=3, cache_dir=str(tmp_path))
+        warm = second.run_point(PARAMS, trials=4, rounds=400)
+        assert second.cache_hits == 1 and second.cache_misses == 0
+        assert np.array_equal(cold.honest_blocks, warm.honest_blocks)
+
+    def test_no_cache_dir_never_touches_disk(self):
+        runner = ExperimentRunner(base_seed=0, cache_dir=None)
+        runner.run_point(PARAMS, trials=2, rounds=200)
+        runner.run_point(PARAMS, trials=2, rounds=200)
+        assert runner.cache_hits == 0 and runner.cache_misses == 2
+
+
+class TestGrid:
+    def test_serial_grid_preserves_point_order(self):
+        results = ExperimentRunner(base_seed=1).run_grid(
+            [PARAMS, OTHER], trials=3, rounds=300
+        )
+        assert [result.params for result in results] == [PARAMS, OTHER]
+
+    def test_empty_grid(self):
+        assert ExperimentRunner().run_grid([], trials=3, rounds=300) == []
+
+    def test_multiprocess_grid_matches_serial(self, tmp_path):
+        serial = ExperimentRunner(base_seed=4).run_grid(
+            [PARAMS, OTHER], trials=3, rounds=400
+        )
+        sharded_runner = ExperimentRunner(
+            base_seed=4, processes=2, cache_dir=str(tmp_path)
+        )
+        sharded = sharded_runner.run_grid([PARAMS, OTHER], trials=3, rounds=400)
+        for left, right in zip(serial, sharded):
+            assert np.array_equal(
+                left.convergence_opportunities, right.convergence_opportunities
+            )
+            assert np.array_equal(left.adversary_blocks, right.adversary_blocks)
+            assert left.params == right.params
+        # Worker-side cache accounting folds back into the parent runner.
+        assert sharded_runner.cache_misses == 2 and sharded_runner.cache_hits == 0
+        sharded_runner.run_grid([PARAMS, OTHER], trials=3, rounds=400)
+        assert sharded_runner.cache_hits == 2
+
+
+class TestValidation:
+    def test_invalid_configuration_raises(self):
+        with pytest.raises(SimulationError):
+            ExperimentRunner(draw_mode="quantum")
+        with pytest.raises(SimulationError):
+            ExperimentRunner(processes=0)

@@ -1,0 +1,140 @@
+"""Property-based invariants driven by pytest-parametrized random seeds.
+
+Complements the hypothesis suite in ``test_properties.py`` with plainly
+seeded randomized checks of the structures the simulation engines rely on:
+block-tree monotonicity, suffix-chain stationarity, and the oracle-level
+conservation law "blocks on chain never exceed oracle successes".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.suffix_chain import SuffixChain, suffix_trajectory
+from repro.params import parameters_from_c
+from repro.simulation import (
+    BatchSimulation,
+    BlockTree,
+    MiningOracle,
+    NakamotoSimulation,
+    PrivateChainAdversary,
+)
+from repro.simulation.block import Block
+
+SEEDS = list(range(10))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestBlockTreeSeededInvariants:
+    def test_random_growth_keeps_heights_monotone(self, seed):
+        """Heights never decrease and the selected chain always spans them."""
+        rng = np.random.default_rng(seed)
+        tree = BlockTree()
+        known = [0]
+        previous_height = 0
+        for next_id in range(1, 80):
+            parent_id = int(known[rng.integers(len(known))])
+            parent = tree.get(parent_id)
+            tree.add(
+                Block(
+                    block_id=next_id,
+                    parent_id=parent_id,
+                    height=parent.height + 1,
+                    round_mined=next_id,
+                    miner_id=int(rng.integers(10)),
+                    honest=bool(rng.random() < 0.7),
+                )
+            )
+            known.append(next_id)
+            chain = tree.longest_chain()
+            # Longest-chain length never decreases and equals height + 1.
+            assert len(chain) == tree.height + 1
+            assert tree.height >= previous_height
+            previous_height = tree.height
+            # Heights strictly increase along the selected chain from genesis.
+            heights = [tree.get(block_id).height for block_id in chain]
+            assert heights == list(range(len(chain)))
+
+    def test_partition_of_blocks_is_exact(self, seed):
+        """Honest plus adversarial blocks account for every block exactly once."""
+        rng = np.random.default_rng(seed)
+        tree = BlockTree()
+        known = [0]
+        for next_id in range(1, 50):
+            parent = tree.get(int(known[rng.integers(len(known))]))
+            tree.add(
+                Block(
+                    block_id=next_id,
+                    parent_id=parent.block_id,
+                    height=parent.height + 1,
+                    round_mined=next_id,
+                    miner_id=0,
+                    honest=bool(rng.random() < 0.5),
+                )
+            )
+            known.append(next_id)
+        assert len(tree.honest_blocks()) + len(tree.adversarial_blocks()) == len(tree)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestSuffixChainSeededInvariants:
+    def test_stationary_distribution_properties(self, seed):
+        rng = np.random.default_rng(seed)
+        params = parameters_from_c(
+            c=float(rng.uniform(0.5, 20.0)),
+            n=500,
+            delta=int(rng.integers(1, 7)),
+            nu=float(rng.uniform(0.05, 0.45)),
+        )
+        chain = SuffixChain(params)
+        closed = chain.closed_form_stationary()
+        numeric = chain.numerical_stationary()
+        values = np.array(list(closed.values()))
+        assert values.min() >= 0.0
+        assert values.sum() == pytest.approx(1.0, abs=1e-9)
+        for state in chain.states:
+            assert closed[state] == pytest.approx(numeric[state], abs=1e-9)
+
+    def test_random_trajectories_stay_in_state_space(self, seed):
+        rng = np.random.default_rng(seed)
+        delta = int(rng.integers(1, 6))
+        states = (rng.random(300) < rng.uniform(0.05, 0.6)).tolist()
+        trajectory = suffix_trajectory(states, delta)
+        valid = set(
+            SuffixChain(parameters_from_c(c=1.0, n=100, delta=delta, nu=0.2)).states
+        )
+        assert len(trajectory) == len(states)
+        assert set(trajectory) <= valid
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+class TestOracleConservation:
+    def test_adversarial_blocks_bounded_by_oracle_successes(self, seed):
+        """Every adversarial block on record corresponds to an oracle success,
+        and successes are bounded by the queries actually made."""
+        params = parameters_from_c(c=1.5, n=400, delta=3, nu=0.4)
+        rng = np.random.default_rng(seed)
+        oracle = MiningOracle(params.p, rng)
+        result = NakamotoSimulation(
+            params,
+            adversary=PrivateChainAdversary(3),
+            rng=rng,
+            oracle=oracle,
+        ).run(3_000)
+        adversary_count = int(round(params.adversary_count))
+        assert result.total_adversary_blocks == result.adversary_blocks_per_round.sum()
+        assert result.total_adversary_blocks <= oracle.adversary_queries
+        assert oracle.adversary_queries == adversary_count * 3_000
+        assert result.total_honest_blocks <= oracle.honest_queries
+
+    def test_batch_trials_respect_the_same_conservation(self, seed):
+        params = parameters_from_c(c=2.0, n=500, delta=2, nu=0.3)
+        result = BatchSimulation(params, rng=seed).run(trials=8, rounds=1_500)
+        honest_queries = max(int(round(params.honest_count)), 1) * 1_500
+        adversary_queries = int(round(params.adversary_count)) * 1_500
+        assert (result.honest_blocks <= honest_queries).all()
+        assert (result.adversary_blocks <= adversary_queries).all()
+        # Convergence opportunities require an H1 round each, so they are
+        # bounded by the number of honest successes.
+        assert (result.convergence_opportunities <= result.honest_blocks).all()
