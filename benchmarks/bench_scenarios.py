@@ -1,0 +1,142 @@
+"""Benchmark: the vectorized scenario engine versus the legacy adversarial loop.
+
+The scenario engine executes all trials of an adversarial attack at once as
+``(trials,)`` state vectors; the legacy loop builds Python ``Block`` objects
+round by round, one trial at a time.  This file times both sides on the same
+workload — equal trial counts, equal rounds, the same strategies — asserts
+the >= 5x speedup gate from the issue, and prints the attack surface the
+batch engine unlocks.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import attack_surface_sweep, render_table
+from repro.params import parameters_from_c
+from repro.simulation import (
+    NakamotoSimulation,
+    ScenarioSimulation,
+    get_scenario,
+    list_scenarios,
+    spawn_rngs,
+)
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+TRIALS = 16 if QUICK else 32
+ROUNDS = 800 if QUICK else 4_000
+#: Inside the attack region so the withholding strategies actually release.
+PARAMS = parameters_from_c(c=1.0, n=400, delta=3, nu=0.4)
+
+
+def _legacy_trials(scenario_name: str, trials: int, rounds: int) -> list:
+    scenario = get_scenario(scenario_name)
+    results = []
+    for rng in spawn_rngs(0, trials):
+        results.append(
+            NakamotoSimulation(
+                PARAMS,
+                adversary=scenario.build_adversary(PARAMS.delta),
+                rng=rng,
+            ).run(rounds)
+        )
+    return results
+
+
+@pytest.mark.parametrize("scenario_name", ["private_chain", "selfish_mining"])
+def test_scenario_engine_speedup_over_legacy_loop(scenario_name):
+    """The scenario engine must beat the legacy adversarial loop by >= 5x.
+
+    Both sides execute ``trials x rounds`` protocol rounds under the same
+    attack strategy; the legacy side is the object-based round loop, the
+    engine side the (trials,)-vectorized scan.
+    """
+    start = time.perf_counter()
+    legacy_results = _legacy_trials(scenario_name, TRIALS, ROUNDS)
+    legacy_seconds = time.perf_counter() - start
+
+    engine_seconds = float("inf")
+    result = None
+    for repeat in range(3):
+        start = time.perf_counter()
+        result = ScenarioSimulation(PARAMS, scenario_name, rng=repeat).run(
+            TRIALS, ROUNDS
+        )
+        engine_seconds = min(engine_seconds, time.perf_counter() - start)
+
+    speedup = legacy_seconds / engine_seconds
+    print(
+        f"\nScenario engine speedup [{scenario_name}] at {TRIALS} trials x "
+        f"{ROUNDS} rounds: legacy {legacy_seconds:.3f}s, engine "
+        f"{engine_seconds:.4f}s, {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, (
+        f"scenario engine only {speedup:.1f}x faster than the legacy loop"
+    )
+    # Both sides simulate the same attack: the legacy trials' release
+    # activity should be in the same regime as the engine batch's.
+    legacy_released = sum(run.adversary_releases > 0 for run in legacy_results)
+    assert (legacy_released > 0) == (int(result.releases.sum()) > 0)
+
+
+@pytest.mark.benchmark(group="scenarios")
+@pytest.mark.parametrize("scenario_name", sorted(list_scenarios()))
+def test_scenario_engine_throughput(benchmark, scenario_name):
+    """Raw engine throughput per registered scenario (trials x rounds per call)."""
+    result = benchmark(
+        lambda: ScenarioSimulation(PARAMS, scenario_name, rng=0).run(TRIALS, ROUNDS)
+    )
+    assert result.trials == TRIALS
+    assert result.rounds == ROUNDS
+
+
+@pytest.mark.benchmark(group="scenarios")
+def test_attack_surface_sweep_throughput(benchmark):
+    """Time the full (scenario, nu, Delta) attack surface and print it."""
+    trials = 4 if QUICK else 12
+    rounds = 600 if QUICK else 3_000
+    rows = benchmark(
+        attack_surface_sweep,
+        ("private_chain", "selfish_mining"),
+        (0.2, 0.35, 0.45),
+        (1, 3),
+        c=1.0,
+        n=400,
+        trials=trials,
+        rounds=rounds,
+        seed=17,
+    )
+    print("\nAttack surface across (scenario, nu, Delta) at c = 1")
+    print(
+        render_table(
+            [
+                {
+                    "scenario": row["scenario"],
+                    "nu": row["nu"],
+                    "delta": row["delta"],
+                    "attack predicted": row["attack_predicted"],
+                    "success prob": row["attack_success_probability"],
+                    "ci95 high": row["attack_success_ci95_high"],
+                    "mean deepest fork": row["mean_deepest_fork"],
+                    "max deepest fork": row["max_deepest_fork"],
+                }
+                for row in rows
+            ]
+        )
+    )
+    # Deep-attack cells succeed essentially always; the mildest cell is the
+    # weakest — the surface must be ordered by adversarial power.
+    by_cell = {
+        (row["scenario"], row["nu"], row["delta"]): row for row in rows
+    }
+    strongest = by_cell[("private_chain", 0.45, 1)]
+    weakest = by_cell[("private_chain", 0.2, 3)]
+    assert (
+        strongest["attack_success_probability"]
+        >= weakest["attack_success_probability"]
+    )

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Map the attack-success surface over (scenario, nu, Delta) with the
+vectorized scenario engine.
+
+Run with::
+
+    python examples/attack_surface_sweep.py [--trials T] [--rounds N]
+                                            [--miners M] [--c C] [--seed S]
+
+The paper's consistency guarantee is adversarial — it must hold against any
+delay schedule and any withholding strategy — so the empirical picture is a
+*surface*: for each registered attack scenario and each (nu, Delta) cell,
+the probability that the attack displaces a public suffix at least
+``target_depth`` blocks deep.  The legacy object-based simulator can only
+afford a handful of such cells; :class:`repro.simulation.ScenarioSimulation`
+runs every cell as one vectorized batch (all trials at once), and
+:class:`repro.simulation.ExperimentRunner` adds per-cell deterministic
+seeding, so the whole surface is reproducible from one seed.
+
+The script prints, per cell:
+
+* the attack-success probability with a 95% confidence interval,
+* the mean and maximum depth of the displaced suffix, and
+* the closed-form verdicts (the paper's neat bound, the PSS attack
+  condition) for cross-reading against Figure 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import attack_success_grid, attack_surface_sweep, render_table
+
+NU_VALUES = (0.15, 0.3, 0.4, 0.45)
+DELTA_VALUES = (1, 3, 10)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=16)
+    parser.add_argument("--rounds", type=int, default=6_000)
+    parser.add_argument("--miners", type=int, default=500)
+    parser.add_argument("--c", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    rows = attack_surface_sweep(
+        ("private_chain", "selfish_mining"),
+        NU_VALUES,
+        DELTA_VALUES,
+        c=args.c,
+        n=args.miners,
+        trials=args.trials,
+        rounds=args.rounds,
+        seed=args.seed,
+    )
+    print(
+        f"Attack surface at c = {args.c} over {args.trials} trials x "
+        f"{args.rounds} rounds per cell (n = {args.miners})"
+    )
+    print(
+        render_table(
+            [
+                {
+                    "scenario": row["scenario"],
+                    "nu": row["nu"],
+                    "delta": row["delta"],
+                    "neat bound ok": row["neat_bound_satisfied"],
+                    "attack predicted": row["attack_predicted"],
+                    "success prob": row["attack_success_probability"],
+                    "ci95": (
+                        f"[{row['attack_success_ci95_low']:.2f}, "
+                        f"{row['attack_success_ci95_high']:.2f}]"
+                    ),
+                    "mean fork depth": row["mean_deepest_fork"],
+                    "max fork depth": row["max_deepest_fork"],
+                }
+                for row in rows
+            ]
+        )
+    )
+
+    grids = attack_success_grid(
+        "private_chain",
+        NU_VALUES,
+        DELTA_VALUES,
+        c=args.c,
+        n=args.miners,
+        trials=args.trials,
+        rounds=args.rounds,
+        seed=args.seed,
+    )
+    print()
+    print("private_chain success probability, nu (rows) x Delta (columns):")
+    header = "  nu \\ Delta " + "".join(f"{delta:>8d}" for delta in DELTA_VALUES)
+    print(header)
+    for row, nu in enumerate(NU_VALUES):
+        cells = "".join(
+            f"{grids['success_probability'][row, column]:>8.2f}"
+            for column in range(len(DELTA_VALUES))
+        )
+        print(f"  {nu:>9.2f} {cells}")
+
+    print()
+    print(
+        "Reading the surface: cells where the PSS condition predicts a\n"
+        "successful attack show success probabilities near 1 and fork depths\n"
+        "far beyond the withholding target; cells satisfying the paper's\n"
+        "neat bound stay near 0.  Larger Delta helps the attacker at fixed\n"
+        "c = 1/(p n Delta) by slowing honest convergence opportunities."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,37 @@ result cache keyed by parameters+seed on top of the batch engine; see
 remains the reference implementation — the batch engine is tested to
 produce identical per-round counts and convergence tallies when both are
 driven from the same pre-drawn trace.
+
+Adversarial scenario registry
+-----------------------------
+Attacks are described declaratively by :class:`~repro.simulation.Scenario`
+objects held in a registry: ``passive`` and ``max_delay`` (publish
+immediately, delaying honest blocks by 0 and Δ rounds respectively),
+``private_chain`` (the PSS Remark 8.5 withholding attack, parameterised by
+``target_depth`` and ``give_up_deficit``) and ``selfish_mining``
+(Eyal-Sirer adapted to the round model).  Look scenarios up with
+:func:`~repro.simulation.get_scenario`, enumerate them with
+:func:`~repro.simulation.list_scenarios`, and add custom variants with
+:func:`~repro.simulation.register_scenario`.  Each scenario runs on two
+engines that are bit-comparable under scripted replay: the vectorized
+:class:`~repro.simulation.ScenarioSimulation` (all trials at once, attack
+state as ``(trials,)`` tensors) and, as the reference implementation, the
+legacy :class:`~repro.simulation.NakamotoSimulation` with the scenario's
+:meth:`~repro.simulation.Scenario.build_adversary` strategy.
+
+>>> from repro import ScenarioSimulation
+>>> from repro.simulation import list_scenarios
+>>> sorted(list_scenarios())
+['max_delay', 'passive', 'private_chain', 'selfish_mining']
+>>> attack = parameters_from_c(c=1.0, n=400, delta=3, nu=0.4)
+>>> result = ScenarioSimulation(attack, "private_chain", rng=0).run(8, 2_000)
+>>> bool(result.attack_success_probability >= 0.0)
+True
+
+``repro.analysis.attack_sweeps`` turns the per-point results into
+attack-success-probability and fork-depth surfaces over
+(scenario, nu, Δ) grids with confidence intervals; see
+``examples/attack_surface_sweep.py``.
 """
 
 from .core import (
@@ -73,9 +104,16 @@ from .errors import (
     SimulationError,
 )
 from .params import ProtocolParameters, parameters_for_target_alpha, parameters_from_c
-from .simulation import BatchResult, BatchSimulation, ExperimentRunner
+from .simulation import (
+    BatchResult,
+    BatchSimulation,
+    ExperimentRunner,
+    Scenario,
+    ScenarioResult,
+    ScenarioSimulation,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -97,6 +135,9 @@ __all__ = [
     "BatchSimulation",
     "BatchResult",
     "ExperimentRunner",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSimulation",
     "ReproError",
     "ParameterError",
     "MarkovChainError",

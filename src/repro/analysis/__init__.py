@@ -5,9 +5,13 @@
   (Inequalities 12-17);
 * :mod:`repro.analysis.tables` — plain-text rendering, including Table I;
 * :mod:`repro.analysis.validation` — theory-versus-simulation agreement;
-* :mod:`repro.analysis.sweeps` — (c, nu) sweeps and the proof-chain ablation.
+* :mod:`repro.analysis.sweeps` — (c, nu) sweeps and the proof-chain ablation;
+* :mod:`repro.analysis.attack_sweeps` — attack-success-probability and
+  fork-depth surfaces over (scenario, nu, Delta), on the vectorized
+  scenario engine.
 """
 
+from .attack_sweeps import ATTACK_SCENARIOS, attack_success_grid, attack_surface_sweep
 from .figure1 import Figure1Point, Figure1Series, default_c_grid, figure1_checks, figure1_series
 from .regions import RegionAreas, SecurityRegion, classify_point, region_areas
 from .remark1 import PAPER_SETTINGS, Remark1Row, remark1_row, remark1_table
@@ -64,4 +68,7 @@ __all__ = [
     "simulation_sweep",
     "batch_simulation_sweep",
     "implication_chain_ablation",
+    "ATTACK_SCENARIOS",
+    "attack_surface_sweep",
+    "attack_success_grid",
 ]

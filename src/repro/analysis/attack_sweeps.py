@@ -1,0 +1,156 @@
+"""Attack-surface sweeps: success probabilities over (scenario, nu, Delta).
+
+The paper's consistency statement is adversarial — it must hold against
+*every* delay-and-withholding strategy — so its empirical counterpart is a
+surface, not a point: for each adversarial scenario and each
+``(nu, Delta)`` (or ``(c, nu)``) cell, the probability that the attack
+displaces a suffix at least ``target_depth`` deep, estimated over many
+vectorized trials.  This module produces those surfaces on top of the
+scenario engine (:mod:`repro.simulation.scenarios`) and the seeded/cached
+:class:`~repro.simulation.runner.ExperimentRunner`:
+
+* :func:`attack_surface_sweep` — one row per (scenario, Delta, nu) cell with
+  the attack-success probability, fork-depth statistics (each with 95%
+  confidence intervals) and the closed-form verdicts (neat bound, PSS
+  attack condition) for cross-reading against Figure 1;
+* :func:`attack_success_grid` — the same numbers for a single scenario as
+  dense ``(len(nu_values), len(delta_values))`` NumPy grids, ready for
+  heatmaps or further reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.bounds import neat_bound
+from ..core.pss import pss_attack_succeeds
+from ..errors import AnalysisError
+from ..params import parameters_from_c
+from ..simulation.batch import _confidence_interval
+from ..simulation.runner import ExperimentRunner
+from ..simulation.scenarios import Scenario, get_scenario
+
+__all__ = ["ATTACK_SCENARIOS", "attack_surface_sweep", "attack_success_grid"]
+
+#: The registered scenarios that actually attempt to displace a suffix.
+ATTACK_SCENARIOS = ("private_chain", "selfish_mining")
+
+
+def _check_shape(trials: int, rounds: int) -> None:
+    if trials <= 0:
+        raise AnalysisError("trials must be positive")
+    if rounds <= 0:
+        raise AnalysisError("rounds must be positive")
+
+
+def attack_surface_sweep(
+    scenarios: Sequence[Union[str, Scenario]] = ATTACK_SCENARIOS,
+    nu_values: Sequence[float] = (0.15, 0.3, 0.4, 0.45),
+    delta_values: Sequence[int] = (1, 3, 10),
+    *,
+    c: float = 1.0,
+    n: int = 500,
+    trials: int = 16,
+    rounds: int = 4_000,
+    seed: int = 0,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[Dict[str, object]]:
+    """One row per (scenario, Delta, nu) cell of the attack surface.
+
+    Every cell is simulated with the vectorized scenario engine at ``trials``
+    independent trials; the runner supplies per-cell deterministic seeding,
+    on-disk caching and (when configured) multiprocessing.  Rows carry the
+    scenario's :meth:`~repro.simulation.scenarios.ScenarioResult.summary`
+    plus the closed-form verdicts at that ``(c, nu)`` point.
+    """
+    _check_shape(trials, rounds)
+    if not scenarios:
+        raise AnalysisError("at least one scenario is required")
+    if not nu_values or not delta_values:
+        raise AnalysisError("nu_values and delta_values must be non-empty")
+    runner = runner if runner is not None else ExperimentRunner(base_seed=seed)
+    rows: List[Dict[str, object]] = []
+    for entry in scenarios:
+        scenario = get_scenario(entry)
+        for delta in delta_values:
+            points = [
+                parameters_from_c(c=float(c), n=n, delta=int(delta), nu=float(nu))
+                for nu in nu_values
+            ]
+            results = runner.run_scenario_grid(points, scenario, trials, rounds)
+            for params, result in zip(points, results):
+                row = result.summary()
+                row["neat_bound_satisfied"] = params.c > neat_bound(params.nu)
+                row["attack_predicted"] = pss_attack_succeeds(params.c, params.nu)
+                rows.append(row)
+    return rows
+
+
+def attack_success_grid(
+    scenario: Union[str, Scenario],
+    nu_values: Sequence[float],
+    delta_values: Sequence[int],
+    *,
+    c: float = 1.0,
+    n: int = 500,
+    trials: int = 16,
+    rounds: int = 4_000,
+    seed: int = 0,
+    success_depth: Optional[int] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> Dict[str, np.ndarray]:
+    """Dense attack-success and fork-depth grids for one scenario.
+
+    Returns a dictionary of ``(len(nu_values), len(delta_values))`` arrays:
+    ``success_probability`` (fraction of trials whose deepest displaced
+    suffix reached ``success_depth``, defaulting to the scenario's own
+    success depth) with ``success_ci_low`` / ``success_ci_high``,
+    ``mean_deepest_fork`` with ``deepest_fork_ci_low`` / ``..._high``,
+    ``max_deepest_fork`` and ``mean_releases`` — plus the 1-D coordinate
+    arrays ``nu_values`` and ``delta_values``.
+    """
+    _check_shape(trials, rounds)
+    if not nu_values or not delta_values:
+        raise AnalysisError("nu_values and delta_values must be non-empty")
+    scenario = get_scenario(scenario)
+    runner = runner if runner is not None else ExperimentRunner(base_seed=seed)
+    shape = (len(nu_values), len(delta_values))
+    grids = {
+        "success_probability": np.zeros(shape),
+        "success_ci_low": np.zeros(shape),
+        "success_ci_high": np.zeros(shape),
+        "mean_deepest_fork": np.zeros(shape),
+        "deepest_fork_ci_low": np.zeros(shape),
+        "deepest_fork_ci_high": np.zeros(shape),
+        "max_deepest_fork": np.zeros(shape, dtype=np.int64),
+        "mean_releases": np.zeros(shape),
+    }
+    for column, delta in enumerate(delta_values):
+        points = [
+            parameters_from_c(c=float(c), n=n, delta=int(delta), nu=float(nu))
+            for nu in nu_values
+        ]
+        results = runner.run_scenario_grid(points, scenario, trials, rounds)
+        for row, result in enumerate(results):
+            mask = result.attack_success_mask(success_depth)
+            low, high = _binomial_ci(mask)
+            grids["success_probability"][row, column] = float(mask.mean())
+            grids["success_ci_low"][row, column] = low
+            grids["success_ci_high"][row, column] = high
+            fork_low, fork_high = result.deepest_fork_ci95
+            grids["mean_deepest_fork"][row, column] = result.mean_deepest_fork
+            grids["deepest_fork_ci_low"][row, column] = fork_low
+            grids["deepest_fork_ci_high"][row, column] = fork_high
+            grids["max_deepest_fork"][row, column] = result.max_deepest_fork
+            grids["mean_releases"][row, column] = float(result.releases.mean())
+    grids["nu_values"] = np.asarray(nu_values, dtype=np.float64)
+    grids["delta_values"] = np.asarray(delta_values, dtype=np.int64)
+    return grids
+
+
+def _binomial_ci(mask: np.ndarray) -> Tuple[float, float]:
+    """Normal-approximation 95% CI for a success fraction, clamped to [0, 1]."""
+    low, high = _confidence_interval(np.asarray(mask, dtype=np.float64))
+    return (max(low, 0.0), min(high, 1.0))

@@ -30,9 +30,15 @@ Components
     The NumPy-vectorized batch Monte Carlo engine: ``T`` independent trials
     executed simultaneously as array operations, with per-trial Lemma 1
     statistics and batch-level mean/CI aggregates.
+``scenarios``
+    The vectorized adversarial scenario engine: named attack scenarios
+    (``passive``, ``max_delay``, ``private_chain``, ``selfish_mining``)
+    executed for ``T`` trials at once as ``(trials,)`` state vectors —
+    private-fork leads, pending-release masks, Δ-capped delivery pipelines —
+    bit-comparable to the legacy simulator under scripted replay.
 ``runner``
     :class:`ExperimentRunner`: seeded, cached, optionally multiprocess
-    experiments over grids of parameter points.
+    experiments over grids of parameter points and (point, scenario) pairs.
 ``rng``
     The single-generator seeding discipline (:func:`resolve_rng`,
     :func:`spawn_rngs`) threaded through every stochastic component.
@@ -69,6 +75,16 @@ from .oracle import MiningOracle, ScriptedMiningOracle
 from .protocol import NakamotoSimulation, SimulationResult
 from .rng import resolve_rng, spawn_rngs
 from .runner import ENGINE_VERSION, ExperimentRunner
+from .scenarios import (
+    SCENARIO_KINDS,
+    Scenario,
+    ScenarioResult,
+    ScenarioSimulation,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    rotating_honest_attribution,
+)
 
 __all__ = [
     "Block",
@@ -104,6 +120,14 @@ __all__ = [
     "worst_window_deficits",
     "ExperimentRunner",
     "ENGINE_VERSION",
+    "SCENARIO_KINDS",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSimulation",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "rotating_honest_attribution",
     "resolve_rng",
     "spawn_rngs",
 ]

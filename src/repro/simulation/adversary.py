@@ -122,6 +122,8 @@ class _PrivateChainState:
     withheld: List[Block] = field(default_factory=list)
     releases: int = 0
     deepest_fork: int = 0
+    release_rounds: List[int] = field(default_factory=list)
+    abandon_rounds: List[int] = field(default_factory=list)
 
 
 class PrivateChainAdversary(AdversaryStrategy):
@@ -201,6 +203,7 @@ class PrivateChainAdversary(AdversaryStrategy):
             state.private_tip = None
             state.fork_point = None
             state.private_height = 0
+            state.abandon_rounds.append(round_index)
             return []
         if state.private_height <= public_height:
             return []
@@ -216,6 +219,7 @@ class PrivateChainAdversary(AdversaryStrategy):
         state.deepest_fork = max(state.deepest_fork, fork_depth)
         released, state.withheld = state.withheld, []
         state.releases += 1
+        state.release_rounds.append(round_index)
         # Start a fresh fork the next time the adversary mines.
         state.private_tip = None
         state.fork_point = None
@@ -244,6 +248,16 @@ class PrivateChainAdversary(AdversaryStrategy):
     def private_height(self) -> int:
         """Height of the current private tip (0 when no private chain exists)."""
         return self._state.private_height
+
+    @property
+    def release_rounds(self) -> List[int]:
+        """Rounds (1-indexed) at which a private chain was released."""
+        return list(self._state.release_rounds)
+
+    @property
+    def abandon_rounds(self) -> List[int]:
+        """Rounds (1-indexed) at which a hopeless fork was abandoned."""
+        return list(self._state.abandon_rounds)
 
 
 class SelfishMiningAdversary(AdversaryStrategy):
@@ -307,6 +321,7 @@ class SelfishMiningAdversary(AdversaryStrategy):
             state.private_tip = None
             state.fork_point = None
             state.private_height = 0
+            state.abandon_rounds.append(round_index)
             return []
         # Lead of 0 or 1: publish everything and claim the race.  Count the
         # honest blocks above the fork point that this release orphans.
@@ -317,6 +332,7 @@ class SelfishMiningAdversary(AdversaryStrategy):
             state.deepest_fork = max(state.deepest_fork, orphaned)
         released, state.withheld = state.withheld, []
         state.releases += 1
+        state.release_rounds.append(round_index)
         state.private_tip = None
         state.fork_point = None
         state.private_height = 0
@@ -349,3 +365,13 @@ class SelfishMiningAdversary(AdversaryStrategy):
     def withheld_count(self) -> int:
         """Number of blocks currently withheld."""
         return len(self._state.withheld)
+
+    @property
+    def release_rounds(self) -> List[int]:
+        """Rounds (1-indexed) at which the private chain was released."""
+        return list(self._state.release_rounds)
+
+    @property
+    def abandon_rounds(self) -> List[int]:
+        """Rounds (1-indexed) at which an overtaken fork was abandoned."""
+        return list(self._state.abandon_rounds)

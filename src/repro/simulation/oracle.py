@@ -13,7 +13,7 @@ simulation reproducible: one :class:`numpy.random.Generator` drives all draws.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -117,9 +117,23 @@ class ScriptedMiningOracle:
         simulator) consumes entry ``r - 1``.
     adversary_counts:
         Per-round adversarial success counts, same indexing.
+    honest_miner_ids:
+        Optional per-round miner-id attribution: for each round, the ids of
+        the honest miners whose queries succeeded (one sequence per round,
+        length equal to that round's honest count, distinct non-negative
+        ids).  When provided, the simulator attributes blocks to exactly
+        these miners instead of drawing ids from its own generator — this is
+        what lets the vectorized scenario engine
+        (:mod:`repro.simulation.scenarios`) replay a trace through the
+        legacy simulator bit-for-bit.
     """
 
-    def __init__(self, honest_counts: Sequence[int], adversary_counts: Sequence[int]):
+    def __init__(
+        self,
+        honest_counts: Sequence[int],
+        adversary_counts: Sequence[int],
+        honest_miner_ids: Optional[Sequence[Sequence[int]]] = None,
+    ):
         self._honest = np.asarray(honest_counts, dtype=np.int64)
         self._adversary = np.asarray(adversary_counts, dtype=np.int64)
         if self._honest.ndim != 1 or self._adversary.ndim != 1:
@@ -130,6 +144,27 @@ class ScriptedMiningOracle:
             )
         if (self._honest < 0).any() or (self._adversary < 0).any():
             raise SimulationError("scripted success counts must be non-negative")
+        self._honest_ids: Optional[List[np.ndarray]] = None
+        if honest_miner_ids is not None:
+            if len(honest_miner_ids) != len(self._honest):
+                raise SimulationError(
+                    "honest_miner_ids must cover the same number of rounds as "
+                    "the success counts"
+                )
+            self._honest_ids = []
+            for round_index, ids in enumerate(honest_miner_ids):
+                ids = np.asarray(ids, dtype=np.int64)
+                if ids.ndim != 1 or len(ids) != int(self._honest[round_index]):
+                    raise SimulationError(
+                        f"round {round_index + 1}: expected "
+                        f"{int(self._honest[round_index])} miner ids, got {ids!r}"
+                    )
+                if len(ids) and ((ids < 0).any() or len(np.unique(ids)) != len(ids)):
+                    raise SimulationError(
+                        f"round {round_index + 1}: miner ids must be distinct "
+                        "and non-negative"
+                    )
+                self._honest_ids.append(ids)
         self._honest_cursor = 0
         self._adversary_cursor = 0
         self._honest_queries = 0
@@ -151,9 +186,30 @@ class ScriptedMiningOracle:
             raise SimulationError(
                 f"script demands {value} honest successes from {miner_count} miners"
             )
+        if self._honest_ids is not None:
+            ids = self._honest_ids[self._honest_cursor]
+            if len(ids) and int(ids.max()) >= miner_count:
+                raise SimulationError(
+                    f"scripted miner id {int(ids.max())} is out of range for "
+                    f"{miner_count} honest miners"
+                )
         self._honest_queries += miner_count
         self._honest_cursor += 1
         return value
+
+    def scripted_honest_miner_ids(self) -> Optional[List[int]]:
+        """Miner ids for the round most recently consumed by :meth:`honest_successes`.
+
+        Returns ``None`` when no attribution script was provided, in which
+        case the simulator falls back to drawing ids from its own generator.
+        """
+        if self._honest_ids is None:
+            return None
+        if self._honest_cursor == 0:
+            raise SimulationError(
+                "no honest round has been consumed yet; call honest_successes first"
+            )
+        return [int(item) for item in self._honest_ids[self._honest_cursor - 1]]
 
     def adversary_successes(self, miner_count: int) -> int:
         """Next scripted adversarial success count (must not exceed ``miner_count``)."""

@@ -204,13 +204,19 @@ class NakamotoSimulation:
             delivered = network.deliver(round_index)
             population.deliver(delivered)
 
-            # 2. Honest mining: one parallel query per honest miner.
+            # 2. Honest mining: one parallel query per honest miner.  Miner-id
+            #    attribution comes from the oracle's script when it has one
+            #    (the scenario-engine replay path); otherwise it is drawn from
+            #    this simulation's generator, as always.
             honest_successes = oracle.honest_successes(self.honest_count)
             honest_counts[round_index - 1] = honest_successes
             if honest_successes > 0:
-                miner_ids = self.rng.choice(
-                    self.honest_count, size=honest_successes, replace=False
-                )
+                scripted_ids = getattr(oracle, "scripted_honest_miner_ids", None)
+                miner_ids = scripted_ids() if scripted_ids is not None else None
+                if miner_ids is None:
+                    miner_ids = self.rng.choice(
+                        self.honest_count, size=honest_successes, replace=False
+                    )
                 for miner_id in sorted(int(item) for item in miner_ids):
                     parent_id, parent_height = population.mining_parent_for(miner_id)
                     block = Block(

@@ -1,19 +1,22 @@
-"""Experiment orchestration on top of the batch Monte Carlo engine.
+"""Experiment orchestration on top of the batch Monte Carlo engines.
 
 :class:`ExperimentRunner` turns the raw :class:`~repro.simulation.batch.BatchSimulation`
-into a sweep-scale tool:
+and the adversarial :class:`~repro.simulation.scenarios.ScenarioSimulation`
+into sweep-scale tools:
 
-* **deterministic seeding** — every parameter point gets its own
-  :class:`numpy.random.SeedSequence` derived from the runner's base seed and
-  the point's cache key, so a point's result is identical whether it is run
-  alone, inside a grid, serially or sharded across processes;
+* **deterministic seeding** — every parameter point (and every
+  (point, scenario) pair) gets its own :class:`numpy.random.SeedSequence`
+  derived from the runner's base seed and the point's cache key, so a
+  point's result is identical whether it is run alone, inside a grid,
+  serially or sharded across processes;
 * **multiprocessing sharding** — grids of parameter points can be fanned out
   over a :mod:`multiprocessing` pool (one point per task; the batch engine
   already vectorizes over trials within a point);
 * **on-disk caching** — results are persisted as ``.npz`` files keyed by a
   digest of ``(engine version, parameters, trials, rounds, draw mode, base
-  seed)``, so repeated sweeps (e.g. re-running a benchmark or extending a
-  grid) only pay for the new points.
+  seed[, scenario])``, so repeated sweeps (e.g. re-running a benchmark or
+  extending a grid) only pay for the new points.  Scenario results cache
+  their per-trial aggregates; per-round record tensors are never persisted.
 """
 
 from __future__ import annotations
@@ -22,13 +25,14 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import SimulationError
 from ..params import ProtocolParameters
 from .batch import DRAW_MODES, BatchResult, BatchSimulation
+from .scenarios import Scenario, ScenarioResult, ScenarioSimulation, get_scenario
 
 __all__ = ["ENGINE_VERSION", "ExperimentRunner"]
 
@@ -58,6 +62,22 @@ def _params_from_payload(payload: dict) -> ProtocolParameters:
     )
 
 
+def _scenario_from_payload(payload: dict) -> Scenario:
+    return Scenario(
+        name=str(payload["name"]),
+        kind=str(payload["kind"]),
+        honest_delay=(
+            None if payload["honest_delay"] is None else int(payload["honest_delay"])
+        ),
+        target_depth=int(payload["target_depth"]),
+        give_up_deficit=(
+            None
+            if payload["give_up_deficit"] is None
+            else int(payload["give_up_deficit"])
+        ),
+    )
+
+
 def _run_point_task(args: tuple) -> tuple:
     """Top-level worker so grid points can be shipped to a process pool.
 
@@ -72,6 +92,24 @@ def _run_point_task(args: tuple) -> tuple:
         draw_mode=draw_mode,
     )
     result = runner.run_point(_params_from_payload(payload), trials, rounds)
+    return result, runner.cache_hits, runner.cache_misses
+
+
+def _run_scenario_point_task(args: tuple) -> tuple:
+    """Top-level worker for scenario grid points (process-pool friendly)."""
+    payload, scenario_payload, trials, rounds, base_seed, draw_mode, cache_dir = args
+    runner = ExperimentRunner(
+        base_seed=base_seed,
+        cache_dir=cache_dir,
+        processes=None,
+        draw_mode=draw_mode,
+    )
+    result = runner.run_scenario_point(
+        _params_from_payload(payload),
+        _scenario_from_payload(scenario_payload),
+        trials,
+        rounds,
+    )
     return result, runner.cache_hits, runner.cache_misses
 
 
@@ -116,9 +154,17 @@ class ExperimentRunner:
     # Keys and seeds
     # ------------------------------------------------------------------
     def cache_key(
-        self, params: ProtocolParameters, trials: int, rounds: int
+        self,
+        params: ProtocolParameters,
+        trials: int,
+        rounds: int,
+        scenario: Optional[Union[str, Scenario]] = None,
     ) -> str:
-        """Hex digest identifying one (engine, params, shape, seed) result."""
+        """Hex digest identifying one (engine, params, shape, seed[, scenario]) result.
+
+        Passive batch runs omit the scenario field entirely, so pre-scenario
+        cache entries remain valid.
+        """
         payload = {
             "engine_version": ENGINE_VERSION,
             "params": _params_payload(params),
@@ -127,29 +173,36 @@ class ExperimentRunner:
             "draw_mode": self.draw_mode,
             "base_seed": self.base_seed,
         }
+        if scenario is not None:
+            payload["scenario"] = get_scenario(scenario).payload()
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def seed_sequence_for(
-        self, params: ProtocolParameters, trials: int, rounds: int
+        self,
+        params: ProtocolParameters,
+        trials: int,
+        rounds: int,
+        scenario: Optional[Union[str, Scenario]] = None,
     ) -> np.random.SeedSequence:
         """The point's seed sequence: base seed plus cache-key entropy words.
 
         Deriving the entropy from the cache key makes the stream a pure
         function of (engine version, parameters, shape, draw mode, base
-        seed) — independent of grid composition and execution order.
+        seed, scenario) — independent of grid composition and execution
+        order.
         """
-        digest = self.cache_key(params, trials, rounds)
+        digest = self.cache_key(params, trials, rounds, scenario)
         words = [int(digest[index : index + 8], 16) for index in range(0, 32, 8)]
         return np.random.SeedSequence([self.base_seed, *words])
 
     # ------------------------------------------------------------------
     # Cache persistence
     # ------------------------------------------------------------------
-    def _cache_path(self, key: str) -> Optional[str]:
+    def _cache_path(self, key: str, prefix: str = "batch") -> Optional[str]:
         if self.cache_dir is None:
             return None
-        return os.path.join(self.cache_dir, f"batch_{key}.npz")
+        return os.path.join(self.cache_dir, f"{prefix}_{key}.npz")
 
     def _load_cached(self, path: str) -> Optional[BatchResult]:
         if not os.path.exists(path):
@@ -188,6 +241,59 @@ class ExperimentRunner:
             honest_blocks=result.honest_blocks,
             adversary_blocks=result.adversary_blocks,
             worst_deficits=result.worst_deficits,
+        )
+        os.replace(f"{temporary}.npz", path)
+
+    #: Per-trial aggregate arrays persisted for a scenario result.
+    _SCENARIO_ARRAYS = (
+        "releases",
+        "abandons",
+        "deepest_forks",
+        "orphaned_honest",
+        "withheld_final",
+        "final_public_heights",
+        "honest_blocks",
+        "adversary_blocks",
+        "convergence_opportunities",
+        "worst_deficits",
+    )
+
+    def _load_cached_scenario(self, path: str) -> Optional[ScenarioResult]:
+        if not os.path.exists(path):
+            return None
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            scenario = _scenario_from_payload(meta["scenario"])
+            return ScenarioResult(
+                params=_params_from_payload(meta["params"]),
+                scenario=scenario,
+                trials=int(meta["trials"]),
+                rounds=int(meta["rounds"]),
+                draw_mode=str(meta["draw_mode"]),
+                honest_delay=int(meta["honest_delay"]),
+                **{name: archive[name] for name in self._SCENARIO_ARRAYS},
+            )
+
+    def _store_cached_scenario(self, path: str, result: ScenarioResult) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        meta = json.dumps(
+            {
+                "engine_version": ENGINE_VERSION,
+                "params": _params_payload(result.params),
+                "scenario": result.scenario.payload(),
+                "trials": result.trials,
+                "rounds": result.rounds,
+                "draw_mode": result.draw_mode,
+                "honest_delay": result.honest_delay,
+                "base_seed": self.base_seed,
+            },
+            sort_keys=True,
+        )
+        temporary = f"{path}.tmp.{os.getpid()}"
+        np.savez(
+            temporary,
+            meta=np.asarray(meta),
+            **{name: getattr(result, name) for name in self._SCENARIO_ARRAYS},
         )
         os.replace(f"{temporary}.npz", path)
 
@@ -239,6 +345,77 @@ class ExperimentRunner:
 
         with multiprocessing.Pool(min(self.processes, len(points))) as pool:
             outcomes = pool.map(_run_point_task, tasks)
+        results = []
+        for result, hits, misses in outcomes:
+            self.cache_hits += hits
+            self.cache_misses += misses
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    # Adversarial scenario execution
+    # ------------------------------------------------------------------
+    def run_scenario_point(
+        self,
+        params: ProtocolParameters,
+        scenario: Union[str, Scenario],
+        trials: int,
+        rounds: int,
+    ) -> ScenarioResult:
+        """Run (or fetch from cache) one (parameter point, scenario) pair."""
+        scenario = get_scenario(scenario)
+        key = self.cache_key(params, trials, rounds, scenario)
+        path = self._cache_path(key, prefix="scenario")
+        if path is not None:
+            cached = self._load_cached_scenario(path)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        self.cache_misses += 1
+        rng = np.random.default_rng(
+            self.seed_sequence_for(params, trials, rounds, scenario)
+        )
+        simulation = ScenarioSimulation(
+            params, scenario, rng=rng, draw_mode=self.draw_mode
+        )
+        result = simulation.run(trials, rounds)
+        if path is not None:
+            self._store_cached_scenario(path, result)
+        return result
+
+    def run_scenario_grid(
+        self,
+        points: Sequence[ProtocolParameters],
+        scenario: Union[str, Scenario],
+        trials: int,
+        rounds: int,
+    ) -> List[ScenarioResult]:
+        """Run one scenario at every parameter point, sharded when configured."""
+        scenario = get_scenario(scenario)
+        points = list(points)
+        if not points:
+            return []
+        if self.processes is None or self.processes <= 1 or len(points) == 1:
+            return [
+                self.run_scenario_point(point, scenario, trials, rounds)
+                for point in points
+            ]
+        tasks = [
+            (
+                _params_payload(point),
+                scenario.payload(),
+                trials,
+                rounds,
+                self.base_seed,
+                self.draw_mode,
+                self.cache_dir,
+            )
+            for point in points
+        ]
+        import multiprocessing
+
+        with multiprocessing.Pool(min(self.processes, len(points))) as pool:
+            outcomes = pool.map(_run_scenario_point_task, tasks)
         results = []
         for result, hits, misses in outcomes:
             self.cache_hits += hits

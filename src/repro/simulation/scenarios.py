@@ -1,0 +1,698 @@
+"""Vectorized adversarial scenario engine: batch attack simulation as tensors.
+
+The batch engine (:mod:`repro.simulation.batch`) vectorizes the *passive*
+oracle path — per-round success counts, convergence opportunities, Lemma 1
+margins — but every adversarial strategy (withholding, selfish mining,
+maximum delay) still runs one trial at a time through the object-based
+:class:`~repro.simulation.protocol.NakamotoSimulation` loop.  This module
+closes that gap: it executes ``T`` independent *adversarial* trials
+simultaneously, scanning over rounds once while every piece of attack state
+lives in ``(trials,)`` NumPy vectors —
+
+* the public longest-chain height (with the Δ-capped honest delivery
+  pipeline kept as a ring buffer of scheduled arrival heights),
+* the adversary's private-fork height, fork-point height and pending-release
+  (withheld) block counts,
+* cumulative release / abandon / fork-depth / orphaned-block tallies.
+
+The scan reproduces the legacy round phases *exactly*: start-of-round
+deliveries, honest mining on the delivered public chain, sequential
+adversarial mining on the strategy's parent, the strategy's release decision
+against the pre-release public height, and the end-of-round delivery of
+zero-delay broadcasts.  One modelling convention makes the two engines
+bit-comparable rather than merely equal in distribution: honest block
+attribution is *scripted* by :func:`rotating_honest_attribution`, a rotating
+assignment of miner ids under which no honest miner ever mines again while
+its previous block is still in flight — so every honest block mined in round
+``r`` sits at exactly ``public_height(r) + 1`` in both engines.  (The event
+this convention excludes — the same miner succeeding twice within one delay
+window — has probability ``O(alpha^2 Δ / (mu n))`` per round and vanishes in
+the paper's large-``n`` regime; the engine refuses, with
+:class:`~repro.errors.SimulationError`, any trace where the convention is
+infeasible.)  The seeded equivalence tests replay the engine's pre-drawn
+traces through :class:`NakamotoSimulation` via
+:class:`~repro.simulation.oracle.ScriptedMiningOracle` and require identical
+per-round public/private heights, release rounds and fork-depth tallies for
+every registered strategy.
+
+Scenarios are named, registered descriptions of an adversary —
+``passive``, ``max_delay``, ``private_chain`` and ``selfish_mining`` ship by
+default — and every :class:`Scenario` can also build the corresponding
+legacy :class:`~repro.simulation.adversary.AdversaryStrategy`, which stays
+the reference implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.concat_chain import convergence_opportunity_mask
+from ..errors import SimulationError
+from ..params import ProtocolParameters
+from .adversary import (
+    AdversaryStrategy,
+    MaxDelayAdversary,
+    PassiveAdversary,
+    PrivateChainAdversary,
+    SelfishMiningAdversary,
+)
+from .batch import (
+    DRAW_MODES,
+    _confidence_interval,
+    draw_mining_traces,
+    worst_window_deficits,
+)
+from .rng import SeedLike, resolve_rng
+
+__all__ = [
+    "SCENARIO_KINDS",
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "rotating_honest_attribution",
+    "ScenarioResult",
+    "ScenarioSimulation",
+]
+
+#: The adversary state machines the engine knows how to vectorize.
+SCENARIO_KINDS = ("publish", "private_chain", "selfish_mining")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, declarative description of one adversarial strategy.
+
+    Parameters
+    ----------
+    name:
+        Registry / cache-key identifier.
+    kind:
+        The adversary state machine: ``"publish"`` (mine on the public tip,
+        publish every block immediately — the passive and maximum-delay
+        adversaries), ``"private_chain"`` (the PSS Remark 8.5 withholding
+        attack) or ``"selfish_mining"`` (Eyal-Sirer adapted to the round
+        model).
+    honest_delay:
+        The delay (in rounds, capped by Δ) the adversary imposes on every
+        honest block.  ``None`` means the full Δ; ``publish`` scenarios may
+        choose any value in ``[0, Δ]``, while the two withholding kinds
+        always delay by Δ (their legacy reference strategies hard-code it).
+    target_depth:
+        ``private_chain`` only: the minimum public-suffix depth a release
+        must displace (the ``T`` whose consistency the attack breaks).
+    give_up_deficit:
+        ``private_chain`` only: abandon the fork once it falls this many
+        blocks behind the public chain; ``None`` never gives up.
+    """
+
+    name: str
+    kind: str
+    honest_delay: Optional[int] = None
+    target_depth: int = 6
+    give_up_deficit: Optional[int] = 12
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("scenario name must be non-empty")
+        if self.kind not in SCENARIO_KINDS:
+            raise SimulationError(
+                f"scenario kind must be one of {SCENARIO_KINDS}, got {self.kind!r}"
+            )
+        if self.honest_delay is not None and self.honest_delay < 0:
+            raise SimulationError(
+                f"honest_delay must be >= 0 or None, got {self.honest_delay!r}"
+            )
+        if self.kind != "publish" and self.honest_delay is not None:
+            raise SimulationError(
+                f"{self.kind} scenarios always impose the full delay Delta; "
+                "leave honest_delay as None"
+            )
+        if self.target_depth < 1:
+            raise SimulationError(
+                f"target_depth must be >= 1, got {self.target_depth!r}"
+            )
+        if self.give_up_deficit is not None and self.give_up_deficit < 1:
+            raise SimulationError(
+                f"give_up_deficit must be >= 1 or None, got {self.give_up_deficit!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Resolution against a concrete parameter point
+    # ------------------------------------------------------------------
+    def resolved_honest_delay(self, delta: int) -> int:
+        """The per-block honest delay for a run with cap ``delta``.
+
+        Raises :class:`SimulationError` when the scenario demands a delay
+        beyond the Δ cap — the same guarantee
+        :class:`~repro.simulation.network.DeltaDelayNetwork` enforces.
+        """
+        delay = delta if self.honest_delay is None else self.honest_delay
+        if not (0 <= delay <= delta):
+            raise SimulationError(
+                f"scenario {self.name!r} imposes delay {delay} beyond the "
+                f"Delta cap {delta}"
+            )
+        return delay
+
+    def build_adversary(self, delta: int) -> AdversaryStrategy:
+        """The legacy reference :class:`AdversaryStrategy` for this scenario."""
+        if self.kind == "publish":
+            delay = self.resolved_honest_delay(delta)
+            if delay == delta:
+                return MaxDelayAdversary(delta)
+            return PassiveAdversary(delta, honest_delay=delay)
+        if self.kind == "private_chain":
+            return PrivateChainAdversary(
+                delta,
+                target_depth=self.target_depth,
+                give_up_deficit=self.give_up_deficit,
+            )
+        return SelfishMiningAdversary(delta)
+
+    @property
+    def success_depth(self) -> int:
+        """The fork depth that counts as a successful attack for this scenario."""
+        if self.kind == "private_chain":
+            return self.target_depth
+        return 1
+
+    def payload(self) -> Dict[str, object]:
+        """Primary fields as a plain dict (cache keys / reconstruction)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "honest_delay": self.honest_delay,
+            "target_depth": self.target_depth,
+            "give_up_deficit": self.give_up_deficit,
+        }
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, overwrite: bool = False) -> Scenario:
+    """Add a scenario to the registry (refusing silent redefinition)."""
+    if scenario.name in _REGISTRY and not overwrite:
+        raise SimulationError(
+            f"scenario {scenario.name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(scenario: Union[str, Scenario]) -> Scenario:
+    """Resolve a registry name (or pass a :class:`Scenario` through)."""
+    if isinstance(scenario, Scenario):
+        return scenario
+    try:
+        return _REGISTRY[scenario]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise SimulationError(
+            f"unknown scenario {scenario!r}; registered scenarios: {known}"
+        ) from None
+
+
+def list_scenarios() -> List[str]:
+    """Names of all registered scenarios, sorted."""
+    return sorted(_REGISTRY)
+
+
+register_scenario(Scenario(name="passive", kind="publish", honest_delay=0))
+register_scenario(Scenario(name="max_delay", kind="publish"))
+register_scenario(Scenario(name="private_chain", kind="private_chain"))
+register_scenario(Scenario(name="selfish_mining", kind="selfish_mining"))
+
+
+# ----------------------------------------------------------------------
+# Scripted honest attribution
+# ----------------------------------------------------------------------
+def _max_window_successes(honest_counts: np.ndarray, window: int) -> int:
+    """Largest number of honest successes in any ``window`` consecutive rounds."""
+    counts = np.atleast_2d(np.asarray(honest_counts, dtype=np.int64))
+    if window <= 1:
+        return int(counts.max(initial=0))
+    padded = np.pad(counts, ((0, 0), (0, window - 1)))
+    cumulative = np.concatenate(
+        [np.zeros((padded.shape[0], 1), dtype=np.int64), np.cumsum(padded, axis=1)],
+        axis=1,
+    )
+    windows = cumulative[:, window:] - cumulative[:, :-window]
+    return int(windows.max(initial=0))
+
+
+def _require_attribution_feasible(
+    honest_counts: np.ndarray, honest_miners: int, honest_delay: int
+) -> None:
+    """Raise unless rotating attribution avoids in-flight re-selection.
+
+    A miner that mined in round ``r`` receives its own block back at the
+    start of round ``r + d`` (``d`` = honest delay); rotating ids re-select
+    it inside that window only when some ``d``-round span holds more than
+    ``honest_miners`` successes.
+    """
+    window = max(honest_delay, 1)
+    worst = _max_window_successes(honest_counts, window)
+    if worst > honest_miners:
+        raise SimulationError(
+            f"cannot attribute {worst} honest successes within a "
+            f"{window}-round delivery window to {honest_miners} distinct "
+            "miners; increase n or shorten the delay"
+        )
+
+
+def rotating_honest_attribution(
+    honest_counts: Sequence[int], honest_miners: int, honest_delay: int
+) -> List[np.ndarray]:
+    """Per-round honest miner ids under the engine's rotating convention.
+
+    Round ``r``'s ``h_r`` successes are attributed to the next ``h_r`` ids in
+    a round-robin over ``0..honest_miners-1``, so no miner is re-selected
+    while its previous block is still in flight (guaranteed feasible, or
+    :class:`SimulationError`).  Feeding the returned schedule to
+    :class:`~repro.simulation.oracle.ScriptedMiningOracle` makes the legacy
+    simulator follow the scenario engine's honest-mining semantics exactly.
+    """
+    if honest_miners < 1:
+        raise SimulationError(
+            f"honest_miners must be >= 1, got {honest_miners!r}"
+        )
+    counts = np.asarray(honest_counts, dtype=np.int64)
+    if counts.ndim != 1:
+        raise SimulationError("honest_counts must be 1-dimensional")
+    if (counts < 0).any():
+        raise SimulationError("honest_counts must be non-negative")
+    _require_attribution_feasible(counts, honest_miners, honest_delay)
+    schedule: List[np.ndarray] = []
+    cursor = 0
+    for count in counts:
+        count = int(count)
+        schedule.append((cursor + np.arange(count, dtype=np.int64)) % honest_miners)
+        cursor = (cursor + count) % honest_miners
+    return schedule
+
+
+# ----------------------------------------------------------------------
+# Result object
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioResult:
+    """Per-trial attack outcomes plus aggregate statistics for one batch run.
+
+    All per-trial arrays have shape ``(trials,)``.  The per-round record
+    tensors (shape ``(trials, rounds)``) are retained only when the run was
+    made with ``record_rounds=True``; the raw success-count tensors only
+    with ``keep_traces=True``.
+    """
+
+    params: ProtocolParameters
+    scenario: Scenario
+    trials: int
+    rounds: int
+    draw_mode: str
+    honest_delay: int
+    releases: np.ndarray
+    deepest_forks: np.ndarray
+    orphaned_honest: np.ndarray
+    abandons: np.ndarray
+    withheld_final: np.ndarray
+    final_public_heights: np.ndarray
+    honest_blocks: np.ndarray
+    adversary_blocks: np.ndarray
+    convergence_opportunities: np.ndarray
+    worst_deficits: np.ndarray
+    public_heights: Optional[np.ndarray] = field(default=None, repr=False)
+    private_heights: Optional[np.ndarray] = field(default=None, repr=False)
+    release_mask: Optional[np.ndarray] = field(default=None, repr=False)
+    abandon_mask: Optional[np.ndarray] = field(default=None, repr=False)
+    decision_leads: Optional[np.ndarray] = field(default=None, repr=False)
+    decision_fork_depths: Optional[np.ndarray] = field(default=None, repr=False)
+    honest_counts: Optional[np.ndarray] = field(default=None, repr=False)
+    adversary_counts: Optional[np.ndarray] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Attack-success statistics
+    # ------------------------------------------------------------------
+    def attack_success_mask(self, depth: Optional[int] = None) -> np.ndarray:
+        """Per-trial flags: the attack displaced a suffix at least this deep.
+
+        ``depth`` defaults to the scenario's success depth (the withholding
+        target for ``private_chain``, one orphaned block otherwise).
+        """
+        depth = self.scenario.success_depth if depth is None else depth
+        if depth < 1:
+            raise SimulationError(f"depth must be >= 1, got {depth!r}")
+        return self.deepest_forks >= depth
+
+    @property
+    def attack_success_probability(self) -> float:
+        """Fraction of trials in which the attack succeeded."""
+        return float(self.attack_success_mask().mean())
+
+    @property
+    def attack_success_ci95(self) -> Tuple[float, float]:
+        """95% confidence interval for the attack-success probability."""
+        low, high = _confidence_interval(self.attack_success_mask())
+        return (max(low, 0.0), min(high, 1.0))
+
+    @property
+    def mean_deepest_fork(self) -> float:
+        """Batch mean of the per-trial deepest displaced suffix."""
+        return float(self.deepest_forks.mean())
+
+    @property
+    def deepest_fork_ci95(self) -> Tuple[float, float]:
+        """95% confidence interval for the mean deepest fork."""
+        return _confidence_interval(self.deepest_forks)
+
+    @property
+    def max_deepest_fork(self) -> int:
+        """Deepest displaced suffix across all trials."""
+        return int(self.deepest_forks.max(initial=0))
+
+    # ------------------------------------------------------------------
+    # Chain statistics
+    # ------------------------------------------------------------------
+    @property
+    def growth_rates(self) -> np.ndarray:
+        """Per-trial public chain growth (blocks per round)."""
+        return self.final_public_heights / self.rounds
+
+    @property
+    def empirical_convergence_rates(self) -> np.ndarray:
+        """Per-trial convergence opportunities per round (compare to Eq. 44)."""
+        return self.convergence_opportunities / self.rounds
+
+    @property
+    def lemma1_margins(self) -> np.ndarray:
+        """Per-trial Lemma 1 margins ``C - A`` over the whole run."""
+        return self.convergence_opportunities - self.adversary_blocks
+
+    @property
+    def lemma1_fraction(self) -> float:
+        """Fraction of trials in which the Lemma 1 event ``C > A`` held."""
+        return float((self.lemma1_margins > 0).mean())
+
+    def release_rounds(self, trial: int) -> np.ndarray:
+        """1-indexed rounds at which ``trial`` released a private chain."""
+        if self.release_mask is None:
+            raise SimulationError(
+                "per-round records were not kept; run with record_rounds=True"
+            )
+        return np.nonzero(self.release_mask[trial])[0] + 1
+
+    def abandon_rounds(self, trial: int) -> np.ndarray:
+        """1-indexed rounds at which ``trial`` abandoned its private fork."""
+        if self.abandon_mask is None:
+            raise SimulationError(
+                "per-round records were not kept; run with record_rounds=True"
+            )
+        return np.nonzero(self.abandon_mask[trial])[0] + 1
+
+    def summary(self) -> Dict[str, object]:
+        """A flat dictionary of the headline numbers (for tables)."""
+        success_ci = self.attack_success_ci95
+        fork_ci = self.deepest_fork_ci95
+        return {
+            "scenario": self.scenario.name,
+            "trials": self.trials,
+            "rounds": self.rounds,
+            "c": self.params.c,
+            "nu": self.params.nu,
+            "delta": self.params.delta,
+            "honest_delay": self.honest_delay,
+            "attack_success_probability": self.attack_success_probability,
+            "attack_success_ci95_low": success_ci[0],
+            "attack_success_ci95_high": success_ci[1],
+            "mean_deepest_fork": self.mean_deepest_fork,
+            "deepest_fork_ci95_low": fork_ci[0],
+            "deepest_fork_ci95_high": fork_ci[1],
+            "max_deepest_fork": self.max_deepest_fork,
+            "mean_releases": float(self.releases.mean()),
+            "mean_abandons": float(self.abandons.mean()),
+            "mean_orphaned_honest": float(self.orphaned_honest.mean()),
+            "mean_growth_rate": float(self.growth_rates.mean()),
+            "lemma1_fraction": self.lemma1_fraction,
+        }
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class ScenarioSimulation:
+    """NumPy-vectorized batch execution of one adversarial scenario.
+
+    Parameters
+    ----------
+    params:
+        Protocol parameters (``p``, ``n``, ``Δ``, ``nu``).
+    scenario:
+        A registry name (``"passive"``, ``"max_delay"``, ``"private_chain"``,
+        ``"selfish_mining"``) or a :class:`Scenario` instance.
+    rng:
+        Source of randomness; the draw protocol is exactly
+        :func:`~repro.simulation.batch.draw_mining_traces`, so one seed
+        determines the whole batch and the scripted-replay harness can
+        regenerate it.
+    draw_mode:
+        ``"binomial"`` (default) or ``"bernoulli"``.
+
+    Examples
+    --------
+    >>> from repro.params import parameters_from_c
+    >>> params = parameters_from_c(c=1.0, n=400, delta=3, nu=0.4)
+    >>> result = ScenarioSimulation(params, "private_chain", rng=0).run(16, 2_000)
+    >>> result.releases.shape
+    (16,)
+    >>> 0.0 <= result.attack_success_probability <= 1.0
+    True
+    """
+
+    def __init__(
+        self,
+        params: ProtocolParameters,
+        scenario: Union[str, Scenario] = "passive",
+        rng: SeedLike = None,
+        draw_mode: str = "binomial",
+    ):
+        if draw_mode not in DRAW_MODES:
+            raise SimulationError(
+                f"draw_mode must be one of {DRAW_MODES}, got {draw_mode!r}"
+            )
+        self.params = params
+        self.scenario = get_scenario(scenario)
+        self.honest_delay = self.scenario.resolved_honest_delay(params.delta)
+        self.rng = resolve_rng(rng)
+        self.draw_mode = draw_mode
+        self.honest_miners = max(int(round(params.honest_count)), 1)
+
+    def run(
+        self,
+        trials: int,
+        rounds: int,
+        keep_traces: bool = False,
+        record_rounds: bool = False,
+    ) -> ScenarioResult:
+        """Draw fresh traces for ``trials`` independent runs and simulate them."""
+        honest, adversary = draw_mining_traces(
+            self.params, trials, rounds, self.rng, self.draw_mode
+        )
+        return self.run_traces(
+            honest, adversary, keep_traces=keep_traces, record_rounds=record_rounds
+        )
+
+    def run_traces(
+        self,
+        honest_counts: np.ndarray,
+        adversary_counts: np.ndarray,
+        keep_traces: bool = False,
+        record_rounds: bool = False,
+    ) -> ScenarioResult:
+        """Simulate the scenario over pre-drawn ``(trials, rounds)`` tensors.
+
+        This is the deterministic half of the engine — the half the scripted
+        replay equivalence tests drive on both sides.
+        """
+        honest = np.asarray(honest_counts, dtype=np.int64)
+        adversary = np.asarray(adversary_counts, dtype=np.int64)
+        if honest.ndim != 2:
+            raise SimulationError(
+                f"honest_counts must have shape (trials, rounds), got {honest.shape}"
+            )
+        if honest.shape != adversary.shape:
+            raise SimulationError(
+                f"honest shape {honest.shape} does not match adversary shape "
+                f"{adversary.shape}"
+            )
+        if (honest < 0).any() or (adversary < 0).any():
+            raise SimulationError("success counts must be non-negative")
+        trials, rounds = honest.shape
+        if rounds < 1:
+            raise SimulationError("rounds must be positive")
+        _require_attribution_feasible(honest, self.honest_miners, self.honest_delay)
+
+        state = self._scan(honest, adversary, record_rounds)
+        mask = convergence_opportunity_mask(honest, self.params.delta)
+        return ScenarioResult(
+            params=self.params,
+            scenario=self.scenario,
+            trials=trials,
+            rounds=rounds,
+            draw_mode=self.draw_mode,
+            honest_delay=self.honest_delay,
+            honest_blocks=honest.sum(axis=1),
+            adversary_blocks=adversary.sum(axis=1),
+            convergence_opportunities=mask.sum(axis=1),
+            worst_deficits=worst_window_deficits(mask, adversary),
+            honest_counts=honest if keep_traces else None,
+            adversary_counts=adversary if keep_traces else None,
+            **state,
+        )
+
+    # ------------------------------------------------------------------
+    # The round scan
+    # ------------------------------------------------------------------
+    def _scan(
+        self, honest: np.ndarray, adversary: np.ndarray, record_rounds: bool
+    ) -> Dict[str, Optional[np.ndarray]]:
+        """One pass over rounds with all per-trial state as vectors.
+
+        Mirrors :meth:`NakamotoSimulation.run` phase by phase; see the
+        module docstring for the correspondence argument.
+        """
+        trials, rounds = honest.shape
+        kind = self.scenario.kind
+        delay = self.honest_delay
+        target_depth = self.scenario.target_depth
+        give_up = self.scenario.give_up_deficit
+
+        # Round-major copies make each round's column contiguous in the scan.
+        honest_rows = np.ascontiguousarray(honest.T)
+        adversary_rows = np.ascontiguousarray(adversary.T)
+
+        public = np.zeros(trials, dtype=np.int64)
+        private = np.zeros(trials, dtype=np.int64)
+        fork = np.zeros(trials, dtype=np.int64)
+        active = np.zeros(trials, dtype=bool)
+        withheld = np.zeros(trials, dtype=np.int64)
+        releases = np.zeros(trials, dtype=np.int64)
+        abandons = np.zeros(trials, dtype=np.int64)
+        deepest = np.zeros(trials, dtype=np.int64)
+        orphaned = np.zeros(trials, dtype=np.int64)
+        no_release = np.zeros(trials, dtype=bool)
+        # Scheduled arrival heights for in-flight honest blocks: slot r % delay
+        # holds the height mined at round r, due at the start of round r+delay.
+        ring = np.zeros((trials, delay), dtype=np.int64) if delay >= 1 else None
+
+        if record_rounds:
+            public_record = np.zeros((trials, rounds), dtype=np.int64)
+            private_record = np.zeros((trials, rounds), dtype=np.int64)
+            release_record = np.zeros((trials, rounds), dtype=bool)
+            abandon_record = np.zeros((trials, rounds), dtype=bool)
+            lead_record = np.zeros((trials, rounds), dtype=np.int64)
+            depth_record = np.zeros((trials, rounds), dtype=np.int64)
+
+        for index in range(rounds):
+            mined_honest = honest_rows[index]
+            mined_adversary = adversary_rows[index]
+
+            # 1. Start-of-round deliveries: blocks mined `delay` rounds ago.
+            if ring is not None:
+                slot = index % delay
+                np.maximum(public, ring[:, slot], out=public)
+
+            # 2. Honest mining on the delivered public chain; delayed blocks
+            #    enter the pipeline, zero-delay blocks land at end of round.
+            some_honest = mined_honest > 0
+            mined_height = public + 1
+            if ring is not None:
+                np.multiply(mined_height, some_honest, out=ring[:, slot])
+
+            # 3. Adversarial mining: extend the private tip, or fork from the
+            #    public tip if no private chain exists.
+            if kind == "publish":
+                # Freshly mined blocks are published at end of round: the
+                # public chain absorbs the whole sequential run of successes.
+                released = no_release
+                abandoned = no_release
+                public += mined_adversary
+            else:
+                some_adversary = mined_adversary > 0
+                starting = some_adversary & ~active
+                np.copyto(fork, public, where=starting)
+                np.copyto(private, public, where=starting)
+                private += mined_adversary
+                withheld += mined_adversary
+                active |= some_adversary
+
+                # 4. Release decision against the pre-release public height.
+                # Note an inactive trial has private = fork = 0, so lead > 0
+                # (and lead in {0, 1} with public > 0) already implies active.
+                lead = private - public
+                depth = public - fork
+                if kind == "private_chain":
+                    if give_up is not None:
+                        abandoned = (lead <= -give_up) & active
+                    else:
+                        abandoned = no_release
+                    # Released and abandoned are mutually exclusive: release
+                    # needs lead > 0, abandonment needs lead <= -give_up.
+                    released = (lead > 0) & (depth >= target_depth)
+                    np.maximum(deepest, depth * released, out=deepest)
+                else:  # selfish_mining
+                    abandoned = (lead <= -1) & active
+                    released = (lead >= 0) & (lead <= 1) & active
+                    orphan = depth * released
+                    orphaned += orphan
+                    np.maximum(deepest, orphan, out=deepest)
+                releases += released
+                abandons += abandoned
+                # A release always publishes a chain at least as high as the
+                # public one, displacing (or tying) the public suffix.
+                np.copyto(public, private, where=released)
+                keep = ~(released | abandoned)
+                private *= keep
+                fork *= keep
+                withheld *= keep
+                active &= keep
+
+            # 5. End-of-round delivery of zero-delay honest broadcasts.
+            if delay == 0:
+                np.maximum(public, mined_height * some_honest, out=public)
+
+            if record_rounds:
+                public_record[:, index] = public
+                private_record[:, index] = private
+                release_record[:, index] = released
+                abandon_record[:, index] = abandoned
+                if kind != "publish":
+                    lead_record[:, index] = lead
+                    depth_record[:, index] = depth
+
+        # Network flush: every in-flight honest block eventually arrives.
+        final = public.copy()
+        if ring is not None:
+            np.maximum(final, ring.max(axis=1), out=final)
+
+        return {
+            "releases": releases,
+            "abandons": abandons,
+            "deepest_forks": deepest,
+            "orphaned_honest": orphaned,
+            "withheld_final": withheld,
+            "final_public_heights": final,
+            "public_heights": public_record if record_rounds else None,
+            "private_heights": private_record if record_rounds else None,
+            "release_mask": release_record if record_rounds else None,
+            "abandon_mask": abandon_record if record_rounds else None,
+            "decision_leads": lead_record if record_rounds else None,
+            "decision_fork_depths": depth_record if record_rounds else None,
+        }

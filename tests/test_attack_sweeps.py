@@ -1,0 +1,153 @@
+"""Tests for repro.analysis.attack_sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ATTACK_SCENARIOS, attack_success_grid, attack_surface_sweep
+from repro.errors import AnalysisError
+from repro.simulation import ExperimentRunner, Scenario
+
+NU_VALUES = (0.2, 0.42)
+DELTA_VALUES = (1, 3)
+SHAPE_KWARGS = dict(c=1.0, n=400, trials=4, rounds=800, seed=5)
+
+
+class TestAttackSurfaceSweep:
+    def test_rows_cover_the_grid(self):
+        rows = attack_surface_sweep(
+            ATTACK_SCENARIOS, NU_VALUES, DELTA_VALUES, **SHAPE_KWARGS
+        )
+        assert len(rows) == len(ATTACK_SCENARIOS) * len(NU_VALUES) * len(DELTA_VALUES)
+        cells = {(row["scenario"], row["nu"], row["delta"]) for row in rows}
+        assert ("private_chain", 0.42, 3) in cells
+        for row in rows:
+            assert 0.0 <= row["attack_success_probability"] <= 1.0
+            assert (
+                row["attack_success_ci95_low"]
+                <= row["attack_success_probability"]
+                <= row["attack_success_ci95_high"]
+            )
+            assert row["mean_deepest_fork"] <= row["max_deepest_fork"]
+            assert isinstance(row["neat_bound_satisfied"], bool)
+            assert isinstance(row["attack_predicted"], bool)
+
+    def test_attack_region_dominates_safe_region(self):
+        """At c = 1 the withholding attack succeeds far more often at
+        nu = 0.42 than at nu = 0.2 (where it mostly gives up)."""
+        rows = attack_surface_sweep(
+            ("private_chain",),
+            NU_VALUES,
+            (3,),
+            c=1.0,
+            n=400,
+            trials=8,
+            rounds=2_000,
+            seed=5,
+        )
+        by_nu = {row["nu"]: row for row in rows}
+        assert (
+            by_nu[0.42]["attack_success_probability"]
+            > by_nu[0.2]["attack_success_probability"]
+        )
+        assert by_nu[0.42]["mean_deepest_fork"] > by_nu[0.2]["mean_deepest_fork"]
+
+    def test_runner_reuse_and_caching(self, tmp_path):
+        runner = ExperimentRunner(base_seed=5, cache_dir=str(tmp_path))
+        first = attack_surface_sweep(
+            ("selfish_mining",), NU_VALUES, (1,), runner=runner, **SHAPE_KWARGS
+        )
+        assert runner.cache_misses == len(NU_VALUES)
+        second = attack_surface_sweep(
+            ("selfish_mining",), NU_VALUES, (1,), runner=runner, **SHAPE_KWARGS
+        )
+        assert runner.cache_hits == len(NU_VALUES)
+        for left, right in zip(first, second):
+            assert left["attack_success_probability"] == pytest.approx(
+                right["attack_success_probability"]
+            )
+
+    def test_input_validation(self):
+        with pytest.raises(AnalysisError):
+            attack_surface_sweep((), NU_VALUES, DELTA_VALUES, **SHAPE_KWARGS)
+        with pytest.raises(AnalysisError):
+            attack_surface_sweep(ATTACK_SCENARIOS, (), DELTA_VALUES, **SHAPE_KWARGS)
+        with pytest.raises(AnalysisError):
+            attack_surface_sweep(
+                ATTACK_SCENARIOS, NU_VALUES, DELTA_VALUES, c=1.0, n=400,
+                trials=0, rounds=800,
+            )
+        with pytest.raises(AnalysisError):
+            attack_surface_sweep(
+                ATTACK_SCENARIOS, NU_VALUES, DELTA_VALUES, c=1.0, n=400,
+                trials=4, rounds=0,
+            )
+
+
+class TestAttackSuccessGrid:
+    def test_grid_shapes_and_consistency(self):
+        grids = attack_success_grid(
+            "private_chain", NU_VALUES, DELTA_VALUES, **SHAPE_KWARGS
+        )
+        shape = (len(NU_VALUES), len(DELTA_VALUES))
+        for name in (
+            "success_probability",
+            "success_ci_low",
+            "success_ci_high",
+            "mean_deepest_fork",
+            "deepest_fork_ci_low",
+            "deepest_fork_ci_high",
+            "mean_releases",
+        ):
+            assert grids[name].shape == shape
+        assert grids["max_deepest_fork"].shape == shape
+        assert grids["max_deepest_fork"].dtype == np.int64
+        assert np.array_equal(grids["nu_values"], np.asarray(NU_VALUES))
+        assert np.array_equal(grids["delta_values"], np.asarray(DELTA_VALUES))
+        assert (grids["success_ci_low"] <= grids["success_probability"]).all()
+        assert (grids["success_probability"] <= grids["success_ci_high"]).all()
+        assert (grids["success_probability"] >= 0).all()
+        assert (grids["success_ci_high"] <= 1).all()
+        assert (grids["mean_deepest_fork"] <= grids["max_deepest_fork"]).all()
+
+    def test_matches_runner_pointwise(self):
+        """Grid cells are exactly the runner's seeded per-point results."""
+        from repro.params import parameters_from_c
+
+        grids = attack_success_grid(
+            "selfish_mining", (0.42,), (3,), **SHAPE_KWARGS
+        )
+        runner = ExperimentRunner(base_seed=SHAPE_KWARGS["seed"])
+        params = parameters_from_c(c=1.0, n=400, delta=3, nu=0.42)
+        point = runner.run_scenario_point(
+            params, "selfish_mining", SHAPE_KWARGS["trials"], SHAPE_KWARGS["rounds"]
+        )
+        assert grids["success_probability"][0, 0] == pytest.approx(
+            point.attack_success_probability
+        )
+        assert grids["mean_deepest_fork"][0, 0] == pytest.approx(
+            point.mean_deepest_fork
+        )
+
+    def test_custom_success_depth_is_monotone(self):
+        shallow = attack_success_grid(
+            "private_chain", (0.42,), (3,), success_depth=1, **SHAPE_KWARGS
+        )
+        deep = attack_success_grid(
+            "private_chain", (0.42,), (3,), success_depth=20, **SHAPE_KWARGS
+        )
+        assert (
+            deep["success_probability"] <= shallow["success_probability"]
+        ).all()
+
+    def test_accepts_scenario_instances(self):
+        scenario = Scenario(
+            name="pc_shallow_grid", kind="private_chain", target_depth=2
+        )
+        grids = attack_success_grid(scenario, (0.42,), (1,), **SHAPE_KWARGS)
+        assert grids["success_probability"].shape == (1, 1)
+
+    def test_input_validation(self):
+        with pytest.raises(AnalysisError):
+            attack_success_grid("private_chain", (), DELTA_VALUES, **SHAPE_KWARGS)

@@ -22,6 +22,7 @@ from repro.core.pss import (
     pss_c_threshold,
 )
 from repro.params import parameters_from_c
+from repro.simulation import ExperimentRunner
 
 TOL = dict(rel=1e-9, abs=1e-12)
 
@@ -129,3 +130,38 @@ class TestKifferAndTableIGoldens:
             0.04180861013853035, **TOL
         )
         assert params.beta == pytest.approx(1.0 / 60.0, **TOL)
+
+
+class TestAttackSurfaceGoldens:
+    """Seeded attack-surface numbers from the vectorized scenario engine.
+
+    Produced by ``ExperimentRunner(base_seed=2026)`` at (c=1, n=400,
+    trials=24, rounds=1500) and pinned so that refactors of the scenario
+    engine's scan, the draw protocol or the runner's per-point seeding
+    cannot silently shift the attack statistics.  Values depend only on the
+    seed and NumPy's stable Generator streams.
+    """
+
+    @pytest.mark.parametrize(
+        "scenario, nu, delta, success_probability, mean_deepest_fork",
+        [
+            ("private_chain", 0.3, 1, 1.0, 13.25),
+            ("private_chain", 0.3, 3, 0.9583333333333334, 13.25),
+            ("private_chain", 0.42, 1, 1.0, 54.625),
+            ("private_chain", 0.42, 3, 1.0, 35.291666666666664),
+            ("selfish_mining", 0.3, 1, 1.0, 16.458333333333332),
+            ("selfish_mining", 0.3, 3, 1.0, 6.458333333333333),
+            ("selfish_mining", 0.42, 1, 1.0, 154.41666666666666),
+            ("selfish_mining", 0.42, 3, 0.875, 21.833333333333332),
+        ],
+    )
+    def test_attack_statistics(
+        self, scenario, nu, delta, success_probability, mean_deepest_fork
+    ):
+        runner = ExperimentRunner(base_seed=2026)
+        params = parameters_from_c(c=1.0, n=400, delta=delta, nu=nu)
+        result = runner.run_scenario_point(params, scenario, trials=24, rounds=1_500)
+        assert result.attack_success_probability == pytest.approx(
+            success_probability, **TOL
+        )
+        assert result.mean_deepest_fork == pytest.approx(mean_deepest_fork, **TOL)

@@ -6,8 +6,18 @@ import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.simulation import DeltaDelayNetwork, MiningOracle
+from repro.params import parameters_from_c
+from repro.simulation import (
+    DeltaDelayNetwork,
+    MiningOracle,
+    NakamotoSimulation,
+    PassiveAdversary,
+    ScriptedMiningOracle,
+    resolve_rng,
+    spawn_rngs,
+)
 from repro.simulation.block import Block
+from repro.simulation.rng import derive_seed_sequence
 
 
 def make_block(block_id, parent_id=0, height=1, round_mined=1):
@@ -63,6 +73,92 @@ class TestMiningOracle:
         assert oracle.adversary_queries == 5
 
 
+class TestScriptedMiningOracle:
+    def test_script_shape_validation(self):
+        with pytest.raises(SimulationError, match="1-dimensional"):
+            ScriptedMiningOracle(np.ones((2, 2)), np.ones((2, 2)))
+        with pytest.raises(SimulationError, match="same number of rounds"):
+            ScriptedMiningOracle([1, 0], [0])
+        with pytest.raises(SimulationError, match="non-negative"):
+            ScriptedMiningOracle([-1], [0])
+
+    def test_replay_and_exhaustion(self):
+        oracle = ScriptedMiningOracle([2, 0], [1, 3])
+        assert oracle.rounds_scripted == 2
+        assert oracle.honest_successes(10) == 2
+        assert oracle.adversary_successes(5) == 1
+        assert oracle.honest_successes(10) == 0
+        assert oracle.adversary_successes(5) == 3
+        assert oracle.honest_queries == 20
+        assert oracle.adversary_queries == 10
+        with pytest.raises(SimulationError, match="exhausted its honest"):
+            oracle.honest_successes(10)
+        with pytest.raises(SimulationError, match="exhausted its adversary"):
+            oracle.adversary_successes(5)
+
+    def test_script_exceeding_miner_count_rejected(self):
+        with pytest.raises(SimulationError, match="honest successes"):
+            ScriptedMiningOracle([7], [0]).honest_successes(5)
+        with pytest.raises(SimulationError, match="adversarial successes"):
+            ScriptedMiningOracle([0], [7]).adversary_successes(5)
+        oracle = ScriptedMiningOracle([1], [1])
+        with pytest.raises(SimulationError, match="non-negative"):
+            oracle.honest_successes(-1)
+        with pytest.raises(SimulationError, match="non-negative"):
+            oracle.adversary_successes(-1)
+
+    def test_scripted_attribution_validation(self):
+        """The oracle rejects malformed miner-id scripts up front and
+        out-of-range ids at consumption time."""
+        with pytest.raises(SimulationError, match="same number of rounds"):
+            ScriptedMiningOracle([1, 0], [0, 0], honest_miner_ids=[[0]])
+        with pytest.raises(SimulationError, match="expected 2 miner ids"):
+            ScriptedMiningOracle([2], [0], honest_miner_ids=[[0]])
+        with pytest.raises(SimulationError, match="distinct"):
+            ScriptedMiningOracle([2], [0], honest_miner_ids=[[3, 3]])
+        oracle = ScriptedMiningOracle([1], [0], honest_miner_ids=[[9]])
+        with pytest.raises(SimulationError, match="out of range"):
+            oracle.honest_successes(5)
+        # Without a script the hook reports None (the simulator then draws).
+        plain = ScriptedMiningOracle([1], [0])
+        plain.honest_successes(5)
+        assert plain.scripted_honest_miner_ids() is None
+        scripted = ScriptedMiningOracle([2], [0], honest_miner_ids=[[4, 1]])
+        with pytest.raises(SimulationError, match="no honest round"):
+            scripted.scripted_honest_miner_ids()
+        scripted.honest_successes(5)
+        assert scripted.scripted_honest_miner_ids() == [4, 1]
+
+
+class TestRngPlumbing:
+    def test_resolve_rng_inputs(self):
+        default = resolve_rng(None)
+        assert isinstance(default, np.random.Generator)
+        generator = np.random.default_rng(3)
+        assert resolve_rng(generator) is generator
+        seeded = resolve_rng(np.random.SeedSequence(4))
+        assert isinstance(seeded, np.random.Generator)
+
+    def test_derive_seed_sequence(self):
+        sequence = np.random.SeedSequence(9)
+        assert derive_seed_sequence(sequence) is sequence
+        assert derive_seed_sequence(None).entropy == 0
+        assert derive_seed_sequence(6).entropy == 6
+        with pytest.raises(TypeError, match="live Generator"):
+            derive_seed_sequence(np.random.default_rng(0))
+
+    def test_spawn_rngs(self):
+        children = spawn_rngs(5, 3)
+        assert len(children) == 3
+        draws = {float(child.random()) for child in children}
+        assert len(draws) == 3  # streams are distinct
+        from_generator = spawn_rngs(np.random.default_rng(1), 2)
+        assert len(from_generator) == 2
+        assert spawn_rngs(5, 0) == []
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(5, -1)
+
+
 class TestDeltaDelayNetwork:
     def test_rejects_bad_delta(self):
         with pytest.raises(SimulationError):
@@ -74,6 +170,35 @@ class TestDeltaDelayNetwork:
             network.broadcast(make_block(1), sent_round=1, delay=4)
         with pytest.raises(SimulationError):
             network.broadcast(make_block(1), sent_round=1, delay=-1)
+
+    def test_delay_cap_rejects_not_clamps(self):
+        """An over-cap delay must raise, never be silently clamped to Delta:
+        nothing may enter the queue, so no delivery round ever sees it."""
+        network = DeltaDelayNetwork(2)
+        with pytest.raises(SimulationError, match=r"delay must lie in \[0, 2\]"):
+            network.broadcast(make_block(1), sent_round=1, delay=3)
+        assert network.pending_count() == 0
+        assert network.sent_count == 0
+        for round_index in range(1, 6):
+            assert network.deliver(round_index) == []
+        # The boundary itself is legal: exactly Delta is the model's guarantee.
+        network.broadcast(make_block(2), sent_round=1, delay=2)
+        assert [block.block_id for block in network.deliver(3)] == [2]
+
+    def test_rogue_adversary_delay_surfaces_in_simulation(self):
+        """A strategy that tries to delay beyond Delta is stopped by the
+        network inside the simulation loop, not silently accepted."""
+
+        class RogueAdversary(PassiveAdversary):
+            def delay_for_honest_block(self, block, round_index):
+                return self.delta + 1
+
+        params = parameters_from_c(c=1.0, n=100, delta=2, nu=0.2)
+        simulation = NakamotoSimulation(
+            params, adversary=RogueAdversary(2), rng=np.random.default_rng(0)
+        )
+        with pytest.raises(SimulationError, match="delay must lie in"):
+            simulation.run(500)
 
     def test_delivery_at_correct_round(self):
         network = DeltaDelayNetwork(3)

@@ -1,0 +1,161 @@
+"""Seeded equivalence: the scenario engine versus the legacy adversarial loop.
+
+The scenario engine pre-draws ``(trials, rounds)`` success tensors plus a
+rotating honest-attribution schedule; replaying exactly that trace through
+the legacy :class:`NakamotoSimulation` — counts and miner ids via
+:class:`ScriptedMiningOracle`, the strategy via
+:meth:`Scenario.build_adversary` — must reproduce the engine's per-round
+public and private heights, release and abandon rounds, and fork-depth
+tallies *bit for bit*, across a (nu, Delta, strategy) grid covering all
+four registered scenarios.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.params import parameters_from_c
+from repro.simulation import (
+    NakamotoSimulation,
+    Scenario,
+    ScenarioSimulation,
+    ScriptedMiningOracle,
+    draw_mining_traces,
+    get_scenario,
+    rotating_honest_attribution,
+)
+
+TRIALS = 2
+ROUNDS = 700
+#: c = 1 with small n keeps the adversary strong enough that the withholding
+#: scenarios actually release (and, at small nu, actually give up).
+C, MINERS = 1.0, 400
+
+GRID = [
+    (scenario, nu, delta)
+    for scenario in ("passive", "max_delay", "private_chain", "selfish_mining")
+    for nu in (0.2, 0.4)
+    for delta in (1, 3)
+]
+
+
+def _run_both(scenario_name, nu, delta, seed):
+    params = parameters_from_c(c=C, n=MINERS, delta=delta, nu=nu)
+    scenario = get_scenario(scenario_name)
+    engine = ScenarioSimulation(params, scenario, rng=seed)
+    honest, adversary = draw_mining_traces(params, TRIALS, ROUNDS, rng=seed)
+    result = engine.run_traces(honest, adversary, record_rounds=True)
+
+    legacy_runs = []
+    for trial in range(TRIALS):
+        ids = rotating_honest_attribution(
+            honest[trial], engine.honest_miners, engine.honest_delay
+        )
+        strategy = scenario.build_adversary(delta)
+        simulation = NakamotoSimulation(
+            params,
+            adversary=strategy,
+            rng=np.random.default_rng(0),
+            oracle=ScriptedMiningOracle(
+                honest[trial], adversary[trial], honest_miner_ids=ids
+            ),
+        )
+        legacy_runs.append((simulation.run(ROUNDS), strategy))
+    return result, legacy_runs
+
+
+@pytest.mark.parametrize("scenario_name, nu, delta", GRID)
+class TestScriptedReplayEquivalence:
+    def test_per_round_heights_match(self, scenario_name, nu, delta):
+        """Public chain height and private-fork height agree every round."""
+        result, legacy_runs = _run_both(scenario_name, nu, delta, seed=900 + delta)
+        for trial, (legacy, _strategy) in enumerate(legacy_runs):
+            public = np.array([r.public_chain_height for r in legacy.records])
+            private = np.array([r.adversary_private_height for r in legacy.records])
+            assert np.array_equal(public, result.public_heights[trial])
+            assert np.array_equal(private, result.private_heights[trial])
+
+    def test_release_and_abandon_rounds_match(self, scenario_name, nu, delta):
+        """The engines agree on exactly *when* chains were released/abandoned."""
+        result, legacy_runs = _run_both(scenario_name, nu, delta, seed=900 + delta)
+        for trial, (_legacy, strategy) in enumerate(legacy_runs):
+            expected_releases = getattr(strategy, "release_rounds", [])
+            expected_abandons = getattr(strategy, "abandon_rounds", [])
+            assert list(result.release_rounds(trial)) == list(expected_releases)
+            assert list(result.abandon_rounds(trial)) == list(expected_abandons)
+
+    def test_fork_depth_tallies_match(self, scenario_name, nu, delta):
+        """Releases, deepest displaced suffix and withheld counts agree."""
+        result, legacy_runs = _run_both(scenario_name, nu, delta, seed=900 + delta)
+        for trial, (legacy, strategy) in enumerate(legacy_runs):
+            assert legacy.adversary_releases == result.releases[trial]
+            assert legacy.adversary_deepest_fork == result.deepest_forks[trial]
+            assert legacy.final_height == result.final_public_heights[trial]
+            assert (
+                getattr(strategy, "withheld_count", 0)
+                == result.withheld_final[trial]
+            )
+            if scenario_name == "selfish_mining":
+                assert (
+                    strategy.orphaned_honest_blocks
+                    == result.orphaned_honest[trial]
+                )
+
+
+def test_equivalence_exercises_both_attack_outcomes():
+    """The grid must cover real attack activity, not just quiet runs: at
+    nu=0.4 the withholding attack releases; at nu=0.2 it gives up."""
+    strong, _ = _run_both("private_chain", 0.4, 3, seed=903)
+    weak, _ = _run_both("private_chain", 0.2, 3, seed=903)
+    assert int(strong.releases.sum()) > 0
+    assert int(weak.abandons.sum()) > 0
+
+
+def test_intermediate_delay_publish_replays_exactly():
+    """A publish scenario with 0 < honest_delay < Delta (the delivery ring's
+    general case) is also bit-comparable."""
+    params = parameters_from_c(c=C, n=MINERS, delta=4, nu=0.35)
+    scenario = Scenario(name="half_delay", kind="publish", honest_delay=2)
+    engine = ScenarioSimulation(params, scenario, rng=55)
+    honest, adversary = draw_mining_traces(params, 2, ROUNDS, rng=55)
+    result = engine.run_traces(honest, adversary, record_rounds=True)
+    for trial in range(2):
+        ids = rotating_honest_attribution(honest[trial], engine.honest_miners, 2)
+        legacy = NakamotoSimulation(
+            params,
+            adversary=scenario.build_adversary(4),
+            rng=np.random.default_rng(0),
+            oracle=ScriptedMiningOracle(
+                honest[trial], adversary[trial], honest_miner_ids=ids
+            ),
+        ).run(ROUNDS)
+        public = np.array([r.public_chain_height for r in legacy.records])
+        assert np.array_equal(public, result.public_heights[trial])
+        assert legacy.final_height == result.final_public_heights[trial]
+
+
+def test_custom_scenario_replays_exactly():
+    """A non-registered Scenario (shallow target, quick give-up) is equally
+    bit-comparable — the replay harness is not limited to the registry."""
+    scenario = Scenario(
+        name="pc_shallow", kind="private_chain", target_depth=3, give_up_deficit=5
+    )
+    params = parameters_from_c(c=C, n=MINERS, delta=2, nu=0.35)
+    engine = ScenarioSimulation(params, scenario, rng=31)
+    honest, adversary = draw_mining_traces(params, 1, ROUNDS, rng=31)
+    result = engine.run_traces(honest, adversary, record_rounds=True)
+
+    ids = rotating_honest_attribution(honest[0], engine.honest_miners, 2)
+    strategy = scenario.build_adversary(2)
+    legacy = NakamotoSimulation(
+        params,
+        adversary=strategy,
+        rng=np.random.default_rng(0),
+        oracle=ScriptedMiningOracle(honest[0], adversary[0], honest_miner_ids=ids),
+    ).run(ROUNDS)
+    public = np.array([r.public_chain_height for r in legacy.records])
+    assert np.array_equal(public, result.public_heights[0])
+    assert legacy.adversary_releases == result.releases[0]
+    assert legacy.adversary_deepest_fork == result.deepest_forks[0]
+    assert strategy.release_rounds == list(result.release_rounds(0))
