@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Walk the network-topology subsystem: peer graphs, effective Δ, tightness.
+
+Run with::
+
+    python examples/topology_sweep.py [--nodes N] [--trials T] [--rounds R]
+                                      [--seed S]
+
+The paper prices every honest message at the worst-case delay Δ.  Real
+gossip networks deliver most blocks much faster, so the fixed-Δ
+convergence-opportunity rate (Eq. 44) is conservative.  This script
+measures by how much:
+
+1. build a random-regular peer graph with
+   :class:`repro.simulation.PeerGraphTopology` and inspect its gossip
+   structure (diameter, per-origin delivery radii);
+2. estimate its *effective* Δ — the empirical quantile of the delivery
+   radii — and map it back into the analytical world with
+   :meth:`~repro.simulation.PeerGraphTopology.effective_parameters`;
+3. run a topology grid over graph degrees through
+   :meth:`~repro.simulation.ExperimentRunner.run_topology_point` (seeded
+   and cacheable) and print the Δ-tightness table: empirical rate vs the
+   fixed-Δ predictions at the nominal and effective Δ.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import delta_tightness_sweep, effective_delta_table, render_table
+from repro.params import parameters_from_c
+from repro.simulation import PeerGraphTopology
+
+DEGREES = (2, 4, 8)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=64, help="peers in each graph")
+    parser.add_argument("--trials", type=int, default=16, help="trials per grid cell")
+    parser.add_argument("--rounds", type=int, default=8_000, help="rounds per trial")
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    args = parser.parse_args(argv)
+
+    # 1. One concrete graph, inspected by hand.
+    topology = PeerGraphTopology.random_regular(args.nodes, 4, rng=args.seed)
+    radii = topology.delivery_radii()
+    print(f"random 4-regular gossip graph: {topology}")
+    print(
+        f"  diameter {topology.diameter}, delivery radii "
+        f"min/mean/max = {radii.min()}/{radii.mean():.2f}/{radii.max()}"
+    )
+
+    # 2. Effective Delta and the analytical point it induces.
+    nominal = parameters_from_c(
+        c=4.0, n=1_000, delta=max(topology.diameter, 1), nu=0.2
+    )
+    effective = topology.effective_parameters(nominal, quantile=0.95)
+    print(
+        f"  effective delta (95% quantile) = {effective.delta} "
+        f"vs nominal {nominal.delta}"
+    )
+    print(
+        "  fixed-delta predictions: nominal "
+        f"{nominal.convergence_opportunity_probability:.3e}, effective "
+        f"{effective.convergence_opportunity_probability:.3e}"
+    )
+
+    # 3. The Delta-tightness table across graph degrees.
+    print("\nStructural effective-delta estimates per degree")
+    print(
+        render_table(
+            effective_delta_table(
+                DEGREES, (0,), graph_nodes=args.nodes, seed=args.seed
+            )
+        )
+    )
+
+    rows = delta_tightness_sweep(
+        DEGREES,
+        (0,),
+        graph_nodes=args.nodes,
+        trials=args.trials,
+        rounds=args.rounds,
+        seed=args.seed,
+    )
+    print("Delta tightness: empirical vs fixed-delta predictions (c=4, nu=0.2)")
+    print(
+        render_table(
+            [
+                {
+                    "degree": row["degree"],
+                    "effective delta": row["effective_delta"],
+                    "nominal delta": row["nominal_delta"],
+                    "empirical rate": row["empirical_rate"],
+                    "ci95": f"[{row['empirical_ci95_low']:.2e}, "
+                    f"{row['empirical_ci95_high']:.2e}]",
+                    "predicted (nominal)": row["predicted_rate_nominal"],
+                    "predicted (effective)": row["predicted_rate_effective"],
+                    "tightness vs nominal": row["tightness_vs_nominal"],
+                }
+                for row in rows
+            ]
+        )
+    )
+    print(
+        "A tightness ratio above 1 is security margin the worst-case bound "
+        "leaves on the table for this topology."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,10 +8,18 @@
 * :mod:`repro.analysis.sweeps` — (c, nu) sweeps and the proof-chain ablation;
 * :mod:`repro.analysis.attack_sweeps` — attack-success-probability and
   fork-depth surfaces over (scenario, nu, Delta), on the vectorized
-  scenario engine.
+  scenario engine;
+* :mod:`repro.analysis.topology_sweeps` — Δ-tightness curves: empirical
+  convergence-opportunity rates under peer-graph gossip propagation versus
+  the paper's fixed-Δ prediction, per graph degree / latency spread.
 """
 
 from .attack_sweeps import ATTACK_SCENARIOS, attack_success_grid, attack_surface_sweep
+from .topology_sweeps import (
+    build_regular_topology,
+    delta_tightness_sweep,
+    effective_delta_table,
+)
 from .figure1 import Figure1Point, Figure1Series, default_c_grid, figure1_checks, figure1_series
 from .regions import RegionAreas, SecurityRegion, classify_point, region_areas
 from .remark1 import PAPER_SETTINGS, Remark1Row, remark1_row, remark1_table
@@ -71,4 +79,7 @@ __all__ = [
     "ATTACK_SCENARIOS",
     "attack_surface_sweep",
     "attack_success_grid",
+    "build_regular_topology",
+    "delta_tightness_sweep",
+    "effective_delta_table",
 ]

@@ -35,20 +35,44 @@ from typing import Optional
 from .errors import ParameterError
 
 __all__ = [
+    "coerce_positive_int",
     "ProtocolParameters",
     "parameters_from_c",
     "parameters_for_target_alpha",
 ]
 
 
-def _validate(p: float, n: int, delta: int, nu: float, strict_model: bool) -> None:
-    """Check the model assumptions of Section III of the paper."""
+def coerce_positive_int(
+    value, name: str, *, error_type: type = ParameterError
+) -> int:
+    """Validate that ``value`` is an integral number ``>= 1`` and return ``int``.
+
+    The single integer-coercion rule shared by :class:`ProtocolParameters`
+    and :class:`~repro.simulation.network.DeltaDelayNetwork` (and the
+    topology generators), so every layer accepts exactly the same inputs —
+    Python ints, integral floats (``3.0``), NumPy integer scalars — and
+    rejects booleans, fractional values and non-numbers with one message
+    shape.  ``error_type`` selects the layer's exception class.
+    """
+    if isinstance(value, bool):
+        raise error_type(f"{name} must be a positive integer, got {value!r}")
+    try:
+        coerced = int(value)
+    except (TypeError, ValueError, OverflowError):  # inf raises OverflowError
+        raise error_type(
+            f"{name} must be a positive integer, got {value!r}"
+        ) from None
+    if coerced != value or coerced < 1:
+        raise error_type(f"{name} must be a positive integer, got {value!r}")
+    return coerced
+
+
+def _validate(p: float, n: int, delta: int, nu: float, strict_model: bool) -> tuple:
+    """Check the model assumptions of Section III; return coerced ``(n, delta)``."""
     if not (0.0 < p < 1.0):
         raise ParameterError(f"hardness p must lie in (0, 1), got {p!r}")
-    if n < 1 or int(n) != n:
-        raise ParameterError(f"number of miners n must be a positive integer, got {n!r}")
-    if delta < 1 or int(delta) != delta:
-        raise ParameterError(f"maximum delay delta must be a positive integer, got {delta!r}")
+    n = coerce_positive_int(n, "number of miners n")
+    delta = coerce_positive_int(delta, "maximum delay delta")
     if not (0.0 <= nu < 1.0):
         raise ParameterError(f"adversarial fraction nu must lie in [0, 1), got {nu!r}")
     if strict_model:
@@ -63,6 +87,7 @@ def _validate(p: float, n: int, delta: int, nu: float, strict_model: bool) -> No
                 "the paper's model (Inequality 3) requires n >= 4; "
                 f"got n = {n!r}.  Pass strict_model=False to relax this."
             )
+    return n, delta
 
 
 @dataclass(frozen=True)
@@ -102,7 +127,11 @@ class ProtocolParameters:
     strict_model: bool = field(default=True, compare=False)
 
     def __post_init__(self) -> None:
-        _validate(self.p, self.n, self.delta, self.nu, self.strict_model)
+        n, delta = _validate(self.p, self.n, self.delta, self.nu, self.strict_model)
+        # Integral floats (e.g. delta=3.0) are accepted but normalised to int,
+        # so downstream consumers (range(), array shapes) never see floats.
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "delta", delta)
 
     # ------------------------------------------------------------------
     # Basic fractions and counts

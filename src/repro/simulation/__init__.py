@@ -36,9 +36,18 @@ Components
     executed for ``T`` trials at once as ``(trials,)`` state vectors —
     private-fork leads, pending-release masks, Δ-capped delivery pipelines —
     bit-comparable to the legacy simulator under scripted replay.
+``topology``
+    Heterogeneous network structure: the delay-model registry
+    (``fixed_delta``, ``uniform``, ``truncated_geometric``, ``peer_graph``)
+    drawing per-block delivery offsets capped at Δ, peer-graph gossip
+    propagation with a vectorized min-plus kernel and effective-Δ
+    estimation, and per-miner :class:`MiningPowerProfile` success
+    probabilities — all threaded through both engines with fixed-Δ as the
+    bit-exact default.
 ``runner``
     :class:`ExperimentRunner`: seeded, cached, optionally multiprocess
-    experiments over grids of parameter points and (point, scenario) pairs.
+    experiments over grids of parameter points, (point, scenario) pairs
+    and (point, delay model) topology runs.
 ``rng``
     The single-generator seeding discipline (:func:`resolve_rng`,
     :func:`spawn_rngs`) threaded through every stochastic component.
@@ -75,6 +84,21 @@ from .oracle import MiningOracle, ScriptedMiningOracle
 from .protocol import NakamotoSimulation, SimulationResult
 from .rng import resolve_rng, spawn_rngs
 from .runner import ENGINE_VERSION, ExperimentRunner
+from .topology import (
+    DelayModel,
+    FixedDeltaDelayModel,
+    MiningPowerProfile,
+    PeerGraphDelayModel,
+    PeerGraphTopology,
+    TruncatedGeometricDelayModel,
+    UniformDelayModel,
+    convergence_opportunity_mask_with_delays,
+    get_delay_model,
+    list_delay_models,
+    reference_draw_delays,
+    register_delay_model,
+    resolve_delay_model,
+)
 from .scenarios import (
     SCENARIO_KINDS,
     Scenario,
@@ -130,4 +154,17 @@ __all__ = [
     "rotating_honest_attribution",
     "resolve_rng",
     "spawn_rngs",
+    "DelayModel",
+    "FixedDeltaDelayModel",
+    "UniformDelayModel",
+    "TruncatedGeometricDelayModel",
+    "PeerGraphDelayModel",
+    "PeerGraphTopology",
+    "MiningPowerProfile",
+    "register_delay_model",
+    "get_delay_model",
+    "list_delay_models",
+    "resolve_delay_model",
+    "reference_draw_delays",
+    "convergence_opportunity_mask_with_delays",
 ]

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -45,6 +45,12 @@ from ..core.concat_chain import convergence_opportunity_mask
 from ..errors import SimulationError
 from ..params import ProtocolParameters
 from .rng import SeedLike, resolve_rng
+from .topology import (
+    DelayModel,
+    MiningPowerProfile,
+    convergence_opportunity_mask_with_delays,
+    resolve_delay_model,
+)
 
 __all__ = [
     "DRAW_MODES",
@@ -69,6 +75,7 @@ def draw_mining_traces(
     rounds: int,
     rng: SeedLike = None,
     draw_mode: str = "binomial",
+    power: Optional[MiningPowerProfile] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Draw ``(trials, rounds)`` honest and adversarial success-count tensors.
 
@@ -81,6 +88,11 @@ def draw_mining_traces(
     the underlying ``(trials, rounds, miners)`` per-query Bernoulli tensor
     and reduces over the miner axis — the same distribution, kept for
     auditing, and chunked over trials so memory stays bounded.
+
+    A heterogeneous :class:`~repro.simulation.topology.MiningPowerProfile`
+    (validated against ``params``) replaces both paths with per-miner
+    Bernoulli draws at each miner's own ``p_i`` — the Poisson-binomial
+    per-round law — honest side first, same chunking.
     """
     if trials < 1:
         raise SimulationError(f"trials must be positive, got {trials!r}")
@@ -93,6 +105,16 @@ def draw_mining_traces(
     generator = resolve_rng(rng)
     honest_miners = max(int(round(params.honest_count)), 1)
     adversary_miners = int(round(params.adversary_count))
+
+    if power is not None:
+        power.validate_against(params)
+        honest = _bernoulli_counts(
+            generator, trials, rounds, power.honest_miners, power.honest_p
+        )
+        adversary = _bernoulli_counts(
+            generator, trials, rounds, power.adversary_miners, power.adversary_p
+        )
+        return honest, adversary
 
     if draw_mode == "binomial":
         honest = generator.binomial(honest_miners, params.p, size=(trials, rounds))
@@ -114,9 +136,14 @@ def _bernoulli_counts(
     trials: int,
     rounds: int,
     miners: int,
-    hardness: float,
+    hardness,
 ) -> np.ndarray:
-    """Sum a ``(trials, rounds, miners)`` Bernoulli tensor over the miner axis."""
+    """Sum a ``(trials, rounds, miners)`` Bernoulli tensor over the miner axis.
+
+    ``hardness`` is a scalar ``p`` (the identical-miner model) or a
+    ``(miners,)`` vector of per-miner ``p_i`` (the Poisson-binomial draw of
+    a heterogeneous power profile) — the comparison broadcasts either way.
+    """
     if miners <= 0:
         return np.zeros((trials, rounds), dtype=np.int64)
     counts = np.empty((trials, rounds), dtype=np.int64)
@@ -190,6 +217,9 @@ class BatchResult:
     worst_deficits: np.ndarray
     honest_counts: Optional[np.ndarray] = field(default=None, repr=False)
     adversary_counts: Optional[np.ndarray] = field(default=None, repr=False)
+    #: Name of the delay model the convergence mask was computed under;
+    #: "fixed_delta" is the paper's worst-case model (the historical default).
+    delay_model: str = "fixed_delta"
 
     # ------------------------------------------------------------------
     # Per-trial derived quantities
@@ -274,6 +304,7 @@ class BatchResult:
             "lemma1_fraction": self.lemma1_fraction,
             "mean_worst_deficit": float(self.worst_deficits.mean()),
             "max_worst_deficit": int(self.worst_deficits.max()),
+            "delay_model": self.delay_model,
         }
 
 
@@ -291,6 +322,18 @@ class BatchSimulation:
     draw_mode:
         ``"binomial"`` (default) or ``"bernoulli"`` — see
         :func:`draw_mining_traces`.
+    delay_model:
+        ``None`` or ``"fixed_delta"`` (equivalent — the paper's constant-Δ
+        worst case, bit-identical to the historical engine), a registry
+        name, or a :class:`~repro.simulation.topology.DelayModel` instance.
+        Non-trivial models draw per-block delivery offsets *after* the two
+        mining tensors (extending the draw protocol) and feed them to the
+        generalized convergence-opportunity detector
+        (:func:`~repro.simulation.topology.convergence_opportunity_mask_with_delays`).
+    power:
+        Optional heterogeneous
+        :class:`~repro.simulation.topology.MiningPowerProfile`; validated
+        against ``params`` before any draw.
 
     Examples
     --------
@@ -308,6 +351,8 @@ class BatchSimulation:
         params: ProtocolParameters,
         rng: SeedLike = None,
         draw_mode: str = "binomial",
+        delay_model: Union[None, str, DelayModel] = None,
+        power: Optional[MiningPowerProfile] = None,
     ):
         if draw_mode not in DRAW_MODES:
             raise SimulationError(
@@ -316,27 +361,49 @@ class BatchSimulation:
         self.params = params
         self.rng = resolve_rng(rng)
         self.draw_mode = draw_mode
+        self.delay_model = resolve_delay_model(delay_model)
+        self.power = power
+        if self.power is not None:
+            self.power.validate_against(params)
+
+    @property
+    def _delay_model_name(self) -> str:
+        return "fixed_delta" if self.delay_model is None else self.delay_model.name
 
     def run(
         self, trials: int, rounds: int, keep_traces: bool = False
     ) -> BatchResult:
-        """Draw fresh traces for ``trials`` independent runs and analyse them."""
+        """Draw fresh traces for ``trials`` independent runs and analyse them.
+
+        The draw order is honest tensor, adversarial tensor, then (only for
+        a non-trivial delay model) the delay tensor — so with
+        ``delay_model=None`` or ``"fixed_delta"`` a seed produces exactly
+        the pre-topology stream.
+        """
         honest, adversary = draw_mining_traces(
-            self.params, trials, rounds, self.rng, self.draw_mode
+            self.params, trials, rounds, self.rng, self.draw_mode, power=self.power
         )
-        return self.run_traces(honest, adversary, keep_traces=keep_traces)
+        delays = None
+        if self.delay_model is not None and not self.delay_model.trivial:
+            delays = self.delay_model.draw_delays(
+                trials, rounds, self.params.delta, self.rng
+            )
+        return self.run_traces(honest, adversary, keep_traces=keep_traces, delays=delays)
 
     def run_traces(
         self,
         honest_counts: np.ndarray,
         adversary_counts: np.ndarray,
         keep_traces: bool = False,
+        delays: Optional[np.ndarray] = None,
     ) -> BatchResult:
         """Analyse pre-drawn ``(trials, rounds)`` success-count tensors.
 
         This is the deterministic half of the engine: given the same tensors
         it always produces the same result, which is what the equivalence
-        tests against the legacy simulator exercise.
+        tests against the legacy simulator exercise.  ``delays`` carries
+        pre-drawn per-block delivery offsets (``None`` means the constant-Δ
+        worst case).
         """
         honest = np.asarray(honest_counts, dtype=np.int64)
         adversary = np.asarray(adversary_counts, dtype=np.int64)
@@ -352,7 +419,12 @@ class BatchSimulation:
         trials, rounds = honest.shape
         if rounds < 1:
             raise SimulationError("rounds must be positive")
-        mask = convergence_opportunity_mask(honest, self.params.delta)
+        if delays is None:
+            mask = convergence_opportunity_mask(honest, self.params.delta)
+        else:
+            mask = convergence_opportunity_mask_with_delays(
+                honest, delays, self.params.delta
+            )
         return BatchResult(
             params=self.params,
             trials=trials,
@@ -364,4 +436,5 @@ class BatchSimulation:
             worst_deficits=worst_window_deficits(mask, adversary),
             honest_counts=honest if keep_traces else None,
             adversary_counts=adversary if keep_traces else None,
+            delay_model=self._delay_model_name,
         )

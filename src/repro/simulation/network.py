@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import SimulationError
+from ..params import coerce_positive_int
 from .block import Block
 
 __all__ = ["InFlightMessage", "DeltaDelayNetwork"]
@@ -49,9 +50,11 @@ class DeltaDelayNetwork:
     """
 
     def __init__(self, delta: int):
-        if delta < 1 or int(delta) != delta:
-            raise SimulationError(f"delta must be a positive integer, got {delta!r}")
-        self.delta = int(delta)
+        # Same coercion rule as ProtocolParameters._validate, so the network
+        # accepts exactly the delta values a parameter point can carry.
+        self.delta = coerce_positive_int(
+            delta, "delta", error_type=SimulationError
+        )
         self._queue: Dict[int, List[InFlightMessage]] = {}
         self._sent_count = 0
         self._delivered_count = 0

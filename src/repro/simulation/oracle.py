@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..errors import SimulationError
+from .topology import MiningPowerProfile
 
 __all__ = ["MiningOracle", "ScriptedMiningOracle"]
 
@@ -31,15 +32,40 @@ class MiningOracle:
         The per-query success probability ``p``.
     rng:
         Random generator driving all draws.
+    power:
+        Optional :class:`~repro.simulation.topology.MiningPowerProfile`
+        giving each miner its own success probability ``p_i``.  Per-round
+        counts then follow the Poisson-binomial law (one Bernoulli per
+        miner) instead of ``Binomial(m, p)``; the profile's aggregate rates
+        are validated by the engines against the parameter point, so the
+        analysis-layer expectations stay comparable.  ``None`` keeps the
+        paper's identical-miner model and the historical draw protocol
+        bit-for-bit.
     """
 
-    def __init__(self, hardness: float, rng: np.random.Generator):
+    def __init__(
+        self,
+        hardness: float,
+        rng: np.random.Generator,
+        power: Optional[MiningPowerProfile] = None,
+    ):
         if not (0.0 < hardness < 1.0):
             raise SimulationError(f"hardness must lie in (0, 1), got {hardness!r}")
         self.hardness = hardness
+        self.power = power
         self._rng = rng
         self._honest_queries = 0
         self._adversary_queries = 0
+
+    def _check_profile_count(self, side: str, miner_count: int) -> None:
+        expected = (
+            self.power.honest_miners if side == "honest" else self.power.adversary_miners
+        )
+        if miner_count != expected:
+            raise SimulationError(
+                f"power profile covers {expected} {side} miners, "
+                f"got miner_count={miner_count}"
+            )
 
     # ------------------------------------------------------------------
     # Draws
@@ -48,13 +74,17 @@ class MiningOracle:
         """Number of honest miners whose single query succeeds this round.
 
         Honest queries are parallel: the per-round count is a single
-        ``Binomial(miner_count, p)`` draw (Eq. 41 of the paper).
+        ``Binomial(miner_count, p)`` draw (Eq. 41 of the paper), or one
+        Bernoulli per miner under a heterogeneous power profile.
         """
         if miner_count < 0:
             raise SimulationError("miner_count must be non-negative")
         self._honest_queries += miner_count
         if miner_count == 0:
             return 0
+        if self.power is not None:
+            self._check_profile_count("honest", miner_count)
+            return int((self._rng.random(miner_count) < self.power.honest_p).sum())
         return int(self._rng.binomial(miner_count, self.hardness))
 
     def adversary_successes(self, miner_count: int) -> int:
@@ -70,6 +100,9 @@ class MiningOracle:
         self._adversary_queries += miner_count
         if miner_count == 0:
             return 0
+        if self.power is not None:
+            self._check_profile_count("adversary", miner_count)
+            return int((self._rng.random(miner_count) < self.power.adversary_p).sum())
         return int(self._rng.binomial(miner_count, self.hardness))
 
     def honest_success_positions(self, miner_count: int) -> List[int]:
@@ -77,14 +110,19 @@ class MiningOracle:
 
         Used when block attribution to specific miner ids matters (e.g. for
         chain-quality accounting); equivalent in distribution to
-        :meth:`honest_successes`.
+        :meth:`honest_successes`.  Under a power profile, miner ``i``
+        succeeds with its own ``p_i``.
         """
         if miner_count < 0:
             raise SimulationError("miner_count must be non-negative")
         self._honest_queries += miner_count
         if miner_count == 0:
             return []
-        draws = self._rng.random(miner_count) < self.hardness
+        if self.power is not None:
+            self._check_profile_count("honest", miner_count)
+            draws = self._rng.random(miner_count) < self.power.honest_p
+        else:
+            draws = self._rng.random(miner_count) < self.hardness
         return [int(index) for index in np.nonzero(draws)[0]]
 
     # ------------------------------------------------------------------
@@ -126,6 +164,14 @@ class ScriptedMiningOracle:
         what lets the vectorized scenario engine
         (:mod:`repro.simulation.scenarios`) replay a trace through the
         legacy simulator bit-for-bit.
+    power:
+        Optional :class:`~repro.simulation.topology.MiningPowerProfile` the
+        script was drawn under.  Replay never consults the ``p_i`` — the
+        counts are already decided — but accepting the profile lets the
+        oracle reject scripts that are infeasible for it (a round demanding
+        more successes than the profile has miners on that side, or
+        attributing a block to a miner id outside the profile), mirroring
+        the live oracle's interface.
     """
 
     def __init__(
@@ -133,7 +179,9 @@ class ScriptedMiningOracle:
         honest_counts: Sequence[int],
         adversary_counts: Sequence[int],
         honest_miner_ids: Optional[Sequence[Sequence[int]]] = None,
+        power: Optional[MiningPowerProfile] = None,
     ):
+        self.power = power
         self._honest = np.asarray(honest_counts, dtype=np.int64)
         self._adversary = np.asarray(adversary_counts, dtype=np.int64)
         if self._honest.ndim != 1 or self._adversary.ndim != 1:
@@ -165,6 +213,26 @@ class ScriptedMiningOracle:
                         "and non-negative"
                     )
                 self._honest_ids.append(ids)
+        if power is not None:
+            if int(self._honest.max(initial=0)) > power.honest_miners:
+                raise SimulationError(
+                    f"script demands {int(self._honest.max())} honest successes "
+                    f"but the power profile has {power.honest_miners} honest miners"
+                )
+            if int(self._adversary.max(initial=0)) > power.adversary_miners:
+                raise SimulationError(
+                    f"script demands {int(self._adversary.max())} adversarial "
+                    f"successes but the power profile has "
+                    f"{power.adversary_miners} adversarial miners"
+                )
+            if self._honest_ids is not None:
+                for round_index, ids in enumerate(self._honest_ids):
+                    if len(ids) and int(ids.max()) >= power.honest_miners:
+                        raise SimulationError(
+                            f"round {round_index + 1}: miner id {int(ids.max())} "
+                            f"is outside the power profile's "
+                            f"{power.honest_miners} honest miners"
+                        )
         self._honest_cursor = 0
         self._adversary_cursor = 0
         self._honest_queries = 0

@@ -29,15 +29,20 @@ from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import _version
 from ..errors import SimulationError
 from ..params import ProtocolParameters
 from .batch import DRAW_MODES, BatchResult, BatchSimulation
 from .scenarios import Scenario, ScenarioResult, ScenarioSimulation, get_scenario
+from .topology import DelayModel, MiningPowerProfile, resolve_delay_model
 
 __all__ = ["ENGINE_VERSION", "ExperimentRunner"]
 
 #: Bumped whenever the batch engine's draw protocol or statistics change, so
-#: stale cache entries are never reused across incompatible versions.
+#: stale cache entries are never reused across incompatible versions.  The
+#: package version (:mod:`repro._version`) is *also* mixed into every cache
+#: key, so even engine changes that forget to bump this constant can never
+#: silently reuse a cache written by an older release.
 ENGINE_VERSION = 1
 
 
@@ -153,18 +158,16 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # Keys and seeds
     # ------------------------------------------------------------------
-    def cache_key(
+    def _point_payload(
         self,
         params: ProtocolParameters,
         trials: int,
         rounds: int,
         scenario: Optional[Union[str, Scenario]] = None,
-    ) -> str:
-        """Hex digest identifying one (engine, params, shape, seed[, scenario]) result.
-
-        Passive batch runs omit the scenario field entirely, so pre-scenario
-        cache entries remain valid.
-        """
+        delay_model: Optional[DelayModel] = None,
+        power: Optional[MiningPowerProfile] = None,
+    ) -> dict:
+        """The version-free description of one experiment point."""
         payload = {
             "engine_version": ENGINE_VERSION,
             "params": _params_payload(params),
@@ -175,8 +178,39 @@ class ExperimentRunner:
         }
         if scenario is not None:
             payload["scenario"] = get_scenario(scenario).payload()
+        if delay_model is not None:
+            payload["delay_model"] = delay_model.payload()
+        if power is not None:
+            payload["power"] = power.payload()
+        return payload
+
+    @staticmethod
+    def _digest(payload: dict) -> str:
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def cache_key(
+        self,
+        params: ProtocolParameters,
+        trials: int,
+        rounds: int,
+        scenario: Optional[Union[str, Scenario]] = None,
+        delay_model: Union[None, str, DelayModel] = None,
+        power: Optional[MiningPowerProfile] = None,
+    ) -> str:
+        """Hex digest identifying one (version, engine, params, shape, seed, …) result.
+
+        Passive fixed-delta batch runs omit the scenario / delay-model /
+        power fields entirely.  The package version is always included, so a
+        cache written by an older release (whose engine semantics may have
+        since changed) is never silently reused — an upgrade simply recomputes
+        and re-stores under the new key.
+        """
+        payload = self._point_payload(
+            params, trials, rounds, scenario, resolve_delay_model(delay_model), power
+        )
+        payload["package_version"] = _version.__version__
+        return self._digest(payload)
 
     def seed_sequence_for(
         self,
@@ -184,15 +218,28 @@ class ExperimentRunner:
         trials: int,
         rounds: int,
         scenario: Optional[Union[str, Scenario]] = None,
+        delay_model: Union[None, str, DelayModel] = None,
+        power: Optional[MiningPowerProfile] = None,
     ) -> np.random.SeedSequence:
-        """The point's seed sequence: base seed plus cache-key entropy words.
+        """The point's seed sequence: base seed plus point-digest entropy words.
 
-        Deriving the entropy from the cache key makes the stream a pure
-        function of (engine version, parameters, shape, draw mode, base
-        seed, scenario) — independent of grid composition and execution
-        order.
+        Deriving the entropy from the point description makes the stream a
+        pure function of (engine version, parameters, shape, draw mode,
+        base seed, scenario, delay model, power) — independent of grid
+        composition and execution order.  The *package* version is
+        deliberately excluded: upgrading the library invalidates caches but
+        must not silently reroll every seeded experiment.
         """
-        digest = self.cache_key(params, trials, rounds, scenario)
+        digest = self._digest(
+            self._point_payload(
+                params,
+                trials,
+                rounds,
+                scenario,
+                resolve_delay_model(delay_model),
+                power,
+            )
+        )
         words = [int(digest[index : index + 8], 16) for index in range(0, 32, 8)]
         return np.random.SeedSequence([self.base_seed, *words])
 
@@ -218,6 +265,7 @@ class ExperimentRunner:
                 honest_blocks=archive["honest_blocks"],
                 adversary_blocks=archive["adversary_blocks"],
                 worst_deficits=archive["worst_deficits"],
+                delay_model=str(meta.get("delay_model", "fixed_delta")),
             )
 
     def _store_cached(self, path: str, result: BatchResult) -> None:
@@ -225,11 +273,13 @@ class ExperimentRunner:
         meta = json.dumps(
             {
                 "engine_version": ENGINE_VERSION,
+                "package_version": _version.__version__,
                 "params": _params_payload(result.params),
                 "trials": result.trials,
                 "rounds": result.rounds,
                 "draw_mode": result.draw_mode,
                 "base_seed": self.base_seed,
+                "delay_model": result.delay_model,
             },
             sort_keys=True,
         )
@@ -279,6 +329,7 @@ class ExperimentRunner:
         meta = json.dumps(
             {
                 "engine_version": ENGINE_VERSION,
+                "package_version": _version.__version__,
                 "params": _params_payload(result.params),
                 "scenario": result.scenario.payload(),
                 "trials": result.trials,
@@ -422,3 +473,72 @@ class ExperimentRunner:
             self.cache_misses += misses
             results.append(result)
         return results
+
+    # ------------------------------------------------------------------
+    # Topology-aware execution
+    # ------------------------------------------------------------------
+    def run_topology_point(
+        self,
+        params: ProtocolParameters,
+        trials: int,
+        rounds: int,
+        delay_model: Union[str, DelayModel],
+        power: Optional[MiningPowerProfile] = None,
+    ) -> BatchResult:
+        """Run (or fetch from cache) one parameter point under a delay model.
+
+        The cache key folds in the delay-model payload (for ``peer_graph``
+        that includes the topology's generator spec or matrix digest) and,
+        when given, the mining-power profile digest — so two runs differing
+        only in graph wiring or power skew never collide.
+        """
+        model = resolve_delay_model(delay_model)
+        if model is None:
+            raise SimulationError(
+                "run_topology_point requires a delay model; use run_point for "
+                "the fixed-delta default"
+            )
+        key = self.cache_key(params, trials, rounds, delay_model=model, power=power)
+        path = self._cache_path(key, prefix="topology")
+        if path is not None:
+            cached = self._load_cached(path)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        self.cache_misses += 1
+        rng = np.random.default_rng(
+            self.seed_sequence_for(
+                params, trials, rounds, delay_model=model, power=power
+            )
+        )
+        simulation = BatchSimulation(
+            params,
+            rng=rng,
+            draw_mode=self.draw_mode,
+            delay_model=model,
+            power=power,
+        )
+        result = simulation.run(trials, rounds)
+        if path is not None:
+            self._store_cached(path, result)
+        return result
+
+    def run_topology_grid(
+        self,
+        points: Sequence[ProtocolParameters],
+        trials: int,
+        rounds: int,
+        delay_model: Union[str, DelayModel],
+        power: Optional[MiningPowerProfile] = None,
+    ) -> List[BatchResult]:
+        """Run every parameter point under one delay model.
+
+        Topology grids run serially in-process: delay models (in particular
+        peer graphs with cached distance matrices) are not
+        pickle-reconstructible from a flat payload, and the batch engine
+        already vectorizes all trials within a point.
+        """
+        return [
+            self.run_topology_point(point, trials, rounds, delay_model, power=power)
+            for point in points
+        ]

@@ -66,6 +66,12 @@ from .batch import (
     worst_window_deficits,
 )
 from .rng import SeedLike, resolve_rng
+from .topology import (
+    DelayModel,
+    MiningPowerProfile,
+    convergence_opportunity_mask_with_delays,
+    resolve_delay_model,
+)
 
 __all__ = [
     "SCENARIO_KINDS",
@@ -337,6 +343,9 @@ class ScenarioResult:
     decision_fork_depths: Optional[np.ndarray] = field(default=None, repr=False)
     honest_counts: Optional[np.ndarray] = field(default=None, repr=False)
     adversary_counts: Optional[np.ndarray] = field(default=None, repr=False)
+    #: Name of the delay model governing honest delivery, or ``None`` when
+    #: the scenario's own constant ``honest_delay`` applied (the legacy path).
+    delay_model: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Attack-success statistics
@@ -441,6 +450,7 @@ class ScenarioResult:
             "mean_orphaned_honest": float(self.orphaned_honest.mean()),
             "mean_growth_rate": float(self.growth_rates.mean()),
             "lemma1_fraction": self.lemma1_fraction,
+            "delay_model": self.delay_model,
         }
 
 
@@ -464,6 +474,20 @@ class ScenarioSimulation:
         regenerate it.
     draw_mode:
         ``"binomial"`` (default) or ``"bernoulli"``.
+    delay_model:
+        ``None`` (default) keeps the scenario's own constant
+        ``honest_delay`` — the legacy, bit-exact path.  A registry name or
+        :class:`~repro.simulation.topology.DelayModel` instance replaces the
+        adversary-chosen constant with structural per-block delivery offsets
+        drawn from the model (capped at Δ); ``"fixed_delta"`` is the
+        constant-Δ worst case, bit-identical to the legacy path for every
+        scenario whose honest delay is Δ (``max_delay`` and both withholding
+        kinds).  Adversarial releases remain instantaneous: the adversary is
+        assumed perfectly connected, only honest gossip is structural.
+    power:
+        Optional heterogeneous
+        :class:`~repro.simulation.topology.MiningPowerProfile`; validated
+        against ``params`` before any draw.
 
     Examples
     --------
@@ -482,6 +506,8 @@ class ScenarioSimulation:
         scenario: Union[str, Scenario] = "passive",
         rng: SeedLike = None,
         draw_mode: str = "binomial",
+        delay_model: Union[None, str, DelayModel] = None,
+        power: Optional[MiningPowerProfile] = None,
     ):
         if draw_mode not in DRAW_MODES:
             raise SimulationError(
@@ -489,9 +515,18 @@ class ScenarioSimulation:
             )
         self.params = params
         self.scenario = get_scenario(scenario)
-        self.honest_delay = self.scenario.resolved_honest_delay(params.delta)
+        self.delay_model = resolve_delay_model(delay_model)
+        if self.delay_model is None:
+            self.honest_delay = self.scenario.resolved_honest_delay(params.delta)
+        else:
+            # The model governs honest delivery; the Δ cap is the constant
+            # bound every draw respects (and the attribution window below).
+            self.honest_delay = params.delta
         self.rng = resolve_rng(rng)
         self.draw_mode = draw_mode
+        self.power = power
+        if self.power is not None:
+            self.power.validate_against(params)
         self.honest_miners = max(int(round(params.honest_count)), 1)
 
     def run(
@@ -501,12 +536,26 @@ class ScenarioSimulation:
         keep_traces: bool = False,
         record_rounds: bool = False,
     ) -> ScenarioResult:
-        """Draw fresh traces for ``trials`` independent runs and simulate them."""
+        """Draw fresh traces for ``trials`` independent runs and simulate them.
+
+        Draw order: honest tensor, adversarial tensor, then (non-trivial
+        delay models only) the delay tensor — ``fixed_delta`` consumes no
+        entropy, so its stream matches the legacy engine's exactly.
+        """
         honest, adversary = draw_mining_traces(
-            self.params, trials, rounds, self.rng, self.draw_mode
+            self.params, trials, rounds, self.rng, self.draw_mode, power=self.power
         )
+        delays = None
+        if self.delay_model is not None and not self.delay_model.trivial:
+            delays = self.delay_model.draw_delays(
+                trials, rounds, self.params.delta, self.rng
+            )
         return self.run_traces(
-            honest, adversary, keep_traces=keep_traces, record_rounds=record_rounds
+            honest,
+            adversary,
+            keep_traces=keep_traces,
+            record_rounds=record_rounds,
+            delays=delays,
         )
 
     def run_traces(
@@ -515,11 +564,14 @@ class ScenarioSimulation:
         adversary_counts: np.ndarray,
         keep_traces: bool = False,
         record_rounds: bool = False,
+        delays: Optional[np.ndarray] = None,
     ) -> ScenarioResult:
         """Simulate the scenario over pre-drawn ``(trials, rounds)`` tensors.
 
         This is the deterministic half of the engine — the half the scripted
-        replay equivalence tests drive on both sides.
+        replay equivalence tests drive on both sides.  ``delays`` carries
+        pre-drawn per-block honest delivery offsets in ``[0, Δ]``; ``None``
+        uses the constant ``honest_delay``.
         """
         honest = np.asarray(honest_counts, dtype=np.int64)
         adversary = np.asarray(adversary_counts, dtype=np.int64)
@@ -537,10 +589,26 @@ class ScenarioSimulation:
         trials, rounds = honest.shape
         if rounds < 1:
             raise SimulationError("rounds must be positive")
+        if delays is not None:
+            delays = np.asarray(delays, dtype=np.int64)
+            if delays.shape != honest.shape:
+                raise SimulationError(
+                    f"delays shape {delays.shape} does not match honest shape "
+                    f"{honest.shape}"
+                )
+            if (delays < 0).any() or (delays > self.params.delta).any():
+                raise SimulationError(
+                    f"delays must lie in [0, {self.params.delta}]"
+                )
         _require_attribution_feasible(honest, self.honest_miners, self.honest_delay)
 
-        state = self._scan(honest, adversary, record_rounds)
-        mask = convergence_opportunity_mask(honest, self.params.delta)
+        state = self._scan(honest, adversary, record_rounds, delays=delays)
+        if delays is None:
+            mask = convergence_opportunity_mask(honest, self.params.delta)
+        else:
+            mask = convergence_opportunity_mask_with_delays(
+                honest, delays, self.params.delta
+            )
         return ScenarioResult(
             params=self.params,
             scenario=self.scenario,
@@ -554,6 +622,9 @@ class ScenarioSimulation:
             worst_deficits=worst_window_deficits(mask, adversary),
             honest_counts=honest if keep_traces else None,
             adversary_counts=adversary if keep_traces else None,
+            delay_model=(
+                None if self.delay_model is None else self.delay_model.name
+            ),
             **state,
         )
 
@@ -561,22 +632,34 @@ class ScenarioSimulation:
     # The round scan
     # ------------------------------------------------------------------
     def _scan(
-        self, honest: np.ndarray, adversary: np.ndarray, record_rounds: bool
+        self,
+        honest: np.ndarray,
+        adversary: np.ndarray,
+        record_rounds: bool,
+        delays: Optional[np.ndarray] = None,
     ) -> Dict[str, Optional[np.ndarray]]:
         """One pass over rounds with all per-trial state as vectors.
 
         Mirrors :meth:`NakamotoSimulation.run` phase by phase; see the
-        module docstring for the correspondence argument.
+        module docstring for the correspondence argument.  With ``delays``
+        the constant-delay ring buffer is replaced by a ``(trials, Δ+1)``
+        schedule of arrival heights indexed by delivery round modulo
+        ``Δ+1`` — every pending delivery lies within Δ rounds, so distinct
+        pending delivery rounds always occupy distinct slots.
         """
         trials, rounds = honest.shape
         kind = self.scenario.kind
         delay = self.honest_delay
+        delta = self.params.delta
         target_depth = self.scenario.target_depth
         give_up = self.scenario.give_up_deficit
 
         # Round-major copies make each round's column contiguous in the scan.
         honest_rows = np.ascontiguousarray(honest.T)
         adversary_rows = np.ascontiguousarray(adversary.T)
+        delay_rows = (
+            None if delays is None else np.ascontiguousarray(delays.T)
+        )
 
         public = np.zeros(trials, dtype=np.int64)
         private = np.zeros(trials, dtype=np.int64)
@@ -590,7 +673,12 @@ class ScenarioSimulation:
         no_release = np.zeros(trials, dtype=bool)
         # Scheduled arrival heights for in-flight honest blocks: slot r % delay
         # holds the height mined at round r, due at the start of round r+delay.
-        ring = np.zeros((trials, delay), dtype=np.int64) if delay >= 1 else None
+        ring = None
+        schedule = None
+        if delay_rows is not None:
+            schedule = np.zeros((trials, delta + 1), dtype=np.int64)
+        elif delay >= 1:
+            ring = np.zeros((trials, delay), dtype=np.int64)
 
         if record_rounds:
             public_record = np.zeros((trials, rounds), dtype=np.int64)
@@ -604,10 +692,16 @@ class ScenarioSimulation:
             mined_honest = honest_rows[index]
             mined_adversary = adversary_rows[index]
 
-            # 1. Start-of-round deliveries: blocks mined `delay` rounds ago.
+            # 1. Start-of-round deliveries: blocks mined `delay` rounds ago
+            #    (constant path), or whatever the schedule holds for this
+            #    delivery round (delay-model path).
             if ring is not None:
                 slot = index % delay
                 np.maximum(public, ring[:, slot], out=public)
+            elif schedule is not None:
+                slot = index % (delta + 1)
+                np.maximum(public, schedule[:, slot], out=public)
+                schedule[:, slot] = 0
 
             # 2. Honest mining on the delivered public chain; delayed blocks
             #    enter the pipeline, zero-delay blocks land at end of round.
@@ -615,6 +709,16 @@ class ScenarioSimulation:
             mined_height = public + 1
             if ring is not None:
                 np.multiply(mined_height, some_honest, out=ring[:, slot])
+            elif schedule is not None:
+                round_delays = delay_rows[index]
+                pipelined = np.nonzero(some_honest & (round_delays > 0))[0]
+                if pipelined.size:
+                    # Same-delivery-round collisions overwrite an older,
+                    # never-larger height (public is monotone), so plain
+                    # scatter assignment keeps the schedule's maximum.
+                    schedule[
+                        pipelined, (index + round_delays[pipelined]) % (delta + 1)
+                    ] = mined_height[pipelined]
 
             # 3. Adversarial mining: extend the private tip, or fork from the
             #    public tip if no private chain exists.
@@ -665,7 +769,11 @@ class ScenarioSimulation:
                 active &= keep
 
             # 5. End-of-round delivery of zero-delay honest broadcasts.
-            if delay == 0:
+            if delay_rows is not None:
+                immediate = some_honest & (round_delays == 0)
+                if immediate.any():
+                    np.maximum(public, mined_height * immediate, out=public)
+            elif delay == 0:
                 np.maximum(public, mined_height * some_honest, out=public)
 
             if record_rounds:
@@ -681,6 +789,8 @@ class ScenarioSimulation:
         final = public.copy()
         if ring is not None:
             np.maximum(final, ring.max(axis=1), out=final)
+        elif schedule is not None:
+            np.maximum(final, schedule.max(axis=1), out=final)
 
         return {
             "releases": releases,

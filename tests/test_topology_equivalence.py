@@ -1,0 +1,301 @@
+"""Seeded equivalence: ``delay_model="fixed_delta"`` versus the pre-topology engines.
+
+The acceptance bar for the topology subsystem is that the fixed-Δ delay
+model is a *bit-exact* no-op: across a (ν, Δ, strategy) grid, running the
+batch and scenario engines with ``delay_model="fixed_delta"`` must
+reproduce the default engines' per-round heights, convergence tallies and
+attack-success masks exactly — same seeds, same arrays, no entropy
+consumed by the model.  The default engines themselves are pinned against
+the legacy loop by ``test_batch_equivalence`` / ``test_scenario_equivalence``
+and against golden values by ``test_golden_regression``, which closes the
+chain back to the pre-topology behaviour.
+
+This file also covers the runner-side satellites: topology-aware cache
+keys (graph wiring and power profiles are part of the key) and the
+package-version stamp that invalidates warm caches across upgrades without
+rerolling seeded results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro._version
+from repro.params import parameters_from_c
+from repro.simulation import (
+    BatchSimulation,
+    ExperimentRunner,
+    MiningPowerProfile,
+    PeerGraphDelayModel,
+    PeerGraphTopology,
+    ScenarioSimulation,
+    UniformDelayModel,
+)
+
+TRIALS = 4
+ROUNDS = 900
+
+BATCH_GRID = [(nu, delta) for nu in (0.2, 0.4) for delta in (1, 3)]
+
+#: Scenarios whose honest delay is the full Δ — exactly the cases where the
+#: fixed-delta model's constant draw coincides with the legacy constant path.
+SCENARIO_GRID = [
+    (scenario, nu, delta)
+    for scenario in ("max_delay", "private_chain", "selfish_mining")
+    for nu in (0.2, 0.4)
+    for delta in (1, 3)
+]
+
+_SCENARIO_ARRAYS = (
+    "releases",
+    "abandons",
+    "deepest_forks",
+    "orphaned_honest",
+    "withheld_final",
+    "final_public_heights",
+    "honest_blocks",
+    "adversary_blocks",
+    "convergence_opportunities",
+    "worst_deficits",
+    "public_heights",
+    "private_heights",
+    "release_mask",
+    "abandon_mask",
+)
+
+
+@pytest.mark.parametrize("nu, delta", BATCH_GRID)
+def test_batch_fixed_delta_is_bit_identical(nu, delta):
+    params = parameters_from_c(c=2.0, n=500, delta=delta, nu=nu)
+    seed = 7_000 + delta
+    plain = BatchSimulation(params, rng=seed).run(TRIALS, ROUNDS, keep_traces=True)
+    modelled = BatchSimulation(params, rng=seed, delay_model="fixed_delta").run(
+        TRIALS, ROUNDS, keep_traces=True
+    )
+    assert np.array_equal(plain.honest_counts, modelled.honest_counts)
+    assert np.array_equal(plain.adversary_counts, modelled.adversary_counts)
+    assert np.array_equal(
+        plain.convergence_opportunities, modelled.convergence_opportunities
+    )
+    assert np.array_equal(plain.worst_deficits, modelled.worst_deficits)
+    assert modelled.delay_model == "fixed_delta" == plain.delay_model
+
+
+@pytest.mark.parametrize("scenario_name, nu, delta", SCENARIO_GRID)
+def test_scenario_fixed_delta_is_bit_identical(scenario_name, nu, delta):
+    params = parameters_from_c(c=1.0, n=400, delta=delta, nu=nu)
+    seed = 8_000 + delta
+    plain = ScenarioSimulation(params, scenario_name, rng=seed).run(
+        TRIALS, ROUNDS, record_rounds=True
+    )
+    modelled = ScenarioSimulation(
+        params, scenario_name, rng=seed, delay_model="fixed_delta"
+    ).run(TRIALS, ROUNDS, record_rounds=True)
+    for name in _SCENARIO_ARRAYS:
+        assert np.array_equal(getattr(plain, name), getattr(modelled, name)), name
+    assert np.array_equal(
+        plain.attack_success_mask(), modelled.attack_success_mask()
+    )
+    assert modelled.delay_model == "fixed_delta"
+    assert plain.delay_model is None
+
+
+def test_fixed_delta_grid_exercises_real_attacks():
+    """The equivalence grid must cover actual releases, not just quiet runs."""
+    params = parameters_from_c(c=1.0, n=400, delta=3, nu=0.4)
+    result = ScenarioSimulation(
+        params, "private_chain", rng=8_003, delay_model="fixed_delta"
+    ).run(TRIALS, ROUNDS)
+    assert int(result.releases.sum()) > 0
+
+
+def test_faster_delay_model_orders_attack_surface():
+    """Sub-Δ gossip delivery weakens the withholding adversary on the same
+    mining trace: the public chain grows faster, so the adversary's lead
+    condition fires less often (fewer releases)."""
+    from repro.simulation import draw_mining_traces
+
+    params = parameters_from_c(c=1.0, n=400, delta=4, nu=0.4)
+    honest, adversary = draw_mining_traces(params, 8, 2_000, rng=5)
+    worst = ScenarioSimulation(params, "private_chain", rng=0).run_traces(
+        honest, adversary
+    )
+    fast = ScenarioSimulation(
+        params, "private_chain", rng=0, delay_model=UniformDelayModel(low=0, high=1)
+    ).run_traces(honest, adversary, delays=np.zeros_like(honest))
+    assert int(fast.releases.sum()) < int(worst.releases.sum())
+    assert int(fast.final_public_heights.sum()) > int(worst.final_public_heights.sum())
+
+
+# ----------------------------------------------------------------------
+# Runner integration: topology-aware cache keys and seeding
+# ----------------------------------------------------------------------
+def test_run_topology_point_caches_and_reproduces(tmp_path):
+    params = parameters_from_c(c=4.0, n=1_000, delta=6, nu=0.2)
+    topology = PeerGraphTopology.random_regular(24, 4, rng=1)
+    model = PeerGraphDelayModel(topology)
+    runner = ExperimentRunner(base_seed=3, cache_dir=str(tmp_path))
+    first = runner.run_topology_point(params, 6, 1_500, delay_model=model)
+    assert runner.cache_misses == 1
+    second = runner.run_topology_point(params, 6, 1_500, delay_model=model)
+    assert runner.cache_hits == 1
+    assert np.array_equal(
+        first.convergence_opportunities, second.convergence_opportunities
+    )
+    assert second.delay_model == "peer_graph"
+    # A fresh runner instance reproduces the identical result from seed alone.
+    rebuilt = ExperimentRunner(base_seed=3).run_topology_point(
+        params, 6, 1_500, delay_model=PeerGraphDelayModel(topology)
+    )
+    assert np.array_equal(
+        first.convergence_opportunities, rebuilt.convergence_opportunities
+    )
+
+
+def test_topology_cache_key_distinguishes_wiring_and_power(small_params):
+    runner = ExperimentRunner(base_seed=0)
+    ring = PeerGraphDelayModel(PeerGraphTopology.ring(12))
+    star = PeerGraphDelayModel(PeerGraphTopology.star(12))
+    key_ring = runner.cache_key(small_params, 4, 100, delay_model=ring)
+    key_star = runner.cache_key(small_params, 4, 100, delay_model=star)
+    key_plain = runner.cache_key(small_params, 4, 100)
+    assert len({key_ring, key_star, key_plain}) == 3
+    profile = MiningPowerProfile.from_weights(
+        small_params, np.linspace(1.0, 2.0, 800)
+    )
+    key_power = runner.cache_key(small_params, 4, 100, delay_model=ring, power=profile)
+    assert key_power != key_ring
+
+
+def test_run_topology_grid_is_pointwise_consistent():
+    points = [
+        parameters_from_c(c=4.0, n=1_000, delta=5, nu=nu) for nu in (0.15, 0.3)
+    ]
+    runner = ExperimentRunner(base_seed=11)
+    model = PeerGraphDelayModel(PeerGraphTopology.random_regular(16, 4, rng=0))
+    grid = runner.run_topology_grid(points, 4, 1_000, delay_model=model)
+    solo = ExperimentRunner(base_seed=11).run_topology_point(
+        points[1], 4, 1_000, delay_model=model
+    )
+    assert np.array_equal(
+        grid[1].convergence_opportunities, solo.convergence_opportunities
+    )
+
+
+def test_run_topology_point_requires_a_model(small_params):
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError):
+        ExperimentRunner().run_topology_point(small_params, 2, 100, delay_model=None)
+
+
+# ----------------------------------------------------------------------
+# Satellite: package version in cache keys
+# ----------------------------------------------------------------------
+def test_version_bump_invalidates_warm_cache(tmp_path, monkeypatch, small_params):
+    runner = ExperimentRunner(base_seed=1, cache_dir=str(tmp_path))
+    first = runner.run_point(small_params, 4, 500)
+    assert (runner.cache_hits, runner.cache_misses) == (0, 1)
+    runner.run_point(small_params, 4, 500)
+    assert (runner.cache_hits, runner.cache_misses) == (1, 1)
+
+    old_key = runner.cache_key(small_params, 4, 500)
+    monkeypatch.setattr(repro._version, "__version__", "999.0.0")
+    assert runner.cache_key(small_params, 4, 500) != old_key
+    # The warm on-disk cache is keyed to the old version: the "upgraded"
+    # library recomputes instead of silently reusing it...
+    upgraded = runner.run_point(small_params, 4, 500)
+    assert (runner.cache_hits, runner.cache_misses) == (1, 2)
+    # ...but seeds exclude the version, so the recomputed point is identical.
+    assert np.array_equal(
+        first.convergence_opportunities, upgraded.convergence_opportunities
+    )
+    assert np.array_equal(first.worst_deficits, upgraded.worst_deficits)
+
+
+def test_version_bump_invalidates_scenario_cache(tmp_path, monkeypatch):
+    params = parameters_from_c(c=1.0, n=400, delta=3, nu=0.4)
+    runner = ExperimentRunner(base_seed=2, cache_dir=str(tmp_path))
+    runner.run_scenario_point(params, "private_chain", 4, 400)
+    runner.run_scenario_point(params, "private_chain", 4, 400)
+    assert (runner.cache_hits, runner.cache_misses) == (1, 1)
+    monkeypatch.setattr(repro._version, "__version__", "999.0.0")
+    runner.run_scenario_point(params, "private_chain", 4, 400)
+    assert (runner.cache_hits, runner.cache_misses) == (1, 2)
+
+
+def test_seed_sequence_is_version_independent(monkeypatch, small_params):
+    runner = ExperimentRunner(base_seed=4)
+    before = runner.seed_sequence_for(small_params, 8, 1_000)
+    monkeypatch.setattr(repro._version, "__version__", "999.0.0")
+    after = runner.seed_sequence_for(small_params, 8, 1_000)
+    assert before.entropy == after.entropy
+
+
+# ----------------------------------------------------------------------
+# Analysis layer: Delta-tightness sweeps
+# ----------------------------------------------------------------------
+class TestTopologySweeps:
+    def test_delta_tightness_rows_are_consistent(self, tmp_path):
+        from repro.analysis import delta_tightness_sweep
+
+        runner = ExperimentRunner(base_seed=5, cache_dir=str(tmp_path))
+        rows = delta_tightness_sweep(
+            degrees=(2, 8),
+            graph_nodes=24,
+            trials=4,
+            rounds=2_000,
+            seed=5,
+            runner=runner,
+        )
+        assert len(rows) == 2
+        by_degree = {row["degree"]: row for row in rows}
+        # The nominal Delta covers the slowest cell in the family.
+        assert all(
+            row["nominal_delta"] >= row["diameter"] for row in rows
+        )
+        assert by_degree[8]["effective_delta"] < by_degree[2]["effective_delta"]
+        # Denser gossip -> faster delivery -> rate at least the slow cell's,
+        # and the effective-Delta prediction exceeds the nominal one.
+        assert (
+            by_degree[8]["predicted_rate_effective"]
+            > by_degree[8]["predicted_rate_nominal"]
+        )
+        for row in rows:
+            assert (
+                row["empirical_ci95_low"]
+                <= row["empirical_rate"]
+                <= row["empirical_ci95_high"]
+            )
+        # A second sweep over the warm cache reproduces the rows exactly.
+        again = delta_tightness_sweep(
+            degrees=(2, 8),
+            graph_nodes=24,
+            trials=4,
+            rounds=2_000,
+            seed=5,
+            runner=runner,
+        )
+        assert again == rows
+        assert runner.cache_hits == 2
+
+    def test_effective_delta_table_structure(self):
+        from repro.analysis import effective_delta_table
+
+        rows = effective_delta_table((2, 4), (0, 2), graph_nodes=16, seed=1)
+        assert len(rows) == 4
+        for row in rows:
+            assert 1 <= row["effective_delta"] <= row["diameter"]
+            assert row["mean_radius"] <= row["diameter"]
+
+    def test_sweeps_reject_empty_grids(self):
+        from repro.analysis import delta_tightness_sweep, effective_delta_table
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            delta_tightness_sweep(degrees=())
+        with pytest.raises(AnalysisError):
+            effective_delta_table((), (0,))
+        with pytest.raises(AnalysisError):
+            delta_tightness_sweep(degrees=(2,), trials=0)
