@@ -1,0 +1,152 @@
+"""Benchmark: the vectorized schedule-compilation kernel versus its reference.
+
+The dynamics subsystem compiles a whole event timeline — churn, latency
+drift, partitions — into per-round delivery tensors with one min-plus
+distance computation per epoch plus a vectorized boundary continuation; the
+reference implementation re-runs a pure-Python Dijkstra flood and a scalar
+epoch chain for every single (round, origin) cell.  This file times both
+sides on the same workload, asserts the >= 5x speedup gate from the issue,
+and prints the violation-depth-versus-partition-duration table the
+subsystem unlocks.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import partition_depth_sweep, render_table
+from repro.params import parameters_from_c
+from repro.simulation import (
+    ChurnEvent,
+    DynamicsSchedule,
+    LatencyDriftEvent,
+    PartitionEvent,
+    PeerGraphTopology,
+    ScenarioSimulation,
+    TimeVaryingDelayModel,
+    compile_schedule,
+    reference_compile_schedule,
+)
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
+
+NODES = 24 if QUICK else 48
+ROUNDS = 400 if QUICK else 1_500
+DEGREE = 4
+
+
+def workload():
+    """A seeded graph plus a schedule exercising every event kind."""
+    topology = PeerGraphTopology.random_regular(NODES, DEGREE, rng=7)
+    schedule = DynamicsSchedule(
+        [
+            ChurnEvent(ROUNDS // 8, (1, 3), duration=ROUNDS // 6),
+            LatencyDriftEvent(ROUNDS // 4, 2.0, duration=ROUNDS // 4),
+            PartitionEvent(
+                ROUNDS // 2, ROUNDS // 6, nodes=tuple(range(NODES // 4))
+            ),
+        ]
+    )
+    return topology, schedule, topology.diameter
+
+
+def test_schedule_compilation_speedup_over_reference():
+    """The vectorized compiler must beat the per-cell reference by >= 5x.
+
+    Both sides compile the same schedule against the same graph and must
+    produce identical offset and active tensors.
+    """
+    topology, schedule, delta = workload()
+
+    start = time.perf_counter()
+    reference = reference_compile_schedule(schedule, topology, ROUNDS, delta)
+    reference_seconds = time.perf_counter() - start
+
+    vectorized = None
+    vectorized_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        vectorized = compile_schedule(schedule, topology, ROUNDS, delta)
+        vectorized_seconds = min(vectorized_seconds, time.perf_counter() - start)
+
+    speedup = reference_seconds / vectorized_seconds
+    print(
+        f"\nSchedule compilation speedup at {NODES} nodes x {ROUNDS} rounds: "
+        f"reference {reference_seconds:.3f}s, vectorized "
+        f"{vectorized_seconds:.4f}s, {speedup:.1f}x"
+    )
+    assert np.array_equal(vectorized.offsets, reference.offsets)
+    assert np.array_equal(vectorized.active, reference.active)
+    assert speedup >= 5.0, (
+        f"vectorized schedule compiler only {speedup:.1f}x faster than the "
+        "per-cell reference"
+    )
+
+
+@pytest.mark.benchmark(group="dynamics")
+def test_partition_scenario_throughput(benchmark):
+    """Raw scenario-engine throughput under a scheduled partition attack."""
+    trials = 4 if QUICK else 8
+    rounds = 1_000 if QUICK else 3_000
+    params = parameters_from_c(c=1.0, n=400, delta=3, nu=0.4)
+    result = benchmark(
+        lambda: ScenarioSimulation(params, "partition_attack", rng=0).run(
+            trials, rounds
+        )
+    )
+    assert result.delay_model == "time_varying"
+
+
+@pytest.mark.benchmark(group="dynamics")
+def test_partition_depth_sweep_throughput(benchmark):
+    """Time the violation-depth sweep and print the monotone table."""
+    trials = 4 if QUICK else 12
+    rounds = 1_200 if QUICK else 4_000
+    rows = benchmark(
+        partition_depth_sweep,
+        (0, rounds // 16, rounds // 8, rounds // 4),
+        c=2.0,
+        n=500,
+        delta=3,
+        nu=0.25,
+        trials=trials,
+        rounds=rounds,
+        seed=17,
+    )
+    print("\nViolation depth versus partition duration (c = 2, nu = 0.25)")
+    print(
+        render_table(
+            [
+                {
+                    "duration": row["partition_duration"],
+                    "mean depth": row["mean_violation_depth"],
+                    "max depth": row["max_violation_depth"],
+                    "co rate": row["mean_convergence_rate"],
+                    "predicted (static)": row["predicted_rate_unpartitioned"],
+                    "lemma1 fraction": row["lemma1_fraction"],
+                }
+                for row in rows
+            ]
+        )
+    )
+    depths = [row["mean_violation_depth"] for row in rows]
+    assert depths == sorted(depths)
+
+
+@pytest.mark.benchmark(group="dynamics")
+def test_time_varying_draw_throughput(benchmark):
+    """Per-draw cost of a compiled schedule (compilation amortised away)."""
+    topology, schedule, delta = workload()
+    model = TimeVaryingDelayModel(schedule, topology=topology)
+    trials = 8 if QUICK else 32
+    model.compiled(ROUNDS, delta)  # warm the cache; draws should be cheap
+    delays = benchmark(
+        lambda: model.draw_delays(
+            trials, ROUNDS, delta, np.random.default_rng(0)
+        )
+    )
+    assert delays.shape == (trials, ROUNDS)

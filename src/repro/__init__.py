@@ -114,6 +114,38 @@ across upgrades), and ``repro.analysis.topology_sweeps`` produces
 Δ-tightness curves — empirical convergence-opportunity rates under gossip
 versus the fixed-Δ prediction, per graph degree and latency spread, with
 95% CIs; see ``examples/topology_sweep.py``.
+
+Network dynamics
+----------------
+:mod:`repro.simulation.dynamics` makes the network a function of the round
+index.  A :class:`~repro.simulation.DynamicsSchedule` lists round-indexed
+events — peer churn (:class:`~repro.simulation.ChurnEvent`), latency drift
+(:class:`~repro.simulation.LatencyDriftEvent`) and bounded-window
+partitions or full eclipses (:class:`~repro.simulation.PartitionEvent`) —
+and compiles into per-round delivery tensors consumed by both engines
+through :class:`~repro.simulation.TimeVaryingDelayModel`.  An empty
+schedule is bit-identical to the static subsystem; a partition window is
+the adversary *breaking* the Δ guarantee for a bounded span, so obstructed
+blocks deliver later than Δ and convergence opportunities vanish inside
+the window while the adversary keeps mining.  ``eclipse`` and
+``partition_attack`` scenarios (the adversary schedules the cut and mines
+privately inside it) join the scenario registry, and
+:class:`~repro.simulation.AdversaryPlacement` positions corrupted miners
+on the gossip graph — their releases then propagate through gossip
+(``hub`` / ``leaf`` / ``random``) instead of landing instantaneously.
+
+>>> from repro.simulation import DynamicsSchedule, PartitionEvent, TimeVaryingDelayModel
+>>> model = TimeVaryingDelayModel(DynamicsSchedule([PartitionEvent(1_000, 200)]))
+>>> eclipse = BatchSimulation(small, rng=0, delay_model=model).run(32, 2_000)
+>>> int(eclipse.worst_deficits.max()) >= int(batch.worst_deficits.max())
+True
+
+``ExperimentRunner.run_dynamics_point`` / ``run_dynamics_grid`` give every
+(schedule, topology, scenario, placement) combination its own cache slot
+and seed stream, and ``repro.analysis.partition_sweeps`` turns the results
+into violation-depth-versus-partition-duration curves (deterministically
+monotone under the shared-trace design) and churn-rate tightness tables;
+see ``examples/partition_attack_sweep.py``.
 """
 
 from .core import (
@@ -140,16 +172,20 @@ from .errors import (
 from ._version import __version__
 from .params import ProtocolParameters, parameters_for_target_alpha, parameters_from_c
 from .simulation import (
+    AdversaryPlacement,
     BatchResult,
     BatchSimulation,
     DelayModel,
+    DynamicsSchedule,
     ExperimentRunner,
     MiningPowerProfile,
+    PartitionScenario,
     PeerGraphDelayModel,
     PeerGraphTopology,
     Scenario,
     ScenarioResult,
     ScenarioSimulation,
+    TimeVaryingDelayModel,
 )
 
 __all__ = [
@@ -179,6 +215,10 @@ __all__ = [
     "MiningPowerProfile",
     "PeerGraphDelayModel",
     "PeerGraphTopology",
+    "DynamicsSchedule",
+    "TimeVaryingDelayModel",
+    "AdversaryPlacement",
+    "PartitionScenario",
     "ReproError",
     "ParameterError",
     "MarkovChainError",

@@ -11,10 +11,15 @@
   scenario engine;
 * :mod:`repro.analysis.topology_sweeps` — Δ-tightness curves: empirical
   convergence-opportunity rates under peer-graph gossip propagation versus
-  the paper's fixed-Δ prediction, per graph degree / latency spread.
+  the paper's fixed-Δ prediction, per graph degree / latency spread;
+* :mod:`repro.analysis.partition_sweeps` — consistency-violation depth
+  versus partition/eclipse duration (deterministically monotone under the
+  shared-trace design) and churn-rate tightness tables, on the dynamics
+  subsystem.
 """
 
 from .attack_sweeps import ATTACK_SCENARIOS, attack_success_grid, attack_surface_sweep
+from .partition_sweeps import churn_tightness_table, partition_depth_sweep
 from .topology_sweeps import (
     build_regular_topology,
     delta_tightness_sweep,
@@ -82,4 +87,6 @@ __all__ = [
     "build_regular_topology",
     "delta_tightness_sweep",
     "effective_delta_table",
+    "partition_depth_sweep",
+    "churn_tightness_table",
 ]

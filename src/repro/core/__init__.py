@@ -43,7 +43,13 @@ from .concentration import (
 from .consistency import ConsistencyAnalyzer, ConsistencyVerdict
 from .kiffer import correction_ratio
 from .lemmas import delta1_constant, delta4_constant, implication_chain_thresholds
-from .probabilities import MiningProbabilities
+from .probabilities import (
+    HeterogeneousMiningProbabilities,
+    MiningProbabilities,
+    poisson_binomial_convergence_opportunity,
+    poisson_binomial_distribution,
+    poisson_binomial_pmf,
+)
 from .pss import (
     nu_max_pss_consistency,
     nu_min_pss_attack,
@@ -54,6 +60,10 @@ from .suffix_chain import SuffixChain, SuffixState, SuffixStateKind
 
 __all__ = [
     "MiningProbabilities",
+    "HeterogeneousMiningProbabilities",
+    "poisson_binomial_distribution",
+    "poisson_binomial_pmf",
+    "poisson_binomial_convergence_opportunity",
     "neat_bound",
     "nu_max_neat_bound",
     "theorem1_condition",

@@ -150,6 +150,161 @@ class MiningProbabilities:
         )
 
 
+def poisson_binomial_distribution(probabilities: Sequence[float]) -> np.ndarray:
+    """Exact pmf of ``sum_i Bernoulli(p_i)`` for heterogeneous ``p_i``.
+
+    The Poisson-binomial law governs per-round success counts when miners
+    have unequal power (:class:`~repro.simulation.topology.MiningPowerProfile`),
+    replacing the identical-miner binomial of Eq. (41).  Computed with the
+    stable O(n²) convolution recurrence — each miner's Bernoulli factor is
+    folded into the running pmf — which is exact for the miner counts the
+    simulation layer handles (the closed-form ``alpha``-style scalars on
+    :class:`HeterogeneousMiningProbabilities` stay O(n) and log-space for
+    the paper's extreme regimes).
+
+    >>> pmf = poisson_binomial_distribution([0.5, 0.5])
+    >>> [round(v, 6) for v in pmf]
+    [0.25, 0.5, 0.25]
+    """
+    values = np.asarray(probabilities, dtype=np.float64)
+    if values.ndim != 1:
+        raise ParameterError("probabilities must be a 1-D sequence")
+    if values.size and not ((values >= 0.0) & (values <= 1.0)).all():
+        raise ParameterError("probabilities must lie in [0, 1]")
+    pmf = np.zeros(values.size + 1, dtype=np.float64)
+    pmf[0] = 1.0
+    for index, p in enumerate(values):
+        head = pmf[: index + 2].copy()
+        pmf[1 : index + 2] = head[1:] * (1.0 - p) + head[:-1] * p
+        pmf[0] = head[0] * (1.0 - p)
+    return pmf
+
+
+def poisson_binomial_pmf(k: int, probabilities: Sequence[float]) -> float:
+    """``P[sum_i Bernoulli(p_i) = k]`` (exact, linear scale)."""
+    values = np.asarray(probabilities, dtype=np.float64)
+    if k < 0 or k > values.size:
+        return 0.0
+    return float(poisson_binomial_distribution(values)[int(k)])
+
+
+class HeterogeneousMiningProbabilities:
+    """Per-round probabilities for miners with unequal power (Poisson-binomial).
+
+    The heterogeneous analogue of :class:`MiningProbabilities`: the number
+    of honest blocks per round is ``sum_i Bernoulli(p_i)`` instead of
+    ``Binomial(mu n, p)``, so the Table I scalars become
+
+    * ``alpha_bar = prod_i (1 - p_i)`` — no honest block (heterogeneous Eq. 8);
+    * ``alpha = 1 - alpha_bar`` (Eq. 7);
+    * ``alpha1 = alpha_bar * sum_i p_i / (1 - p_i)`` — exactly one honest
+      block (Eq. 9 / Eq. 43), and
+    * ``beta = sum_j q_j`` — the expected adversarial blocks per round over
+      the corrupted miners' own probabilities ``q_j`` (Eq. 27).
+
+    Everything is kept in log space (``log1p`` / ``expm1`` accumulation),
+    so the convergence-opportunity rate stays exact in the paper's extreme
+    regimes.  With all ``p_i`` equal this reduces to the binomial bundle:
+    the two classes then agree to floating-point roundoff.
+    """
+
+    def __init__(
+        self, honest_p: Sequence[float], adversary_p: Sequence[float] = ()
+    ):
+        honest = np.asarray(honest_p, dtype=np.float64)
+        adversary = np.asarray(adversary_p, dtype=np.float64)
+        if honest.ndim != 1 or adversary.ndim != 1:
+            raise ParameterError(
+                "per-miner probability vectors must be 1-dimensional"
+            )
+        if honest.size < 1:
+            raise ParameterError("at least one honest miner is required")
+        for side, values in (("honest", honest), ("adversary", adversary)):
+            if values.size and not ((values > 0.0) & (values < 1.0)).all():
+                raise ParameterError(
+                    f"{side} per-miner probabilities must lie in (0, 1)"
+                )
+        self.honest_p = honest
+        self.adversary_p = adversary
+
+    # ------------------------------------------------------------------
+    # Table I scalars (log-space exact)
+    # ------------------------------------------------------------------
+    @property
+    def log_alpha_bar(self) -> float:
+        """``ln P[no honest block] = sum_i ln(1 - p_i)``."""
+        return float(np.log1p(-self.honest_p).sum())
+
+    @property
+    def alpha_bar(self) -> float:
+        return math.exp(self.log_alpha_bar)
+
+    @property
+    def alpha(self) -> float:
+        return -math.expm1(self.log_alpha_bar)
+
+    @property
+    def log_alpha1(self) -> float:
+        """``ln P[exactly one honest block]`` — the one-success mass in logs."""
+        return self.log_alpha_bar + math.log(
+            float((self.honest_p / (1.0 - self.honest_p)).sum())
+        )
+
+    @property
+    def alpha1(self) -> float:
+        return math.exp(self.log_alpha1)
+
+    @property
+    def beta(self) -> float:
+        """Expected adversarial blocks per round, ``sum_j q_j``."""
+        return float(self.adversary_p.sum())
+
+    # ------------------------------------------------------------------
+    # Distributions and the convergence-opportunity rate
+    # ------------------------------------------------------------------
+    def honest_distribution(self) -> np.ndarray:
+        """Exact per-round honest block-count pmf (Poisson-binomial)."""
+        return poisson_binomial_distribution(self.honest_p)
+
+    def adversary_distribution(self) -> np.ndarray:
+        """Exact per-round adversarial block-count pmf (Poisson-binomial)."""
+        return poisson_binomial_distribution(self.adversary_p)
+
+    def log_convergence_opportunity(self, delta: int) -> float:
+        """``ln(alpha_bar^(2 Δ) alpha1)`` — Eq. (44) under heterogeneous power."""
+        if delta < 1:
+            raise ParameterError(f"delta must be >= 1, got {delta!r}")
+        return 2.0 * delta * self.log_alpha_bar + self.log_alpha1
+
+    def convergence_opportunity(self, delta: int) -> float:
+        """``alpha_bar^(2 Δ) alpha1`` — the analytical convergence-opportunity
+        rate a heterogeneous-power batch run should approach (validated by
+        the simulation-side tests against
+        :class:`~repro.simulation.BatchSimulation` with a power profile)."""
+        return math.exp(self.log_convergence_opportunity(delta))
+
+    def sanity_check(self, tolerance: float = 1e-12) -> bool:
+        """``alpha + alpha_bar = 1`` and ``0 <= alpha1 <= alpha`` still hold."""
+        return (
+            abs(self.alpha + self.alpha_bar - 1.0) <= tolerance
+            and self.alpha1 <= self.alpha + tolerance
+            and 0.0 <= self.alpha1 <= 1.0
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HeterogeneousMiningProbabilities(honest={self.honest_p.size}, "
+            f"adversary={self.adversary_p.size}, alpha={self.alpha:.3e})"
+        )
+
+
+def poisson_binomial_convergence_opportunity(
+    honest_p: Sequence[float], delta: int
+) -> float:
+    """Convenience wrapper: the heterogeneous Eq. (44) rate in one call."""
+    return HeterogeneousMiningProbabilities(honest_p).convergence_opportunity(delta)
+
+
 def expected_honest_blocks(params: ProtocolParameters, rounds: int) -> float:
     """Expected number of honest blocks mined over ``rounds`` rounds."""
     return params.honest_count * params.p * rounds
@@ -175,6 +330,10 @@ def sample_adversary_blocks(
 
 
 __all__ += [
+    "poisson_binomial_distribution",
+    "poisson_binomial_pmf",
+    "poisson_binomial_convergence_opportunity",
+    "HeterogeneousMiningProbabilities",
     "expected_honest_blocks",
     "expected_adversary_blocks",
     "sample_honest_blocks",

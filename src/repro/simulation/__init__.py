@@ -44,10 +44,20 @@ Components
     estimation, and per-miner :class:`MiningPowerProfile` success
     probabilities — all threaded through both engines with fixed-Δ as the
     bit-exact default.
+``dynamics``
+    Time-varying network dynamics: round-indexed :class:`DynamicsSchedule`
+    events (peer churn, latency drift, bounded-window partitions and full
+    eclipses) compiled into per-round delivery tensors, the
+    :class:`TimeVaryingDelayModel` feeding them to both engines (empty
+    schedules stay bit-identical to the static subsystem), partition and
+    eclipse attack scenarios where the adversary schedules the cut itself,
+    and :class:`AdversaryPlacement` — corrupted miners positioned on the
+    gossip graph whose releases propagate instead of landing instantly.
 ``runner``
     :class:`ExperimentRunner`: seeded, cached, optionally multiprocess
-    experiments over grids of parameter points, (point, scenario) pairs
-    and (point, delay model) topology runs.
+    experiments over grids of parameter points, (point, scenario) pairs,
+    (point, delay model) topology runs and (point, schedule) dynamics
+    runs.
 ``rng``
     The single-generator seeding discipline (:func:`resolve_rng`,
     :func:`spawn_rngs`) threaded through every stochastic component.
@@ -93,11 +103,27 @@ from .topology import (
     TruncatedGeometricDelayModel,
     UniformDelayModel,
     convergence_opportunity_mask_with_delays,
+    delay_model_specs,
     get_delay_model,
     list_delay_models,
     reference_draw_delays,
     register_delay_model,
     resolve_delay_model,
+)
+from .dynamics import (
+    PLACEMENT_KINDS,
+    AdversaryPlacement,
+    ChurnEvent,
+    CompiledSchedule,
+    DynamicsSchedule,
+    LatencyDriftEvent,
+    PartitionEvent,
+    PartitionScenario,
+    TimeVaryingDelayModel,
+    compile_eclipse_offsets,
+    compile_schedule,
+    list_placements,
+    reference_compile_schedule,
 )
 from .scenarios import (
     SCENARIO_KINDS,
@@ -164,7 +190,21 @@ __all__ = [
     "register_delay_model",
     "get_delay_model",
     "list_delay_models",
+    "delay_model_specs",
     "resolve_delay_model",
     "reference_draw_delays",
     "convergence_opportunity_mask_with_delays",
+    "ChurnEvent",
+    "LatencyDriftEvent",
+    "PartitionEvent",
+    "DynamicsSchedule",
+    "CompiledSchedule",
+    "compile_schedule",
+    "reference_compile_schedule",
+    "compile_eclipse_offsets",
+    "TimeVaryingDelayModel",
+    "PLACEMENT_KINDS",
+    "AdversaryPlacement",
+    "list_placements",
+    "PartitionScenario",
 ]

@@ -384,11 +384,19 @@ class BatchSimulation:
             self.params, trials, rounds, self.rng, self.draw_mode, power=self.power
         )
         delays = None
+        max_delay = None
         if self.delay_model is not None and not self.delay_model.trivial:
             delays = self.delay_model.draw_delays(
                 trials, rounds, self.params.delta, self.rng
             )
-        return self.run_traces(honest, adversary, keep_traces=keep_traces, delays=delays)
+            max_delay = self.delay_model.delay_cap(self.params.delta, rounds)
+        return self.run_traces(
+            honest,
+            adversary,
+            keep_traces=keep_traces,
+            delays=delays,
+            max_delay=max_delay,
+        )
 
     def run_traces(
         self,
@@ -396,6 +404,7 @@ class BatchSimulation:
         adversary_counts: np.ndarray,
         keep_traces: bool = False,
         delays: Optional[np.ndarray] = None,
+        max_delay: Optional[int] = None,
     ) -> BatchResult:
         """Analyse pre-drawn ``(trials, rounds)`` success-count tensors.
 
@@ -403,7 +412,8 @@ class BatchSimulation:
         it always produces the same result, which is what the equivalence
         tests against the legacy simulator exercise.  ``delays`` carries
         pre-drawn per-block delivery offsets (``None`` means the constant-Δ
-        worst case).
+        worst case); ``max_delay`` (default Δ) widens the validation cap for
+        time-varying models whose adversarial windows exceed Δ.
         """
         honest = np.asarray(honest_counts, dtype=np.int64)
         adversary = np.asarray(adversary_counts, dtype=np.int64)
@@ -423,7 +433,7 @@ class BatchSimulation:
             mask = convergence_opportunity_mask(honest, self.params.delta)
         else:
             mask = convergence_opportunity_mask_with_delays(
-                honest, delays, self.params.delta
+                honest, delays, self.params.delta, max_delay=max_delay
             )
         return BatchResult(
             params=self.params,

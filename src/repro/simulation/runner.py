@@ -33,8 +33,19 @@ from .. import _version
 from ..errors import SimulationError
 from ..params import ProtocolParameters
 from .batch import DRAW_MODES, BatchResult, BatchSimulation
+from .dynamics import (
+    AdversaryPlacement,
+    DynamicsSchedule,
+    PartitionScenario,
+    TimeVaryingDelayModel,
+)
 from .scenarios import Scenario, ScenarioResult, ScenarioSimulation, get_scenario
-from .topology import DelayModel, MiningPowerProfile, resolve_delay_model
+from .topology import (
+    DelayModel,
+    MiningPowerProfile,
+    PeerGraphTopology,
+    resolve_delay_model,
+)
 
 __all__ = ["ENGINE_VERSION", "ExperimentRunner"]
 
@@ -68,7 +79,7 @@ def _params_from_payload(payload: dict) -> ProtocolParameters:
 
 
 def _scenario_from_payload(payload: dict) -> Scenario:
-    return Scenario(
+    common = dict(
         name=str(payload["name"]),
         kind=str(payload["kind"]),
         honest_delay=(
@@ -81,6 +92,13 @@ def _scenario_from_payload(payload: dict) -> Scenario:
             else int(payload["give_up_deficit"])
         ),
     )
+    if "partition_start" in payload:
+        return PartitionScenario(
+            partition_start=int(payload["partition_start"]),
+            partition_duration=int(payload["partition_duration"]),
+            **common,
+        )
+    return Scenario(**common)
 
 
 def _run_point_task(args: tuple) -> tuple:
@@ -166,6 +184,7 @@ class ExperimentRunner:
         scenario: Optional[Union[str, Scenario]] = None,
         delay_model: Optional[DelayModel] = None,
         power: Optional[MiningPowerProfile] = None,
+        placement: Optional[AdversaryPlacement] = None,
     ) -> dict:
         """The version-free description of one experiment point."""
         payload = {
@@ -182,6 +201,8 @@ class ExperimentRunner:
             payload["delay_model"] = delay_model.payload()
         if power is not None:
             payload["power"] = power.payload()
+        if placement is not None:
+            payload["placement"] = placement.payload()
         return payload
 
     @staticmethod
@@ -197,17 +218,27 @@ class ExperimentRunner:
         scenario: Optional[Union[str, Scenario]] = None,
         delay_model: Union[None, str, DelayModel] = None,
         power: Optional[MiningPowerProfile] = None,
+        placement: Optional[AdversaryPlacement] = None,
     ) -> str:
         """Hex digest identifying one (version, engine, params, shape, seed, …) result.
 
         Passive fixed-delta batch runs omit the scenario / delay-model /
-        power fields entirely.  The package version is always included, so a
+        power / placement fields entirely.  Dynamics runs fold the whole
+        schedule payload (event list, and the topology digest when one is
+        wired) into the key, so two runs differing only in when a partition
+        heals never collide.  The package version is always included, so a
         cache written by an older release (whose engine semantics may have
         since changed) is never silently reused — an upgrade simply recomputes
         and re-stores under the new key.
         """
         payload = self._point_payload(
-            params, trials, rounds, scenario, resolve_delay_model(delay_model), power
+            params,
+            trials,
+            rounds,
+            scenario,
+            resolve_delay_model(delay_model),
+            power,
+            placement,
         )
         payload["package_version"] = _version.__version__
         return self._digest(payload)
@@ -220,13 +251,14 @@ class ExperimentRunner:
         scenario: Optional[Union[str, Scenario]] = None,
         delay_model: Union[None, str, DelayModel] = None,
         power: Optional[MiningPowerProfile] = None,
+        placement: Optional[AdversaryPlacement] = None,
     ) -> np.random.SeedSequence:
         """The point's seed sequence: base seed plus point-digest entropy words.
 
         Deriving the entropy from the point description makes the stream a
         pure function of (engine version, parameters, shape, draw mode,
-        base seed, scenario, delay model, power) — independent of grid
-        composition and execution order.  The *package* version is
+        base seed, scenario, delay model, power, placement) — independent of
+        grid composition and execution order.  The *package* version is
         deliberately excluded: upgrading the library invalidates caches but
         must not silently reroll every seeded experiment.
         """
@@ -238,6 +270,7 @@ class ExperimentRunner:
                 scenario,
                 resolve_delay_model(delay_model),
                 power,
+                placement,
             )
         )
         words = [int(digest[index : index + 8], 16) for index in range(0, 32, 8)]
@@ -314,6 +347,7 @@ class ExperimentRunner:
         with np.load(path, allow_pickle=False) as archive:
             meta = json.loads(str(archive["meta"]))
             scenario = _scenario_from_payload(meta["scenario"])
+            delay_model = meta.get("delay_model")
             return ScenarioResult(
                 params=_params_from_payload(meta["params"]),
                 scenario=scenario,
@@ -321,6 +355,8 @@ class ExperimentRunner:
                 rounds=int(meta["rounds"]),
                 draw_mode=str(meta["draw_mode"]),
                 honest_delay=int(meta["honest_delay"]),
+                delay_model=None if delay_model is None else str(delay_model),
+                release_delay=int(meta.get("release_delay", 0)),
                 **{name: archive[name] for name in self._SCENARIO_ARRAYS},
             )
 
@@ -337,6 +373,8 @@ class ExperimentRunner:
                 "draw_mode": result.draw_mode,
                 "honest_delay": result.honest_delay,
                 "base_seed": self.base_seed,
+                "delay_model": result.delay_model,
+                "release_delay": result.release_delay,
             },
             sort_keys=True,
         )
@@ -540,5 +578,147 @@ class ExperimentRunner:
         """
         return [
             self.run_topology_point(point, trials, rounds, delay_model, power=power)
+            for point in points
+        ]
+
+    # ------------------------------------------------------------------
+    # Network-dynamics execution
+    # ------------------------------------------------------------------
+    def run_dynamics_point(
+        self,
+        params: ProtocolParameters,
+        trials: int,
+        rounds: int,
+        schedule: Optional[DynamicsSchedule] = None,
+        topology: Optional[PeerGraphTopology] = None,
+        scenario: Union[None, str, Scenario] = None,
+        power: Optional[MiningPowerProfile] = None,
+        placement: Optional[AdversaryPlacement] = None,
+    ) -> Union[BatchResult, ScenarioResult]:
+        """Run (or fetch from cache) one point under a dynamics schedule.
+
+        ``schedule`` (default: the scenario's own cut when it is a
+        :class:`~repro.simulation.dynamics.PartitionScenario`, otherwise
+        empty) and the optional ``topology`` are wrapped into one
+        :class:`~repro.simulation.dynamics.TimeVaryingDelayModel`.  Without
+        a ``scenario`` the passive batch engine measures consistency
+        margins under the schedule; with one, the vectorized scenario
+        engine runs the attack, optionally with a placement-aware
+        adversary.  Cache keys fold in the full schedule payload, the
+        topology digest and the placement, so every distinct dynamics
+        experiment gets its own seed stream and cache slot.
+        """
+        if schedule is None:
+            if isinstance(scenario, str):
+                scenario = get_scenario(scenario)
+            if isinstance(scenario, PartitionScenario):
+                schedule = scenario.dynamics_schedule()
+            else:
+                schedule = DynamicsSchedule()
+        model = TimeVaryingDelayModel(schedule, topology=topology)
+        if scenario is None:
+            if placement is not None:
+                raise SimulationError(
+                    "adversary placement needs an adversarial scenario; the "
+                    "passive batch engine has no releases to delay"
+                )
+            key = self.cache_key(
+                params, trials, rounds, delay_model=model, power=power
+            )
+            path = self._cache_path(key, prefix="dynamics")
+            if path is not None:
+                cached = self._load_cached(path)
+                if cached is not None:
+                    self.cache_hits += 1
+                    return cached
+            self.cache_misses += 1
+            rng = np.random.default_rng(
+                self.seed_sequence_for(
+                    params, trials, rounds, delay_model=model, power=power
+                )
+            )
+            simulation = BatchSimulation(
+                params,
+                rng=rng,
+                draw_mode=self.draw_mode,
+                delay_model=model,
+                power=power,
+            )
+            result: Union[BatchResult, ScenarioResult] = simulation.run(
+                trials, rounds
+            )
+            if path is not None:
+                self._store_cached(path, result)
+            return result
+        scenario = get_scenario(scenario)
+        key = self.cache_key(
+            params,
+            trials,
+            rounds,
+            scenario=scenario,
+            delay_model=model,
+            power=power,
+            placement=placement,
+        )
+        path = self._cache_path(key, prefix="dynamics_scenario")
+        if path is not None:
+            cached = self._load_cached_scenario(path)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        self.cache_misses += 1
+        rng = np.random.default_rng(
+            self.seed_sequence_for(
+                params,
+                trials,
+                rounds,
+                scenario=scenario,
+                delay_model=model,
+                power=power,
+                placement=placement,
+            )
+        )
+        simulation = ScenarioSimulation(
+            params,
+            scenario,
+            rng=rng,
+            draw_mode=self.draw_mode,
+            delay_model=model,
+            power=power,
+            placement=placement,
+        )
+        result = simulation.run(trials, rounds)
+        if path is not None:
+            self._store_cached_scenario(path, result)
+        return result
+
+    def run_dynamics_grid(
+        self,
+        points: Sequence[ProtocolParameters],
+        trials: int,
+        rounds: int,
+        schedule: Optional[DynamicsSchedule] = None,
+        topology: Optional[PeerGraphTopology] = None,
+        scenario: Union[None, str, Scenario] = None,
+        power: Optional[MiningPowerProfile] = None,
+        placement: Optional[AdversaryPlacement] = None,
+    ) -> List[Union[BatchResult, ScenarioResult]]:
+        """Run every parameter point under one dynamics schedule.
+
+        Serial in-process, like the topology grids: compiled schedules and
+        peer graphs are not pickle-reconstructible from a flat payload, and
+        both engines already vectorize all trials within a point.
+        """
+        return [
+            self.run_dynamics_point(
+                point,
+                trials,
+                rounds,
+                schedule,
+                topology=topology,
+                scenario=scenario,
+                power=power,
+                placement=placement,
+            )
             for point in points
         ]

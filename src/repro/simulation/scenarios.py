@@ -346,6 +346,9 @@ class ScenarioResult:
     #: Name of the delay model governing honest delivery, or ``None`` when
     #: the scenario's own constant ``honest_delay`` applied (the legacy path).
     delay_model: Optional[str] = None
+    #: Rounds an adversarial release took to reach the honest miners (0 =
+    #: the legacy perfectly-connected adversary; see ``AdversaryPlacement``).
+    release_delay: int = 0
 
     # ------------------------------------------------------------------
     # Attack-success statistics
@@ -451,6 +454,7 @@ class ScenarioResult:
             "mean_growth_rate": float(self.growth_rates.mean()),
             "lemma1_fraction": self.lemma1_fraction,
             "delay_model": self.delay_model,
+            "release_delay": self.release_delay,
         }
 
 
@@ -476,18 +480,35 @@ class ScenarioSimulation:
         ``"binomial"`` (default) or ``"bernoulli"``.
     delay_model:
         ``None`` (default) keeps the scenario's own constant
-        ``honest_delay`` — the legacy, bit-exact path.  A registry name or
+        ``honest_delay`` — the legacy, bit-exact path — unless the scenario
+        itself schedules a network cut (a
+        :class:`~repro.simulation.dynamics.PartitionScenario`), in which
+        case the matching
+        :class:`~repro.simulation.dynamics.TimeVaryingDelayModel` is built
+        automatically.  A registry name or
         :class:`~repro.simulation.topology.DelayModel` instance replaces the
         adversary-chosen constant with structural per-block delivery offsets
-        drawn from the model (capped at Δ); ``"fixed_delta"`` is the
-        constant-Δ worst case, bit-identical to the legacy path for every
-        scenario whose honest delay is Δ (``max_delay`` and both withholding
-        kinds).  Adversarial releases remain instantaneous: the adversary is
-        assumed perfectly connected, only honest gossip is structural.
+        drawn from the model; ``"fixed_delta"`` is the constant-Δ worst
+        case, bit-identical to the legacy path for every scenario whose
+        honest delay is Δ (``max_delay`` and both withholding kinds).
+        Time-varying models may exceed Δ inside adversarial windows; the
+        delivery pipeline is sized from the model's
+        :meth:`~repro.simulation.topology.DelayModel.delay_cap`.
     power:
         Optional heterogeneous
         :class:`~repro.simulation.topology.MiningPowerProfile`; validated
         against ``params`` before any draw.
+    placement:
+        Optional :class:`~repro.simulation.dynamics.AdversaryPlacement`
+        (any object with a ``release_delay(topology, delta)`` method and a
+        ``kind``).  ``None`` or an ``instant`` placement keeps the legacy
+        assumption that adversarial releases reach every honest miner in
+        the release round; other placements make releases propagate through
+        gossip from the adversary's graph position — the release lands
+        ``release_delay`` rounds later, and the displaced suffix is
+        measured when it lands.  Only meaningful for withholding scenarios
+        (``publish`` kinds broadcast continuously and reject non-instant
+        placements).
 
     Examples
     --------
@@ -508,6 +529,7 @@ class ScenarioSimulation:
         draw_mode: str = "binomial",
         delay_model: Union[None, str, DelayModel] = None,
         power: Optional[MiningPowerProfile] = None,
+        placement=None,
     ):
         if draw_mode not in DRAW_MODES:
             raise SimulationError(
@@ -517,11 +539,37 @@ class ScenarioSimulation:
         self.scenario = get_scenario(scenario)
         self.delay_model = resolve_delay_model(delay_model)
         if self.delay_model is None:
+            # A scenario that schedules its own network cut supplies the
+            # matching time-varying delay model (duck-typed so this module
+            # does not need to import repro.simulation.dynamics).
+            builder = getattr(self.scenario, "build_delay_model", None)
+            if builder is not None:
+                self.delay_model = builder()
+        if self.delay_model is None:
             self.honest_delay = self.scenario.resolved_honest_delay(params.delta)
         else:
             # The model governs honest delivery; the Δ cap is the constant
-            # bound every draw respects (and the attribution window below).
+            # bound every *static* draw respects (time-varying models widen
+            # the pipeline via delay_cap at run time).
             self.honest_delay = params.delta
+        self.placement = placement
+        if placement is None or placement.kind == "instant":
+            self.release_delay = 0
+        else:
+            if self.scenario.kind == "publish":
+                raise SimulationError(
+                    "publish scenarios broadcast continuously; adversary "
+                    "placement applies only to withholding scenarios"
+                )
+            topology = getattr(self.delay_model, "topology", None)
+            self.release_delay = int(
+                placement.release_delay(topology, params.delta)
+            )
+            if not (0 <= self.release_delay <= params.delta):
+                raise SimulationError(
+                    f"placement release delay {self.release_delay} lies "
+                    f"outside [0, {params.delta}]"
+                )
         self.rng = resolve_rng(rng)
         self.draw_mode = draw_mode
         self.power = power
@@ -546,16 +594,19 @@ class ScenarioSimulation:
             self.params, trials, rounds, self.rng, self.draw_mode, power=self.power
         )
         delays = None
+        max_delay = None
         if self.delay_model is not None and not self.delay_model.trivial:
             delays = self.delay_model.draw_delays(
                 trials, rounds, self.params.delta, self.rng
             )
+            max_delay = self.delay_model.delay_cap(self.params.delta, rounds)
         return self.run_traces(
             honest,
             adversary,
             keep_traces=keep_traces,
             record_rounds=record_rounds,
             delays=delays,
+            max_delay=max_delay,
         )
 
     def run_traces(
@@ -565,13 +616,16 @@ class ScenarioSimulation:
         keep_traces: bool = False,
         record_rounds: bool = False,
         delays: Optional[np.ndarray] = None,
+        max_delay: Optional[int] = None,
     ) -> ScenarioResult:
         """Simulate the scenario over pre-drawn ``(trials, rounds)`` tensors.
 
         This is the deterministic half of the engine — the half the scripted
         replay equivalence tests drive on both sides.  ``delays`` carries
-        pre-drawn per-block honest delivery offsets in ``[0, Δ]``; ``None``
-        uses the constant ``honest_delay``.
+        pre-drawn per-block honest delivery offsets; ``None`` uses the
+        constant ``honest_delay``.  ``max_delay`` (default Δ) widens the
+        validation cap and delivery pipeline for time-varying models whose
+        adversarial windows exceed Δ.
         """
         honest = np.asarray(honest_counts, dtype=np.int64)
         adversary = np.asarray(adversary_counts, dtype=np.int64)
@@ -589,6 +643,12 @@ class ScenarioSimulation:
         trials, rounds = honest.shape
         if rounds < 1:
             raise SimulationError("rounds must be positive")
+        cap = self.params.delta if max_delay is None else int(max_delay)
+        if cap < self.params.delta:
+            raise SimulationError(
+                f"max_delay must be >= delta ({self.params.delta}), got "
+                f"{max_delay!r}"
+            )
         if delays is not None:
             delays = np.asarray(delays, dtype=np.int64)
             if delays.shape != honest.shape:
@@ -596,18 +656,17 @@ class ScenarioSimulation:
                     f"delays shape {delays.shape} does not match honest shape "
                     f"{honest.shape}"
                 )
-            if (delays < 0).any() or (delays > self.params.delta).any():
-                raise SimulationError(
-                    f"delays must lie in [0, {self.params.delta}]"
-                )
-        _require_attribution_feasible(honest, self.honest_miners, self.honest_delay)
+            if (delays < 0).any() or (delays > cap).any():
+                raise SimulationError(f"delays must lie in [0, {cap}]")
+        window = cap if delays is not None else self.honest_delay
+        _require_attribution_feasible(honest, self.honest_miners, window)
 
-        state = self._scan(honest, adversary, record_rounds, delays=delays)
+        state = self._scan(honest, adversary, record_rounds, delays=delays, cap=cap)
         if delays is None:
             mask = convergence_opportunity_mask(honest, self.params.delta)
         else:
             mask = convergence_opportunity_mask_with_delays(
-                honest, delays, self.params.delta
+                honest, delays, self.params.delta, max_delay=cap
             )
         return ScenarioResult(
             params=self.params,
@@ -625,6 +684,7 @@ class ScenarioSimulation:
             delay_model=(
                 None if self.delay_model is None else self.delay_model.name
             ),
+            release_delay=self.release_delay,
             **state,
         )
 
@@ -637,20 +697,30 @@ class ScenarioSimulation:
         adversary: np.ndarray,
         record_rounds: bool,
         delays: Optional[np.ndarray] = None,
+        cap: Optional[int] = None,
     ) -> Dict[str, Optional[np.ndarray]]:
         """One pass over rounds with all per-trial state as vectors.
 
         Mirrors :meth:`NakamotoSimulation.run` phase by phase; see the
         module docstring for the correspondence argument.  With ``delays``
-        the constant-delay ring buffer is replaced by a ``(trials, Δ+1)``
+        the constant-delay ring buffer is replaced by a ``(trials, cap+1)``
         schedule of arrival heights indexed by delivery round modulo
-        ``Δ+1`` — every pending delivery lies within Δ rounds, so distinct
+        ``cap+1`` (``cap`` is the model's delay cap, Δ for static models) —
+        every pending delivery lies within ``cap`` rounds, so distinct
         pending delivery rounds always occupy distinct slots.
+
+        A non-zero ``release_delay`` (placement-aware adversary) routes
+        releases through a second ring: the released height and fork point
+        travel ``release_delay`` rounds before merging into the public
+        chain, and the displaced suffix is measured at landing — against
+        the public height the honest miners actually reached by then.
         """
         trials, rounds = honest.shape
         kind = self.scenario.kind
         delay = self.honest_delay
         delta = self.params.delta
+        cap = delta if cap is None else int(cap)
+        release_delay = self.release_delay if kind != "publish" else 0
         target_depth = self.scenario.target_depth
         give_up = self.scenario.give_up_deficit
 
@@ -676,9 +746,17 @@ class ScenarioSimulation:
         ring = None
         schedule = None
         if delay_rows is not None:
-            schedule = np.zeros((trials, delta + 1), dtype=np.int64)
+            schedule = np.zeros((trials, cap + 1), dtype=np.int64)
         elif delay >= 1:
             ring = np.zeros((trials, delay), dtype=np.int64)
+        # In-flight adversarial releases (placement-aware adversaries): the
+        # slot being delivered this round is the one refilled afterwards, so
+        # at most one pending release ever occupies a slot.
+        release_heights = None
+        release_forks = None
+        if release_delay >= 1:
+            release_heights = np.zeros((trials, release_delay), dtype=np.int64)
+            release_forks = np.zeros((trials, release_delay), dtype=np.int64)
 
         if record_rounds:
             public_record = np.zeros((trials, rounds), dtype=np.int64)
@@ -699,9 +777,27 @@ class ScenarioSimulation:
                 slot = index % delay
                 np.maximum(public, ring[:, slot], out=public)
             elif schedule is not None:
-                slot = index % (delta + 1)
+                slot = index % (cap + 1)
                 np.maximum(public, schedule[:, slot], out=public)
                 schedule[:, slot] = 0
+
+            # 1b. Landing of in-flight adversarial releases: the displaced
+            #     suffix is measured against the public height the honest
+            #     miners actually reached while the release gossiped.
+            if release_heights is not None:
+                release_slot = index % release_delay
+                landing = release_heights[:, release_slot]
+                if landing.any():
+                    displaced = landing > public
+                    landed_depth = np.where(
+                        displaced, public - release_forks[:, release_slot], 0
+                    )
+                    if kind == "selfish_mining":
+                        orphaned += landed_depth
+                    np.maximum(deepest, landed_depth, out=deepest)
+                    np.maximum(public, landing, out=public)
+                    release_heights[:, release_slot] = 0
+                    release_forks[:, release_slot] = 0
 
             # 2. Honest mining on the delivered public chain; delayed blocks
             #    enter the pipeline, zero-delay blocks land at end of round.
@@ -717,7 +813,7 @@ class ScenarioSimulation:
                     # never-larger height (public is monotone), so plain
                     # scatter assignment keeps the schedule's maximum.
                     schedule[
-                        pipelined, (index + round_delays[pipelined]) % (delta + 1)
+                        pipelined, (index + round_delays[pipelined]) % (cap + 1)
                     ] = mined_height[pipelined]
 
             # 3. Adversarial mining: extend the private tip, or fork from the
@@ -750,18 +846,30 @@ class ScenarioSimulation:
                     # Released and abandoned are mutually exclusive: release
                     # needs lead > 0, abandonment needs lead <= -give_up.
                     released = (lead > 0) & (depth >= target_depth)
-                    np.maximum(deepest, depth * released, out=deepest)
+                    if release_heights is None:
+                        np.maximum(deepest, depth * released, out=deepest)
                 else:  # selfish_mining
                     abandoned = (lead <= -1) & active
                     released = (lead >= 0) & (lead <= 1) & active
-                    orphan = depth * released
-                    orphaned += orphan
-                    np.maximum(deepest, orphan, out=deepest)
+                    if release_heights is None:
+                        orphan = depth * released
+                        orphaned += orphan
+                        np.maximum(deepest, orphan, out=deepest)
                 releases += released
                 abandons += abandoned
-                # A release always publishes a chain at least as high as the
-                # public one, displacing (or tying) the public suffix.
-                np.copyto(public, private, where=released)
+                if release_heights is None:
+                    # A release always publishes a chain at least as high as
+                    # the public one, displacing (or tying) the public suffix.
+                    np.copyto(public, private, where=released)
+                else:
+                    # The release gossips from the adversary's graph position;
+                    # its displacement is accounted when it lands.
+                    np.copyto(
+                        release_heights[:, release_slot], private, where=released
+                    )
+                    np.copyto(
+                        release_forks[:, release_slot], fork, where=released
+                    )
                 keep = ~(released | abandoned)
                 private *= keep
                 fork *= keep
@@ -785,12 +893,16 @@ class ScenarioSimulation:
                     lead_record[:, index] = lead
                     depth_record[:, index] = depth
 
-        # Network flush: every in-flight honest block eventually arrives.
+        # Network flush: every in-flight honest block eventually arrives, as
+        # does every in-flight adversarial release (its displaced depth is
+        # not tallied — the run ended before the network saw it land).
         final = public.copy()
         if ring is not None:
             np.maximum(final, ring.max(axis=1), out=final)
         elif schedule is not None:
             np.maximum(final, schedule.max(axis=1), out=final)
+        if release_heights is not None:
+            np.maximum(final, release_heights.max(axis=1), out=final)
 
         return {
             "releases": releases,

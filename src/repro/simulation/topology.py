@@ -64,6 +64,7 @@ __all__ = [
     "register_delay_model",
     "get_delay_model",
     "list_delay_models",
+    "delay_model_specs",
     "resolve_delay_model",
     "PeerGraphTopology",
     "reference_draw_delays",
@@ -81,7 +82,10 @@ _UNREACHED = np.int64(2) ** 31
 # Generalized convergence-opportunity detection
 # ----------------------------------------------------------------------
 def convergence_opportunity_mask_with_delays(
-    honest_counts: np.ndarray, delays: np.ndarray, delta: int
+    honest_counts: np.ndarray,
+    delays: np.ndarray,
+    delta: int,
+    max_delay: Optional[int] = None,
 ) -> np.ndarray:
     """Convergence opportunities under per-block realized delivery delays.
 
@@ -102,6 +106,14 @@ def convergence_opportunity_mask_with_delays(
     As there, the returned mask marks the round at which the opportunity
     *completes* (``r + d_r``), so window sums against adversarial blocks
     line up with :func:`~repro.simulation.batch.worst_window_deficits`.
+
+    ``max_delay`` (default Δ) relaxes the validation cap for delay models
+    that break the Δ guarantee for bounded windows — partition and eclipse
+    schedules from :mod:`repro.simulation.dynamics`, whose obstructed
+    blocks deliver later than Δ.  The detection logic itself is unchanged:
+    blocks with huge delays simply never complete an opportunity inside
+    the obstructed span, which is exactly the consistency threat being
+    measured.
     """
     counts = np.asarray(honest_counts, dtype=np.int64)
     offsets = np.asarray(delays, dtype=np.int64)
@@ -116,8 +128,13 @@ def convergence_opportunity_mask_with_delays(
         )
     if delta < 1:
         raise SimulationError(f"delta must be >= 1, got {delta!r}")
-    if (offsets < 0).any() or (offsets > delta).any():
-        raise SimulationError(f"delays must lie in [0, {delta}]")
+    cap = delta if max_delay is None else int(max_delay)
+    if cap < delta:
+        raise SimulationError(
+            f"max_delay must be >= delta ({delta}), got {max_delay!r}"
+        )
+    if (offsets < 0).any() or (offsets > cap).any():
+        raise SimulationError(f"delays must lie in [0, {cap}]")
     trials, rounds = counts.shape
     mask = np.zeros((trials, rounds), dtype=bool)
     # No early exit for short traces: with realized delays below delta an
@@ -543,6 +560,16 @@ class DelayModel:
     ) -> np.ndarray:
         raise NotImplementedError
 
+    def delay_cap(self, delta: int, rounds: Optional[int] = None) -> int:
+        """Largest offset :meth:`draw_delays` can produce for this Δ.
+
+        Static models honour the network guarantee, so the cap is Δ itself.
+        Time-varying models (:mod:`repro.simulation.dynamics`) may exceed it
+        during adversarial windows; the engines size their delivery
+        pipelines and validation bounds from this value.
+        """
+        return int(delta)
+
     def payload(self) -> Dict[str, object]:
         """Primary fields as a plain dict (cache keys / reproduction)."""
         return {"name": self.name}
@@ -766,6 +793,17 @@ def list_delay_models() -> List[str]:
     return sorted(_DELAY_MODEL_REGISTRY)
 
 
+def delay_model_specs() -> Dict[str, Dict[str, object]]:
+    """Name → default-instance payload for every registered delay model.
+
+    The registry counterpart of :func:`list_delay_models` with one level
+    more detail — sweep scripts can enumerate models *and* their default
+    parameterisations without touching the private registry dict or
+    instantiating models themselves.
+    """
+    return {name: get_delay_model(name).payload() for name in list_delay_models()}
+
+
 register_delay_model("fixed_delta", FixedDeltaDelayModel)
 register_delay_model("uniform", UniformDelayModel)
 register_delay_model("truncated_geometric", TruncatedGeometricDelayModel)
@@ -959,6 +997,20 @@ class MiningPowerProfile:
         of Eq. 44.
         """
         return self.alpha_bar * float((self.honest_p / (1.0 - self.honest_p)).sum())
+
+    def mining_probabilities(self):
+        """The analytical Poisson-binomial bundle for this profile.
+
+        Returns a
+        :class:`~repro.core.probabilities.HeterogeneousMiningProbabilities`
+        whose ``convergence_opportunity(delta)`` is the heterogeneous-power
+        Eq. (44) prediction a batch run with ``power=`` should approach —
+        the analysis-side counterpart of the :attr:`alpha` / :attr:`alpha1`
+        properties above, with the full pmf available too.
+        """
+        from ..core.probabilities import HeterogeneousMiningProbabilities
+
+        return HeterogeneousMiningProbabilities(self.honest_p, self.adversary_p)
 
     def payload(self) -> Dict[str, object]:
         """Cache-key description: digests of both probability vectors."""

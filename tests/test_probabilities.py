@@ -10,6 +10,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.probabilities import (
+    HeterogeneousMiningProbabilities,
     MiningProbabilities,
     adversary_block_distribution,
     binomial_pmf,
@@ -17,6 +18,9 @@ from repro.core.probabilities import (
     expected_honest_blocks,
     honest_block_distribution,
     log_binomial_pmf,
+    poisson_binomial_convergence_opportunity,
+    poisson_binomial_distribution,
+    poisson_binomial_pmf,
     round_state_probabilities,
     sample_adversary_blocks,
     sample_honest_blocks,
@@ -121,3 +125,111 @@ class TestExpectationsAndSampling:
             small_params.honest_count * small_params.p, rel=0.05
         )
         assert adversary.mean() == pytest.approx(small_params.beta, rel=0.10)
+
+
+class TestPoissonBinomial:
+    def test_distribution_reduces_to_binomial_for_equal_p(self):
+        pmf = poisson_binomial_distribution([0.1] * 10)
+        for k in range(11):
+            assert pmf[k] == pytest.approx(binomial_pmf(k, 10, 0.1), rel=1e-12)
+
+    def test_pmf_normalises_and_bounds(self):
+        probabilities = [0.02, 0.5, 0.13, 0.97, 0.3]
+        pmf = poisson_binomial_distribution(probabilities)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-12)
+        assert (pmf >= 0.0).all()
+        assert poisson_binomial_pmf(-1, probabilities) == 0.0
+        assert poisson_binomial_pmf(len(probabilities) + 1, probabilities) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            poisson_binomial_distribution([[0.1, 0.2]])
+        with pytest.raises(ParameterError):
+            poisson_binomial_distribution([0.5, 1.5])
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        miners=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_identities_match_full_pmf(self, seed, miners):
+        probabilities = np.random.default_rng(seed).uniform(0.01, 0.6, size=miners)
+        bundle = HeterogeneousMiningProbabilities(probabilities)
+        pmf = bundle.honest_distribution()
+        assert bundle.alpha_bar == pytest.approx(pmf[0], rel=1e-10)
+        assert bundle.alpha1 == pytest.approx(pmf[1], rel=1e-10)
+        assert bundle.alpha == pytest.approx(1.0 - pmf[0], rel=1e-10)
+        assert bundle.sanity_check()
+
+
+class TestHeterogeneousMiningProbabilities:
+    def test_reduces_to_binomial_bundle_for_uniform_power(self, small_params):
+        honest = int(round(small_params.honest_count))
+        adversary = int(round(small_params.adversary_count))
+        bundle = HeterogeneousMiningProbabilities(
+            np.full(honest, small_params.p), np.full(adversary, small_params.p)
+        )
+        assert bundle.alpha == pytest.approx(small_params.alpha, rel=1e-12)
+        assert bundle.alpha_bar == pytest.approx(small_params.alpha_bar, rel=1e-12)
+        assert bundle.alpha1 == pytest.approx(small_params.alpha1, rel=1e-12)
+        assert bundle.beta == pytest.approx(small_params.beta, rel=1e-12)
+        assert bundle.convergence_opportunity(small_params.delta) == pytest.approx(
+            small_params.convergence_opportunity_probability, rel=1e-12
+        )
+
+    def test_skewed_power_moves_the_scalars_as_amgm_predicts(self, small_params):
+        """At a fixed aggregate rate, concentrating power lowers ``alpha_bar``
+        (AM-GM on the ``1 - p_i``) and raises the one-success odds factor
+        ``sum p_i / (1 - p_i)`` (convexity) — so the Eq. 44 rate genuinely
+        shifts away from the identical-miner value."""
+        honest = int(round(small_params.honest_count))
+        uniform = HeterogeneousMiningProbabilities(np.full(honest, small_params.p))
+        weights = np.linspace(1.0, 20.0, honest)
+        skewed_p = weights / weights.sum() * (small_params.p * honest)
+        skewed = HeterogeneousMiningProbabilities(skewed_p)
+        assert skewed.alpha_bar < uniform.alpha_bar
+        assert (skewed_p / (1.0 - skewed_p)).sum() > (
+            honest * small_params.p / (1.0 - small_params.p)
+        )
+        assert skewed.convergence_opportunity(
+            small_params.delta
+        ) != pytest.approx(
+            uniform.convergence_opportunity(small_params.delta), rel=1e-9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            HeterogeneousMiningProbabilities([])
+        with pytest.raises(ParameterError):
+            HeterogeneousMiningProbabilities([0.5, 1.0])
+        with pytest.raises(ParameterError):
+            HeterogeneousMiningProbabilities([0.5], [0.0])
+        with pytest.raises(ParameterError):
+            HeterogeneousMiningProbabilities([0.5]).convergence_opportunity(0)
+
+    def test_convenience_wrapper(self):
+        assert poisson_binomial_convergence_opportunity(
+            [0.01, 0.02], 2
+        ) == pytest.approx(
+            HeterogeneousMiningProbabilities([0.01, 0.02]).convergence_opportunity(2)
+        )
+
+    def test_validated_against_heterogeneous_power_batch_run(self):
+        """The analytical rate sits inside the batch engine's 95% CI."""
+        from repro.params import parameters_from_c
+        from repro.simulation import BatchSimulation, MiningPowerProfile
+
+        params = parameters_from_c(c=4.0, n=200, delta=2, nu=0.2)
+        profile = MiningPowerProfile.from_weights(
+            params, honest_weights=np.linspace(1.0, 8.0, 160)
+        )
+        bundle = profile.mining_probabilities()
+        predicted = bundle.convergence_opportunity(params.delta)
+        result = BatchSimulation(params, rng=2026, power=profile).run(24, 6_000)
+        low, high = result.convergence_rate_ci95
+        assert low <= predicted <= high
+        # The heterogeneous prediction is a genuinely different number from
+        # the identical-miner Eq. 44 at this skew.
+        assert predicted != pytest.approx(
+            params.convergence_opportunity_probability, rel=1e-6
+        )

@@ -32,7 +32,9 @@ ATTACK_PARAMS = parameters_from_c(c=1.0, n=400, delta=3, nu=0.4)
 class TestScenarioRegistry:
     def test_default_registry_contents(self):
         assert list_scenarios() == [
+            "eclipse",
             "max_delay",
+            "partition_attack",
             "passive",
             "private_chain",
             "selfish_mining",
@@ -46,7 +48,7 @@ class TestScenarioRegistry:
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(SimulationError, match="unknown scenario"):
-            get_scenario("eclipse")
+            get_scenario("finney")
 
     def test_registration_refuses_silent_redefinition(self):
         duplicate = Scenario(name="passive", kind="publish", honest_delay=0)
