@@ -1,0 +1,139 @@
+"""Benchmark: the backend layer's preallocated-workspace path and dispatch.
+
+Two claims are measured:
+
+* **workspace reuse** — running the batch engine's deterministic analysis
+  half (`run_traces`: convergence-opportunity mask + worst-window deficit
+  scan) through one shared :class:`repro.backend.Workspace` must beat the
+  per-call-allocation reference path by >= 1.5x.  The workspace path is the
+  slice-view / ``out=`` kernel writing into reused buffers; the reference
+  path is the historical expression pipeline that allocates every
+  intermediate afresh on each call.  Both produce bit-identical results
+  (asserted here and pinned by ``tests/test_backend_equivalence.py``).
+* **accelerator availability** — every registered backend is probed; when
+  an accelerator (CuPy / torch via ``array_api_compat``) is installed its
+  engine throughput is recorded as an extra datapoint, and when it is not
+  the probe prints the skip reason instead of failing — the layer must
+  degrade gracefully on CPU-only machines like the CI runners.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import bench_scale
+from repro.backend import (
+    Workspace,
+    backend_specs,
+    get_backend,
+    use_backend,
+)
+from repro.params import parameters_from_c
+from repro.simulation import BatchSimulation, ScenarioSimulation, draw_mining_traces
+
+TRIALS = bench_scale(128, 256)
+ROUNDS = bench_scale(4_000, 8_000)
+REPEATS = bench_scale(10, 20)
+PARAMS = parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
+
+#: The issue's quick-mode gate for workspace reuse over per-call allocation.
+WORKSPACE_SPEEDUP_GATE = 1.5
+
+
+def _best_of(repeats, callable_):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_workspace_reuse_beats_per_call_allocation():
+    """The preallocated-workspace analysis path must be >= 1.5x faster.
+
+    Both sides analyse the *same* pre-drawn (trials, rounds) tensors, so the
+    comparison isolates the deterministic hot kernels: the reference side
+    allocates each intermediate per call, the workspace side reuses warm
+    buffers through slice-view ``out=`` stores.
+    """
+    honest, adversary = draw_mining_traces(PARAMS, TRIALS, ROUNDS, rng=0)
+    reference_engine = BatchSimulation(PARAMS, rng=0)
+    workspace = Workspace()
+    pooled_engine = BatchSimulation(PARAMS, rng=0, workspace=workspace)
+
+    reference_result = reference_engine.run_traces(honest, adversary)
+    pooled_result = pooled_engine.run_traces(honest, adversary)
+    assert np.array_equal(
+        reference_result.convergence_opportunities,
+        pooled_result.convergence_opportunities,
+    )
+    assert np.array_equal(
+        reference_result.worst_deficits, pooled_result.worst_deficits
+    )
+
+    reference_seconds = _best_of(
+        REPEATS, lambda: reference_engine.run_traces(honest, adversary)
+    )
+    pooled_seconds = _best_of(
+        REPEATS, lambda: pooled_engine.run_traces(honest, adversary)
+    )
+    speedup = reference_seconds / pooled_seconds
+    print(
+        f"\nWorkspace reuse at {TRIALS} trials x {ROUNDS} rounds: "
+        f"per-call allocation {reference_seconds * 1e3:.2f}ms, workspace "
+        f"{pooled_seconds * 1e3:.2f}ms, {speedup:.2f}x "
+        f"({workspace.nbytes / 1e6:.1f} MB pooled across {len(workspace.tags)} buffers)"
+    )
+    assert speedup >= WORKSPACE_SPEEDUP_GATE, (
+        f"workspace path only {speedup:.2f}x faster than per-call allocation"
+    )
+
+
+def test_backend_datapoints_with_graceful_skips():
+    """Record an engine throughput datapoint per *available* backend.
+
+    On a machine with CuPy or torch installed this prints the accelerator
+    datapoint (the GPU number the issue asks to record when hardware is
+    present); everywhere else the probe reports the documented skip reason.
+    """
+    trials = bench_scale(32, 64)
+    rounds = bench_scale(1_000, 4_000)
+    recorded = {}
+    for name, spec in sorted(backend_specs().items()):
+        if not spec["available"]:
+            print(f"\nbackend {name}: skipped ({spec['error']})")
+            continue
+        with use_backend(name):
+            engine = BatchSimulation(PARAMS, rng=0, workspace=Workspace())
+            seconds = _best_of(3, lambda: engine.run(trials, rounds))
+        cells = trials * rounds / seconds
+        recorded[name] = cells
+        device = spec.get("device") or spec.get("module") or "host"
+        print(
+            f"\nbackend {name} [{device}]: {seconds * 1e3:.2f}ms for "
+            f"{trials}x{rounds} ({cells / 1e6:.1f}M cells/s)"
+        )
+    # The NumPy reference backend is unconditionally available; accelerator
+    # rows appear exactly when their optional dependency is installed.
+    assert "numpy" in recorded
+    assert get_backend("numpy").name == "numpy"
+
+
+@pytest.mark.benchmark(group="backend")
+def test_scenario_engine_workspace_throughput(benchmark):
+    """Scenario-engine throughput with a persistent workspace (regression
+    guard for the scan-state pooling)."""
+    params = parameters_from_c(c=1.0, n=400, delta=3, nu=0.4)
+    workspace = Workspace()
+    trials = bench_scale(16, 32)
+    rounds = bench_scale(800, 2_000)
+    result = benchmark(
+        lambda: ScenarioSimulation(
+            params, "private_chain", rng=0, workspace=workspace
+        ).run(trials, rounds)
+    )
+    assert result.trials == trials

@@ -12,11 +12,12 @@ subsystem unlocks.
 
 from __future__ import annotations
 
-import os
 import time
 
 import numpy as np
 import pytest
+
+from conftest import bench_scale
 
 from repro.analysis import partition_depth_sweep, render_table
 from repro.params import parameters_from_c
@@ -32,10 +33,8 @@ from repro.simulation import (
     reference_compile_schedule,
 )
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
-
-NODES = 24 if QUICK else 48
-ROUNDS = 400 if QUICK else 1_500
+NODES = bench_scale(24, 48)
+ROUNDS = bench_scale(400, 1_500)
 DEGREE = 4
 
 
@@ -90,8 +89,8 @@ def test_schedule_compilation_speedup_over_reference():
 @pytest.mark.benchmark(group="dynamics")
 def test_partition_scenario_throughput(benchmark):
     """Raw scenario-engine throughput under a scheduled partition attack."""
-    trials = 4 if QUICK else 8
-    rounds = 1_000 if QUICK else 3_000
+    trials = bench_scale(4, 8)
+    rounds = bench_scale(1_000, 3_000)
     params = parameters_from_c(c=1.0, n=400, delta=3, nu=0.4)
     result = benchmark(
         lambda: ScenarioSimulation(params, "partition_attack", rng=0).run(
@@ -104,8 +103,8 @@ def test_partition_scenario_throughput(benchmark):
 @pytest.mark.benchmark(group="dynamics")
 def test_partition_depth_sweep_throughput(benchmark):
     """Time the violation-depth sweep and print the monotone table."""
-    trials = 4 if QUICK else 12
-    rounds = 1_200 if QUICK else 4_000
+    trials = bench_scale(4, 12)
+    rounds = bench_scale(1_200, 4_000)
     rows = benchmark(
         partition_depth_sweep,
         (0, rounds // 16, rounds // 8, rounds // 4),
@@ -142,7 +141,7 @@ def test_time_varying_draw_throughput(benchmark):
     """Per-draw cost of a compiled schedule (compilation amortised away)."""
     topology, schedule, delta = workload()
     model = TimeVaryingDelayModel(schedule, topology=topology)
-    trials = 8 if QUICK else 32
+    trials = bench_scale(8, 32)
     model.compiled(ROUNDS, delta)  # warm the cache; draws should be cheap
     delays = benchmark(
         lambda: model.draw_delays(

@@ -10,11 +10,12 @@ batch engine unlocks.
 
 from __future__ import annotations
 
-import os
 import time
 
 import numpy as np
 import pytest
+
+from conftest import bench_scale
 
 from repro.analysis import attack_surface_sweep, render_table
 from repro.params import parameters_from_c
@@ -26,10 +27,8 @@ from repro.simulation import (
     spawn_rngs,
 )
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
-
-TRIALS = 16 if QUICK else 32
-ROUNDS = 800 if QUICK else 4_000
+TRIALS = bench_scale(16, 32)
+ROUNDS = bench_scale(800, 4_000)
 #: Inside the attack region so the withholding strategies actually release.
 PARAMS = parameters_from_c(c=1.0, n=400, delta=3, nu=0.4)
 
@@ -98,8 +97,8 @@ def test_scenario_engine_throughput(benchmark, scenario_name):
 @pytest.mark.benchmark(group="scenarios")
 def test_attack_surface_sweep_throughput(benchmark):
     """Time the full (scenario, nu, Delta) attack surface and print it."""
-    trials = 4 if QUICK else 12
-    rounds = 600 if QUICK else 3_000
+    trials = bench_scale(4, 12)
+    rounds = bench_scale(600, 3_000)
     rows = benchmark(
         attack_surface_sweep,
         ("private_chain", "selfish_mining"),

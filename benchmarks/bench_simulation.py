@@ -9,10 +9,10 @@ and consistency-violation depths.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 import pytest
+
+from conftest import bench_scale
 
 from repro.analysis import batch_simulation_sweep, render_table, simulation_sweep
 from repro.params import parameters_from_c
@@ -22,8 +22,6 @@ from repro.simulation import (
     PassiveAdversary,
     PrivateChainAdversary,
 )
-
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
 
 #: Scenarios straddling the bound/attack curves (Delta = 3, n = 500).
 SCENARIOS = [
@@ -79,8 +77,8 @@ def test_simulation_throughput_passive(benchmark):
 def test_batch_engine_throughput(benchmark):
     """Vectorized batch throughput: (trials x rounds) protocol rounds per call."""
     params = parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
-    trials = 8 if QUICK else 64
-    rounds = 2_000 if QUICK else 10_000
+    trials = bench_scale(8, 64)
+    rounds = bench_scale(2_000, 10_000)
 
     result = benchmark(lambda: BatchSimulation(params, rng=0).run(trials, rounds))
     assert result.trials == trials
@@ -90,8 +88,8 @@ def test_batch_engine_throughput(benchmark):
 @pytest.mark.benchmark(group="simulation")
 def test_batch_sweep_crossover(benchmark):
     """The batch-engine counterpart of the crossover sweep, with Lemma 1 fractions."""
-    trials = 4 if QUICK else 16
-    rounds = 2_000 if QUICK else 8_000
+    trials = bench_scale(4, 16)
+    rounds = bench_scale(2_000, 8_000)
     rows = benchmark(batch_simulation_sweep, SCENARIOS, trials, rounds, 500, 3, 17)
     print("\nBatch Monte Carlo sweep across the (c, nu) plane")
     print(

@@ -11,11 +11,12 @@ prints the Δ-tightness table the topology subsystem unlocks.
 
 from __future__ import annotations
 
-import os
 import time
 
 import numpy as np
 import pytest
+
+from conftest import bench_scale
 
 from repro.analysis import delta_tightness_sweep, render_table
 from repro.params import parameters_from_c
@@ -26,11 +27,9 @@ from repro.simulation import (
     reference_draw_delays,
 )
 
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
-
-TRIALS = 8 if QUICK else 16
-ROUNDS = 300 if QUICK else 2_000
-NODES = 48 if QUICK else 96
+TRIALS = bench_scale(8, 16)
+ROUNDS = bench_scale(300, 2_000)
+NODES = bench_scale(48, 96)
 DEGREE = 4
 
 
@@ -91,8 +90,8 @@ def test_topology_batch_throughput(benchmark):
 @pytest.mark.benchmark(group="topology")
 def test_delta_tightness_sweep_throughput(benchmark):
     """Time the Δ-tightness sweep across graph degrees and print the table."""
-    trials = 4 if QUICK else 12
-    rounds = 1_200 if QUICK else 6_000
+    trials = bench_scale(4, 12)
+    rounds = bench_scale(1_200, 6_000)
     rows = benchmark(
         delta_tightness_sweep,
         (2, 4, 8),

@@ -8,11 +8,12 @@ full protocol simulator, and prints the paper-vs-measured comparison rows.
 
 from __future__ import annotations
 
-import os
 import time
 
 import numpy as np
 import pytest
+
+from conftest import bench_scale
 
 from repro.analysis import (
     render_table,
@@ -27,9 +28,8 @@ PARAMS = parameters_from_c(c=4.0, n=1_000, delta=3, nu=0.2)
 
 #: Quick mode (REPRO_BENCH_QUICK=1) shrinks trial counts so the benchmark
 #: suite doubles as a fast CI smoke test.
-QUICK = os.environ.get("REPRO_BENCH_QUICK", "0") == "1"
-BATCH_TRIALS = 4 if QUICK else 32
-BATCH_ROUNDS = 1_500 if QUICK else 20_000
+BATCH_TRIALS = bench_scale(4, 32)
+BATCH_ROUNDS = bench_scale(1_500, 20_000)
 
 
 @pytest.mark.benchmark(group="validation")

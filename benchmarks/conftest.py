@@ -4,12 +4,39 @@ Each ``bench_*.py`` file regenerates one of the paper's reported artefacts
 (Figure 1, Table I, Remark 1, the validation studies) and prints the resulting
 rows so the run log doubles as the reproduced table; the ``benchmark`` fixture
 additionally records how long the regeneration takes.
+
+Quick mode (``REPRO_BENCH_QUICK=1``, used by the CI smoke steps) shrinks
+every workload so the whole suite runs in seconds while still exercising the
+speedup gates.  The flag is read in exactly one place —
+:func:`quick_mode` below — and every ``bench_*.py`` module sizes its
+workloads through :func:`bench_scale`, so a new benchmark cannot quietly
+invent its own environment handling.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+#: The environment flag the CI smoke steps set; read at call time so a test
+#: harness can toggle it per-invocation.
+QUICK_ENV_VAR = "REPRO_BENCH_QUICK"
+
+
+def quick_mode() -> bool:
+    """Whether the suite runs in the CI's shrunken quick mode."""
+    return os.environ.get(QUICK_ENV_VAR, "0") == "1"
+
+
+def bench_scale(quick, full):
+    """``quick`` under ``REPRO_BENCH_QUICK=1``, ``full`` otherwise.
+
+    The single sizing knob for benchmark workloads (trial counts, rounds,
+    graph sizes): ``TRIALS = bench_scale(8, 64)``.
+    """
+    return quick if quick_mode() else full
 
 
 @pytest.fixture

@@ -1,9 +1,12 @@
 """repro — a reproduction of "An Analysis of Blockchain Consistency in
 Asynchronous Networks: Deriving a Neat Bound" (Jun Zhao, ICDCS 2020).
 
-The library has four layers:
+The library has five layers:
 
 * :mod:`repro.params` — the protocol parameterisation of Table I;
+* :mod:`repro.backend` — the array-API backend layer every engine's tensor
+  math dispatches through (NumPy reference backend, optional accelerator
+  backend, dtype policies, preallocated workspaces);
 * :mod:`repro.core` — the paper's contribution: the neat bound
   ``2 mu / ln(mu/nu)``, Theorems 1-3, the two Markov chains C_F and C_F||P,
   the concentration bounds, and the PSS/Kiffer baselines;
@@ -146,6 +149,41 @@ and seed stream, and ``repro.analysis.partition_sweeps`` turns the results
 into violation-depth-versus-partition-duration curves (deterministically
 monotone under the shared-trace design) and churn-rate tightness tables;
 see ``examples/partition_attack_sweep.py``.
+
+Array backends
+--------------
+Every tensor operation in the batch, scenario, topology and dynamics
+engines dispatches through :mod:`repro.backend` — a registry of
+:class:`~repro.backend.ArrayBackend` dispatch tables selected ambiently by
+:func:`~repro.backend.use_backend` contexts or the ``REPRO_BACKEND``
+environment variable, with no engine-code changes.  The NumPy reference
+backend *is* NumPy (every op is the library function itself), so the
+default configuration is bit-identical to the pre-backend engines — pinned
+by pre-refactor golden digests; the optional ``array_api`` backend
+activates CuPy or torch through ``array_api_compat`` when installed and
+degrades to a clear :class:`~repro.errors.BackendUnavailableError`
+otherwise.  Randomness is always drawn host-side through the caller's
+:class:`numpy.random.Generator` and bridged to the device, so one seed
+produces one bit stream on every backend, and results return to host NumPy
+at the engine boundary (the analysis layer and the runner's caches stay
+backend-agnostic; default cache keys are unchanged).
+
+Two companion knobs tune the engines' memory behaviour: a
+:class:`~repro.backend.DtypePolicy` (``wide`` — int64/bool/float64, the
+bit-exact default — or ``compact`` — int32/uint8/float32 with exact
+integers and float statistics inside a documented tolerance, selected via
+``use_dtype_policy`` / ``REPRO_DTYPE_POLICY``), and a
+:class:`~repro.backend.Workspace` of preallocated scratch buffers that the
+hot kernels reuse across repeated (trials, rounds) runs —
+``ExperimentRunner`` threads one workspace through every grid point, and
+``benchmarks/bench_backend.py`` gates the pooled path at >= 1.5x over
+per-call allocation.  See ``examples/backend_speed.py``.
+
+>>> from repro import Workspace, use_backend
+>>> with use_backend("numpy"):
+...     pooled = BatchSimulation(small, rng=0, workspace=Workspace()).run(32, 2_000)
+>>> bool((pooled.convergence_opportunities == batch.convergence_opportunities).all())
+True
 """
 
 from .core import (
@@ -162,8 +200,20 @@ from .core import (
     theorem1_condition,
     theorem2_condition,
 )
+from .backend import (
+    DtypePolicy,
+    Workspace,
+    backend_specs,
+    get_backend,
+    get_dtype_policy,
+    list_backends,
+    use_backend,
+    use_dtype_policy,
+)
 from .errors import (
     AnalysisError,
+    BackendError,
+    BackendUnavailableError,
     MarkovChainError,
     ParameterError,
     ReproError,
@@ -219,9 +269,19 @@ __all__ = [
     "TimeVaryingDelayModel",
     "AdversaryPlacement",
     "PartitionScenario",
+    "get_backend",
+    "use_backend",
+    "list_backends",
+    "backend_specs",
+    "DtypePolicy",
+    "get_dtype_policy",
+    "use_dtype_policy",
+    "Workspace",
     "ReproError",
     "ParameterError",
     "MarkovChainError",
     "SimulationError",
     "AnalysisError",
+    "BackendError",
+    "BackendUnavailableError",
 ]

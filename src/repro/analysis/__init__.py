@@ -15,11 +15,20 @@
 * :mod:`repro.analysis.partition_sweeps` — consistency-violation depth
   versus partition/eclipse duration (deterministically monotone under the
   shared-trace design) and churn-rate tightness tables, on the dynamics
-  subsystem.
+  subsystem;
+* :mod:`repro.analysis.power_sweeps` — pool-concentration tables: Gini/HHI
+  of a skewed :class:`~repro.simulation.MiningPowerProfile` versus the
+  Poisson-binomial shift of the Eq. (44) convergence-opportunity rate.
 """
 
 from .attack_sweeps import ATTACK_SCENARIOS, attack_success_grid, attack_surface_sweep
 from .partition_sweeps import churn_tightness_table, partition_depth_sweep
+from .power_sweeps import (
+    concentration_table,
+    gini_coefficient,
+    herfindahl_index,
+    zipf_weights,
+)
 from .topology_sweeps import (
     build_regular_topology,
     delta_tightness_sweep,
@@ -89,4 +98,8 @@ __all__ = [
     "effective_delta_table",
     "partition_depth_sweep",
     "churn_tightness_table",
+    "zipf_weights",
+    "gini_coefficient",
+    "herfindahl_index",
+    "concentration_table",
 ]

@@ -1,0 +1,320 @@
+"""Optional accelerator backend via ``array_api_compat`` (CuPy / torch).
+
+This backend activates whichever accelerator array library is actually
+installed — CuPy first (CUDA), then torch — wrapped through
+`array_api_compat <https://data-apis.org/array-api-compat/>`_ so the engines
+talk to one standard namespace.  Nothing here is a hard dependency: on a
+machine without any of the libraries, constructing the backend raises
+:class:`~repro.errors.BackendUnavailableError` with the import failures
+spelled out, and callers (tests, sweep scripts, ``backend_specs``) degrade
+to a clear skip rather than a crash.
+
+Reproducibility contract: all randomness is still drawn on the *host* with
+the caller's :class:`numpy.random.Generator` and shipped to the device via
+``from_host`` — the accelerator executes the deterministic tensor math, it
+never draws its own bits.  Results cross back through ``to_host`` at the
+engine boundary.  Integer-only pipelines (heights, offsets, masks, window
+scans) are exact on every device; ``float32`` statistics under the compact
+dtype policy carry the documented tolerance
+(:data:`repro.backend.dtypes.COMPACT_STAT_RTOL`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import BackendUnavailableError
+from .dispatch import ArrayBackend
+
+__all__ = ["ArrayApiBackend", "PREFERRED_ACCELERATORS"]
+
+#: Accelerator libraries probed in order; the first importable one wins.
+PREFERRED_ACCELERATORS = ("cupy", "torch")
+
+
+def _import_namespace(module: Optional[str]):
+    """(library module, array-api namespace, device) for the chosen library."""
+    try:
+        import array_api_compat
+    except ImportError as error:
+        raise BackendUnavailableError(
+            "the array_api backend needs the 'array_api_compat' package, "
+            f"which is not installed ({error})"
+        ) from None
+
+    candidates = PREFERRED_ACCELERATORS if module is None else (module,)
+    failures: List[str] = []
+    for name in candidates:
+        try:
+            if name == "cupy":
+                import cupy  # noqa: F401  (availability probe)
+                import array_api_compat.cupy as namespace  # pragma: no cover
+
+                return "cupy", namespace, None  # pragma: no cover
+            if name == "torch":
+                import torch
+                import array_api_compat.torch as namespace  # pragma: no cover
+
+                device = (  # pragma: no cover
+                    "cuda" if torch.cuda.is_available() else "cpu"
+                )
+                return "torch", namespace, device  # pragma: no cover
+            failures.append(f"{name}: not a supported accelerator library")
+        except ImportError as error:
+            failures.append(f"{name}: {error}")
+    raise BackendUnavailableError(
+        "no accelerator array library is installed; tried "
+        + "; ".join(failures)
+    )
+
+
+class ArrayApiBackend(ArrayBackend):  # pragma: no cover - needs accelerator deps
+    """Engine ops over an array-API-compatible accelerator namespace.
+
+    Parameters
+    ----------
+    module:
+        ``"cupy"``, ``"torch"`` or ``None`` to probe
+        :data:`PREFERRED_ACCELERATORS` in order.  Raises
+        :class:`~repro.errors.BackendUnavailableError` when nothing usable
+        is installed.
+    """
+
+    name = "array_api"
+
+    def __init__(self, module: Optional[str] = None):
+        self.module, self.xp, self.device = _import_namespace(module)
+        xp = self.xp
+        self.int64 = xp.int64
+        self.int32 = xp.int32
+        self.uint8 = xp.uint8
+        self.bool_ = xp.bool
+        self.float64 = xp.float64
+        self.float32 = xp.float32
+
+    # ------------------------------------------------------------------
+    # Creation / conversion
+    # ------------------------------------------------------------------
+    def _kw(self, kwargs):
+        if self.device is not None and "device" not in kwargs:
+            kwargs["device"] = self.device
+        return kwargs
+
+    def asarray(self, obj, dtype=None):
+        return self.xp.asarray(obj, dtype=dtype, **self._kw({}))
+
+    def ascontiguousarray(self, obj, dtype=None):
+        # The array-API namespace has no layout control; a plain conversion
+        # keeps semantics (the engines only need value identity).
+        return self.asarray(obj, dtype=dtype)
+
+    def zeros(self, shape, dtype=None):
+        return self.xp.zeros(shape, dtype=dtype, **self._kw({}))
+
+    def empty(self, shape, dtype=None):
+        return self.xp.empty(shape, dtype=dtype, **self._kw({}))
+
+    def full(self, shape, fill_value, dtype=None):
+        return self.xp.full(shape, fill_value, dtype=dtype, **self._kw({}))
+
+    def arange(self, *args, dtype=None):
+        return self.xp.arange(*args, dtype=dtype, **self._kw({}))
+
+    def tile(self, array, reps):
+        return self.xp.tile(array, reps)
+
+    def concatenate(self, arrays, axis=0):
+        return self.xp.concat(arrays, axis=axis)
+
+    def pad(self, array, pad_width):
+        """Zero padding via explicit allocation (array-API has no ``pad``)."""
+        pad_width = tuple(tuple(int(p) for p in pair) for pair in pad_width)
+        shape = tuple(
+            int(size) + before + after
+            for size, (before, after) in zip(array.shape, pad_width)
+        )
+        out = self.zeros(shape, dtype=array.dtype)
+        region = tuple(
+            slice(before, before + int(size))
+            for size, (before, _) in zip(array.shape, pad_width)
+        )
+        out[region] = array
+        return out
+
+    def copy(self, array):
+        return self.xp.asarray(array, copy=True)
+
+    # ------------------------------------------------------------------
+    # Elementwise — the engines pass ``out=`` on their hot paths; the
+    # array-API namespace has no ``out=``, so fall back to assignment.
+    # ------------------------------------------------------------------
+    def _elementwise(self, op, *args, out=None):
+        result = op(*args)
+        if out is None:
+            return result
+        out[...] = self.xp.astype(result, out.dtype)
+        return out
+
+    def add(self, a, b, out=None):
+        return self._elementwise(self.xp.add, a, b, out=out)
+
+    def subtract(self, a, b, out=None):
+        return self._elementwise(self.xp.subtract, a, b, out=out)
+
+    def multiply(self, a, b, out=None):
+        return self._elementwise(self.xp.multiply, a, b, out=out)
+
+    def maximum(self, a, b, out=None):
+        return self._elementwise(self.xp.maximum, a, b, out=out)
+
+    def minimum(self, a, b, out=None):
+        return self._elementwise(self.xp.minimum, a, b, out=out)
+
+    def equal(self, a, b, out=None):
+        return self._elementwise(self.xp.equal, a, b, out=out)
+
+    def greater(self, a, b, out=None):
+        return self._elementwise(self.xp.greater, a, b, out=out)
+
+    def greater_equal(self, a, b, out=None):
+        return self._elementwise(self.xp.greater_equal, a, b, out=out)
+
+    def less_equal(self, a, b, out=None):
+        return self._elementwise(self.xp.less_equal, a, b, out=out)
+
+    def logical_and(self, a, b, out=None):
+        return self._elementwise(self.xp.logical_and, a, b, out=out)
+
+    def logical_or(self, a, b, out=None):
+        return self._elementwise(self.xp.logical_or, a, b, out=out)
+
+    def where(self, condition, a, b, out=None):
+        return self._elementwise(self.xp.where, condition, a, b, out=out)
+
+    def copyto(self, dst, src, where=None):
+        if where is None:
+            dst[...] = src
+        else:
+            dst[...] = self.xp.where(where, self.xp.asarray(src, dtype=dst.dtype), dst)
+        return dst
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def cumsum(self, array, axis=None, dtype=None, out=None):
+        if dtype is not None:
+            array = self.xp.astype(self.xp.asarray(array), dtype)
+        result = self.xp.cumulative_sum(array, axis=axis)
+        if out is None:
+            return result
+        out[...] = self.xp.astype(result, out.dtype)
+        return out
+
+    def _accumulate(self, array, axis, combine, out=None):
+        """Running combine along ``axis`` — O(n) slicewise (no native op)."""
+        xp = self.xp
+        result = xp.asarray(array, copy=True) if out is None else out
+        if out is not None:
+            out[...] = xp.astype(xp.asarray(array), out.dtype)
+        length = result.shape[axis]
+        index = [slice(None)] * result.ndim
+        for position in range(1, length):
+            index[axis] = position
+            current = tuple(index)
+            index[axis] = position - 1
+            previous = tuple(index)
+            result[current] = combine(result[previous], result[current])
+        return result
+
+    def maximum_accumulate(self, array, axis=0, out=None):
+        if self.module == "torch":
+            import torch
+
+            result = torch.cummax(self.xp.asarray(array), dim=axis).values
+            if out is None:
+                return result
+            out[...] = self.xp.astype(result, out.dtype)
+            return out
+        if hasattr(self.xp, "maximum") and hasattr(
+            getattr(self.xp, "maximum"), "accumulate"
+        ):  # cupy keeps the NumPy ufunc machinery
+            return self.xp.maximum.accumulate(array, axis=axis, out=out)
+        return self._accumulate(array, axis, self.xp.maximum, out=out)
+
+    def minimum_accumulate(self, array, axis=0, out=None):
+        if self.module == "torch":
+            import torch
+
+            result = torch.cummin(self.xp.asarray(array), dim=axis).values
+            if out is None:
+                return result
+            out[...] = self.xp.astype(result, out.dtype)
+            return out
+        if hasattr(self.xp, "minimum") and hasattr(
+            getattr(self.xp, "minimum"), "accumulate"
+        ):
+            return self.xp.minimum.accumulate(array, axis=axis, out=out)
+        return self._accumulate(array, axis, self.xp.minimum, out=out)
+
+    # ------------------------------------------------------------------
+    # Indexing / sorting
+    # ------------------------------------------------------------------
+    def nonzero(self, array):
+        return self.xp.nonzero(array)
+
+    def argsort(self, array, axis=-1, kind=None):
+        # array-API sorts are stable by default; ``kind`` is accepted for
+        # signature compatibility with the NumPy call sites.
+        return self.xp.argsort(array, axis=axis, stable=True)
+
+    # ------------------------------------------------------------------
+    # Host boundary
+    # ------------------------------------------------------------------
+    def from_host(self, array, dtype=None):
+        return self.asarray(np.asarray(array), dtype=dtype)
+
+    def to_host(self, array):
+        if isinstance(array, np.ndarray):
+            return array
+        if self.module == "torch":
+            return array.detach().cpu().numpy()
+        if self.module == "cupy":
+            import cupy
+
+            return cupy.asnumpy(array)
+        return np.asarray(array)  # pragma: no cover - defensive
+
+    # ------------------------------------------------------------------
+    # Host-seeded RNG bridge: draw on the host, ship to the device.
+    # ------------------------------------------------------------------
+    def binomial(self, rng: np.random.Generator, n, p, size):
+        return self.from_host(rng.binomial(n, p, size=size))
+
+    def random(self, rng: np.random.Generator, size):
+        return self.from_host(rng.random(size))
+
+    def integers(
+        self,
+        rng: np.random.Generator,
+        low: int,
+        high: int,
+        size,
+        dtype: Optional[type] = None,
+    ):
+        if dtype is None:
+            return self.from_host(rng.integers(low, high, size=size))
+        return self.from_host(rng.integers(low, high, size=size, dtype=dtype))
+
+    def geometric(
+        self, rng: np.random.Generator, p: float, size: Union[int, Tuple[int, ...]]
+    ):
+        return self.from_host(rng.geometric(p, size=size))
+
+    def payload(self):
+        return {"name": self.name, "module": self.module, "device": self.device}
+
+    def describe(self) -> str:
+        device = "" if self.device is None else f", device={self.device}"
+        return f"{self.name}({self.module}{device})"

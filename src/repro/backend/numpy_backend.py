@@ -1,0 +1,111 @@
+"""The NumPy reference backend — bit-identical to the pre-backend engines.
+
+Every op is the corresponding :mod:`numpy` function itself (no wrappers on
+the hot path), so routing the engines through this backend changes *nothing*
+about their arithmetic: same ufunc loops, same dtypes, same results down to
+the last bit.  The equivalence suites pin that property against pre-refactor
+golden digests (``tests/test_backend_equivalence.py``).
+
+The host boundary is the identity here — ``from_host`` / ``to_host`` are
+:func:`numpy.asarray`, which returns its argument unchanged for an
+``ndarray`` — and the RNG bridge simply forwards to the caller's
+:class:`numpy.random.Generator`, preserving the historical bit streams.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .dispatch import ArrayBackend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(ArrayBackend):
+    """Dispatch table mapping every engine op to NumPy directly."""
+
+    name = "numpy"
+
+    # dtypes
+    int64 = np.int64
+    int32 = np.int32
+    uint8 = np.uint8
+    bool_ = np.bool_
+    float64 = np.float64
+    float32 = np.float32
+
+    # creation / conversion
+    asarray = staticmethod(np.asarray)
+    ascontiguousarray = staticmethod(np.ascontiguousarray)
+    zeros = staticmethod(np.zeros)
+    empty = staticmethod(np.empty)
+    full = staticmethod(np.full)
+    arange = staticmethod(np.arange)
+    tile = staticmethod(np.tile)
+    concatenate = staticmethod(np.concatenate)
+    pad = staticmethod(np.pad)
+
+    # elementwise
+    add = staticmethod(np.add)
+    subtract = staticmethod(np.subtract)
+    multiply = staticmethod(np.multiply)
+    maximum = staticmethod(np.maximum)
+    minimum = staticmethod(np.minimum)
+    equal = staticmethod(np.equal)
+    greater = staticmethod(np.greater)
+    greater_equal = staticmethod(np.greater_equal)
+    less_equal = staticmethod(np.less_equal)
+    logical_and = staticmethod(np.logical_and)
+    logical_or = staticmethod(np.logical_or)
+    where = staticmethod(np.where)
+    copyto = staticmethod(np.copyto)
+
+    # scans
+    cumsum = staticmethod(np.cumsum)
+    maximum_accumulate = staticmethod(np.maximum.accumulate)
+    minimum_accumulate = staticmethod(np.minimum.accumulate)
+
+    # indexing / sorting
+    nonzero = staticmethod(np.nonzero)
+    argsort = staticmethod(np.argsort)
+
+    # host boundary (identity on NumPy)
+    from_host = staticmethod(np.asarray)
+    to_host = staticmethod(np.asarray)
+
+    @staticmethod
+    def copy(array) -> np.ndarray:
+        """A freshly-owned host-side copy (never a view of scratch memory)."""
+        return np.array(array, copy=True)
+
+    # ------------------------------------------------------------------
+    # Host-seeded RNG bridge: forwards to the caller's Generator, so the
+    # bit streams are exactly the historical ones.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def binomial(rng: np.random.Generator, n, p, size) -> np.ndarray:
+        return rng.binomial(n, p, size=size)
+
+    @staticmethod
+    def random(rng: np.random.Generator, size) -> np.ndarray:
+        return rng.random(size)
+
+    @staticmethod
+    def integers(
+        rng: np.random.Generator,
+        low: int,
+        high: int,
+        size,
+        dtype: Optional[type] = None,
+    ) -> np.ndarray:
+        if dtype is None:
+            return rng.integers(low, high, size=size)
+        return rng.integers(low, high, size=size, dtype=dtype)
+
+    @staticmethod
+    def geometric(
+        rng: np.random.Generator, p: float, size: Union[int, Tuple[int, ...]]
+    ) -> np.ndarray:
+        return rng.geometric(p, size=size)

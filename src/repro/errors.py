@@ -14,6 +14,8 @@ __all__ = [
     "MarkovChainError",
     "SimulationError",
     "AnalysisError",
+    "BackendError",
+    "BackendUnavailableError",
 ]
 
 
@@ -40,3 +42,18 @@ class SimulationError(ReproError, RuntimeError):
 
 class AnalysisError(ReproError, RuntimeError):
     """Raised by the analysis harness when an experiment cannot be produced."""
+
+
+class BackendError(ReproError, RuntimeError):
+    """Raised when the array-backend layer is misconfigured (unknown backend
+    name, dtype-policy mismatch, workspace bound to a different backend)."""
+
+
+class BackendUnavailableError(BackendError):
+    """Raised when a registered backend cannot run on this machine — its
+    optional dependency (``array_api_compat``, CuPy, torch) is not installed.
+
+    Kept distinct from :class:`BackendError` so tests and sweep scripts can
+    *skip* gracefully instead of failing: unavailable hardware is an expected
+    condition, a misconfigured registry is a bug.
+    """

@@ -5,7 +5,7 @@ trial at a time with Python loops over rounds and per-miner oracle queries —
 faithful to the model of Section III, but far too slow for the many-trial
 validation sweeps behind Figure 1, Remark 1 and the Lemma 1 concentration
 events.  This module executes ``T`` independent trials *simultaneously* with
-NumPy array operations:
+array operations:
 
 * **oracle draws** — per-round honest/adversarial success counts for the
   whole batch are drawn in one shot, either as ``(trials, rounds)`` binomial
@@ -24,6 +24,21 @@ NumPy array operations:
   ``max_{s<=t} (A(s,t) - C(s,t))`` (the quantity whose positivity over every
   window is what Lemma 1 rules out, computed as a running-maximum drawdown).
 
+Every tensor operation dispatches through the active
+:class:`~repro.backend.ArrayBackend` (see :mod:`repro.backend`): the NumPy
+reference backend reproduces the historical engine bit for bit, and
+``use_backend`` / ``REPRO_BACKEND`` swap in an accelerator without touching
+this module.  Randomness is always drawn host-side through the caller's
+:class:`numpy.random.Generator` and bridged to the device, dtypes follow the
+active :class:`~repro.backend.DtypePolicy`, and a
+:class:`~repro.backend.Workspace` (optional, threaded in by
+:class:`~repro.simulation.runner.ExperimentRunner`) reuses the hot kernels'
+scratch tensors across repeated (trials, rounds) runs.  The workspace path
+runs an out-of-place-free variant of the window kernels — slice views plus
+``out=`` stores into preallocated buffers — that is value-identical to the
+reference expressions (pinned by the equivalence tests) and benchmarked at
+≥ 1.5x in ``benchmarks/bench_backend.py``.
+
 The engine deliberately works at the level of per-round aggregate counts —
 the same abstraction the paper's analysis lives at.  Full block-tree dynamics
 (network delays, withholding releases, Definition 1 snapshots) remain the
@@ -41,6 +56,7 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ..backend import ArrayBackend, Workspace, get_backend, get_dtype_policy
 from ..core.concat_chain import convergence_opportunity_mask
 from ..errors import SimulationError
 from ..params import ProtocolParameters
@@ -76,12 +92,16 @@ def draw_mining_traces(
     rng: SeedLike = None,
     draw_mode: str = "binomial",
     power: Optional[MiningPowerProfile] = None,
-) -> Tuple[np.ndarray, np.ndarray]:
+    backend: Optional[ArrayBackend] = None,
+    policy=None,
+):
     """Draw ``(trials, rounds)`` honest and adversarial success-count tensors.
 
     The honest tensor is drawn first, then the adversarial tensor, each in a
     single vectorized call — this fixed order is the batch engine's draw
-    protocol, so a seed fully determines both tensors.
+    protocol, so a seed fully determines both tensors.  Draws happen on the
+    host generator and are bridged to the active backend, so the bit stream
+    is backend-independent.
 
     ``draw_mode="binomial"`` samples the per-round counts directly as
     ``Binomial(miners, p)`` (Eq. 41).  ``draw_mode="bernoulli"`` materialises
@@ -102,6 +122,10 @@ def draw_mining_traces(
         raise SimulationError(
             f"draw_mode must be one of {DRAW_MODES}, got {draw_mode!r}"
         )
+    xp = get_backend(backend)
+    policy = get_dtype_policy(policy)
+    policy.check_rounds(rounds)
+    index_dtype = policy.index_dtype(xp)
     generator = resolve_rng(rng)
     honest_miners = max(int(round(params.honest_count)), 1)
     adversary_miners = int(round(params.adversary_count))
@@ -109,35 +133,46 @@ def draw_mining_traces(
     if power is not None:
         power.validate_against(params)
         honest = _bernoulli_counts(
-            generator, trials, rounds, power.honest_miners, power.honest_p
+            xp, index_dtype, generator, trials, rounds, power.honest_miners,
+            power.honest_p,
         )
         adversary = _bernoulli_counts(
-            generator, trials, rounds, power.adversary_miners, power.adversary_p
+            xp, index_dtype, generator, trials, rounds, power.adversary_miners,
+            power.adversary_p,
         )
         return honest, adversary
 
     if draw_mode == "binomial":
-        honest = generator.binomial(honest_miners, params.p, size=(trials, rounds))
+        honest = xp.binomial(generator, honest_miners, params.p, (trials, rounds))
         if adversary_miners > 0:
-            adversary = generator.binomial(
-                adversary_miners, params.p, size=(trials, rounds)
+            adversary = xp.binomial(
+                generator, adversary_miners, params.p, (trials, rounds)
             )
         else:
-            adversary = np.zeros((trials, rounds), dtype=np.int64)
-        return honest.astype(np.int64), adversary.astype(np.int64)
+            adversary = xp.zeros((trials, rounds), dtype=index_dtype)
+        return (
+            xp.asarray(honest, dtype=index_dtype),
+            xp.asarray(adversary, dtype=index_dtype),
+        )
 
-    honest = _bernoulli_counts(generator, trials, rounds, honest_miners, params.p)
-    adversary = _bernoulli_counts(generator, trials, rounds, adversary_miners, params.p)
+    honest = _bernoulli_counts(
+        xp, index_dtype, generator, trials, rounds, honest_miners, params.p
+    )
+    adversary = _bernoulli_counts(
+        xp, index_dtype, generator, trials, rounds, adversary_miners, params.p
+    )
     return honest, adversary
 
 
 def _bernoulli_counts(
+    xp: ArrayBackend,
+    index_dtype,
     generator: np.random.Generator,
     trials: int,
     rounds: int,
     miners: int,
     hardness,
-) -> np.ndarray:
+):
     """Sum a ``(trials, rounds, miners)`` Bernoulli tensor over the miner axis.
 
     ``hardness`` is a scalar ``p`` (the identical-miner model) or a
@@ -145,26 +180,74 @@ def _bernoulli_counts(
     a heterogeneous power profile) — the comparison broadcasts either way.
     """
     if miners <= 0:
-        return np.zeros((trials, rounds), dtype=np.int64)
-    counts = np.empty((trials, rounds), dtype=np.int64)
+        return xp.zeros((trials, rounds), dtype=index_dtype)
+    counts = xp.empty((trials, rounds), dtype=index_dtype)
+    threshold = xp.asarray(hardness)
     chunk = max(int(_BERNOULLI_CHUNK_CELLS // max(rounds * miners, 1)), 1)
     for start in range(0, trials, chunk):
         stop = min(start + chunk, trials)
-        draws = generator.random((stop - start, rounds, miners)) < hardness
-        counts[start:stop] = draws.sum(axis=2, dtype=np.int64)
+        draws = xp.random(generator, (stop - start, rounds, miners)) < threshold
+        counts[start:stop] = draws.sum(axis=2, dtype=index_dtype)
     return counts
 
 
-def count_convergence_opportunities_batch(
-    honest_counts: np.ndarray, delta: int
-) -> np.ndarray:
+def count_convergence_opportunities_batch(honest_counts, delta: int):
     """Per-trial convergence-opportunity counts for a ``(trials, rounds)`` tensor."""
-    return convergence_opportunity_mask(honest_counts, delta).sum(axis=1)
+    xp = get_backend()
+    index_dtype = get_dtype_policy().index_dtype(xp)
+    mask = convergence_opportunity_mask(xp.to_host(honest_counts), delta)
+    return xp.from_host(mask).sum(axis=1, dtype=index_dtype)
+
+
+def _opportunity_mask_ws(
+    workspace: Workspace, xp: ArrayBackend, counts, delta: int, mask_dtype, index_dtype
+):
+    """Workspace variant of :func:`convergence_opportunity_mask`.
+
+    Value-identical to the reference (the window centres ``delta ..
+    rounds-delta-1`` are contiguous, so the reference's fancy-indexed
+    gathers become slice views), with every intermediate stored into a
+    preallocated buffer.  The returned mask lives in the workspace — callers
+    reduce or copy it before the next kernel invocation reuses the tag.
+    """
+    trials, rounds = counts.shape
+    mask = workspace.zeros("mask.out", (trials, rounds), mask_dtype)
+    if rounds < 2 * delta + 1:
+        return mask
+    width = rounds - 2 * delta
+    flags = workspace.empty("mask.flags", (trials, rounds), mask_dtype)
+    xp.equal(counts, 0, out=flags)
+    cumulative = workspace.empty("mask.cumulative", (trials, rounds + 1), index_dtype)
+    cumulative[:, 0] = 0
+    xp.cumsum(flags, axis=1, dtype=index_dtype, out=cumulative[:, 1:])
+    hits = mask[:, 2 * delta :]
+    window = workspace.empty("mask.window", (trials, width), index_dtype)
+    # Empty-window sum over the delta rounds before each centre ...
+    xp.subtract(
+        cumulative[:, delta : rounds - delta], cumulative[:, :width], out=window
+    )
+    xp.equal(window, delta, out=hits)
+    # ... and over the delta rounds after it.
+    xp.subtract(
+        cumulative[:, 2 * delta + 1 :],
+        cumulative[:, delta + 1 : rounds - delta + 1],
+        out=window,
+    )
+    side = flags[:, :width]
+    xp.equal(window, delta, out=side)
+    xp.logical_and(hits, side, out=hits)
+    xp.equal(counts[:, delta : rounds - delta], 1, out=side)
+    xp.logical_and(hits, side, out=hits)
+    return mask
 
 
 def worst_window_deficits(
-    opportunity_mask: np.ndarray, adversary_counts: np.ndarray
-) -> np.ndarray:
+    opportunity_mask,
+    adversary_counts,
+    workspace: Optional[Workspace] = None,
+    backend: Optional[ArrayBackend] = None,
+    policy=None,
+):
     """Per-trial worst windowed deficit ``max_{s<=t} (A(s,t) - C(s,t))``.
 
     Lemma 1's consistency argument needs every window of rounds to contain
@@ -173,24 +256,55 @@ def worst_window_deficits(
     ``D_r = C(1,r) - A(1,r)``.  A value of ``d`` means some window existed in
     which adversarial blocks outnumbered convergence opportunities by ``d`` —
     the analytical analogue of a depth-``d`` consistency threat.
+
+    With a ``workspace`` the drawdown scan writes into preallocated buffers
+    (same values, no per-call allocation); without one it takes the
+    reference per-call-allocation path.
     """
-    mask = np.asarray(opportunity_mask)
-    adversary = np.asarray(adversary_counts, dtype=np.int64)
+    xp = get_backend(backend)
+    index_dtype = get_dtype_policy(policy).index_dtype(xp)
+    mask = xp.asarray(opportunity_mask)
+    adversary = xp.asarray(adversary_counts, dtype=index_dtype)
     if mask.shape != adversary.shape:
         raise SimulationError(
             f"mask shape {mask.shape} does not match adversary shape {adversary.shape}"
         )
-    difference = np.cumsum(mask.astype(np.int64) - adversary, axis=1)
+    if workspace is not None:
+        return _worst_window_deficits_ws(workspace, xp, mask, adversary, index_dtype)
+    difference = xp.cumsum(xp.asarray(mask, dtype=index_dtype) - adversary, axis=1)
     # Prepend the empty-window baseline 0 so windows starting at round 1 count.
-    baseline = np.zeros((difference.shape[0], 1), dtype=np.int64)
-    padded = np.concatenate([baseline, difference], axis=1)
-    running_max = np.maximum.accumulate(padded, axis=1)
+    baseline = xp.zeros((difference.shape[0], 1), dtype=index_dtype)
+    padded = xp.concatenate([baseline, difference], axis=1)
+    running_max = xp.maximum_accumulate(padded, axis=1)
     return (running_max - padded).max(axis=1)
 
 
+def _worst_window_deficits_ws(
+    workspace: Workspace, xp: ArrayBackend, mask, adversary, index_dtype
+):
+    """Workspace variant of the drawdown scan (value-identical, no allocation
+    beyond the returned per-trial reduction)."""
+    trials, rounds = mask.shape
+    padded = workspace.empty("deficit.padded", (trials, rounds + 1), index_dtype)
+    padded[:, 0] = 0
+    difference = workspace.empty("deficit.difference", (trials, rounds), index_dtype)
+    xp.subtract(mask, adversary, out=difference)
+    xp.cumsum(difference, axis=1, dtype=index_dtype, out=padded[:, 1:])
+    running = workspace.empty("deficit.running", (trials, rounds + 1), index_dtype)
+    xp.maximum_accumulate(padded, axis=1, out=running)
+    xp.subtract(running, padded, out=running)
+    return running.max(axis=1)
+
+
 def _confidence_interval(values: np.ndarray) -> Tuple[float, float]:
-    """Normal-approximation 95% confidence interval for the mean of ``values``."""
-    values = np.asarray(values, dtype=np.float64)
+    """Normal-approximation 95% confidence interval for the mean of ``values``.
+
+    Host-side statistics helper: accumulates in the active dtype policy's
+    ``stat`` dtype (float64 under ``wide`` — the historical behaviour;
+    float32 under ``compact``, within the documented
+    :data:`~repro.backend.dtypes.COMPACT_STAT_RTOL`).
+    """
+    values = np.asarray(values, dtype=np.dtype(get_dtype_policy().stat))
     mean = float(values.mean())
     if values.size < 2:
         return (mean, mean)
@@ -202,9 +316,9 @@ def _confidence_interval(values: np.ndarray) -> Tuple[float, float]:
 class BatchResult:
     """Per-trial outcomes plus aggregate statistics for one batch run.
 
-    All per-trial arrays have shape ``(trials,)``.  ``honest_counts`` and
-    ``adversary_counts`` (shape ``(trials, rounds)``) are retained only when
-    the run was made with ``keep_traces=True``.
+    All per-trial arrays have shape ``(trials,)`` and live on the host.
+    ``honest_counts`` and ``adversary_counts`` (shape ``(trials, rounds)``)
+    are retained only when the run was made with ``keep_traces=True``.
     """
 
     params: ProtocolParameters
@@ -309,7 +423,7 @@ class BatchResult:
 
 
 class BatchSimulation:
-    """NumPy-vectorized batch Monte Carlo execution of the mining model.
+    """Backend-vectorized batch Monte Carlo execution of the mining model.
 
     Parameters
     ----------
@@ -334,6 +448,16 @@ class BatchSimulation:
         Optional heterogeneous
         :class:`~repro.simulation.topology.MiningPowerProfile`; validated
         against ``params`` before any draw.
+    workspace:
+        Optional :class:`~repro.backend.Workspace` of preallocated scratch
+        buffers; pass one workspace across repeated runs (as
+        :class:`~repro.simulation.runner.ExperimentRunner` does) and the
+        window kernels stop allocating.  Results never alias the workspace.
+
+    The engine binds the ambient backend and dtype policy at construction
+    (``use_backend`` / ``use_dtype_policy`` contexts, or the
+    ``REPRO_BACKEND`` / ``REPRO_DTYPE_POLICY`` environment variables); all
+    results are converted back to host NumPy at the engine boundary.
 
     Examples
     --------
@@ -353,6 +477,7 @@ class BatchSimulation:
         draw_mode: str = "binomial",
         delay_model: Union[None, str, DelayModel] = None,
         power: Optional[MiningPowerProfile] = None,
+        workspace: Optional[Workspace] = None,
     ):
         if draw_mode not in DRAW_MODES:
             raise SimulationError(
@@ -365,6 +490,11 @@ class BatchSimulation:
         self.power = power
         if self.power is not None:
             self.power.validate_against(params)
+        self.backend = get_backend()
+        self.policy = get_dtype_policy()
+        self.workspace = workspace
+        if workspace is not None:
+            workspace.bind(self.backend)
 
     @property
     def _delay_model_name(self) -> str:
@@ -381,7 +511,14 @@ class BatchSimulation:
         the pre-topology stream.
         """
         honest, adversary = draw_mining_traces(
-            self.params, trials, rounds, self.rng, self.draw_mode, power=self.power
+            self.params,
+            trials,
+            rounds,
+            self.rng,
+            self.draw_mode,
+            power=self.power,
+            backend=self.backend,
+            policy=self.policy,
         )
         delays = None
         max_delay = None
@@ -400,10 +537,10 @@ class BatchSimulation:
 
     def run_traces(
         self,
-        honest_counts: np.ndarray,
-        adversary_counts: np.ndarray,
+        honest_counts,
+        adversary_counts,
         keep_traces: bool = False,
-        delays: Optional[np.ndarray] = None,
+        delays=None,
         max_delay: Optional[int] = None,
     ) -> BatchResult:
         """Analyse pre-drawn ``(trials, rounds)`` success-count tensors.
@@ -415,8 +552,10 @@ class BatchSimulation:
         worst case); ``max_delay`` (default Δ) widens the validation cap for
         time-varying models whose adversarial windows exceed Δ.
         """
-        honest = np.asarray(honest_counts, dtype=np.int64)
-        adversary = np.asarray(adversary_counts, dtype=np.int64)
+        xp = self.backend
+        index_dtype = self.policy.index_dtype(xp)
+        honest = xp.asarray(honest_counts, dtype=index_dtype)
+        adversary = xp.asarray(adversary_counts, dtype=index_dtype)
         if honest.ndim != 2:
             raise SimulationError(
                 f"honest_counts must have shape (trials, rounds), got {honest.shape}"
@@ -429,22 +568,51 @@ class BatchSimulation:
         trials, rounds = honest.shape
         if rounds < 1:
             raise SimulationError("rounds must be positive")
+        self.policy.check_rounds(rounds)
         if delays is None:
-            mask = convergence_opportunity_mask(honest, self.params.delta)
+            if self.workspace is not None:
+                mask = _opportunity_mask_ws(
+                    self.workspace,
+                    xp,
+                    honest,
+                    self.params.delta,
+                    self.policy.mask_dtype(xp),
+                    index_dtype,
+                )
+            else:
+                mask = xp.from_host(
+                    convergence_opportunity_mask(
+                        xp.to_host(honest), self.params.delta
+                    )
+                )
         else:
             mask = convergence_opportunity_mask_with_delays(
-                honest, delays, self.params.delta, max_delay=max_delay
+                honest,
+                delays,
+                self.params.delta,
+                max_delay=max_delay,
+                backend=xp,
+                policy=self.policy,
             )
+        deficits = worst_window_deficits(
+            mask,
+            adversary,
+            workspace=self.workspace,
+            backend=xp,
+            policy=self.policy,
+        )
         return BatchResult(
             params=self.params,
             trials=trials,
             rounds=rounds,
             draw_mode=self.draw_mode,
-            convergence_opportunities=mask.sum(axis=1),
-            honest_blocks=honest.sum(axis=1),
-            adversary_blocks=adversary.sum(axis=1),
-            worst_deficits=worst_window_deficits(mask, adversary),
-            honest_counts=honest if keep_traces else None,
-            adversary_counts=adversary if keep_traces else None,
+            convergence_opportunities=xp.to_host(
+                mask.sum(axis=1, dtype=index_dtype)
+            ),
+            honest_blocks=xp.to_host(honest.sum(axis=1, dtype=index_dtype)),
+            adversary_blocks=xp.to_host(adversary.sum(axis=1, dtype=index_dtype)),
+            worst_deficits=xp.to_host(deficits),
+            honest_counts=xp.to_host(honest) if keep_traces else None,
+            adversary_counts=xp.to_host(adversary) if keep_traces else None,
             delay_model=self._delay_model_name,
         )

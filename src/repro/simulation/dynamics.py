@@ -72,6 +72,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..backend import get_backend, get_dtype_policy
 from ..errors import SimulationError
 from .rng import resolve_rng
 from .scenarios import Scenario, register_scenario
@@ -341,7 +342,8 @@ def compile_eclipse_offsets(
         raise SimulationError(f"rounds must be positive, got {rounds!r}")
     if delta < 1:
         raise SimulationError(f"delta must be >= 1, got {delta!r}")
-    offsets = np.full(rounds, delta, dtype=np.int64)
+    xp = get_backend()
+    offsets = xp.full(rounds, delta, dtype=xp.int64)
     for event in schedule.events:
         if not isinstance(event, PartitionEvent) or event.nodes is not None:
             raise SimulationError(
@@ -356,9 +358,9 @@ def compile_eclipse_offsets(
         heal = event.round + event.duration
         low, high = max(event.round, 0), min(heal, rounds)
         if low < high:
-            window = np.arange(low, high, dtype=np.int64)
-            np.maximum(offsets[low:high], heal - window + delta, out=offsets[low:high])
-    return offsets
+            window = xp.arange(low, high, dtype=xp.int64)
+            xp.maximum(offsets[low:high], heal - window + delta, out=offsets[low:high])
+    return xp.to_host(offsets)
 
 
 # ----------------------------------------------------------------------
@@ -465,34 +467,40 @@ def _epoch_states(
     return states
 
 
-def _epoch_distances(latencies: np.ndarray, active: np.ndarray) -> np.ndarray:
+def _epoch_distances(latencies, active):
     """All-pairs gossip distances for one epoch's graph (vectorized min-plus).
 
     Inactive peers neither relay nor receive: their rows and columns
-    (including the diagonal) are pinned at the unreached sentinel.
+    (including the diagonal) are pinned at the unreached sentinel.  Inputs
+    and output are backend arrays — this is the inner kernel of the
+    schedule compiler.
     """
+    xp = get_backend()
     n = latencies.shape[0]
-    distance = np.where(latencies > 0, latencies, _UNREACHED)
-    np.fill_diagonal(distance, 0)
+    distance = xp.where(latencies > 0, latencies, _UNREACHED)
+    diagonal = xp.arange(n)
+    distance[diagonal, diagonal] = 0
     distance[~active, :] = _UNREACHED
     distance[:, ~active] = _UNREACHED
-    for pivot in np.nonzero(active)[0]:
-        np.minimum(
+    for pivot in xp.to_host(xp.nonzero(active)[0]):
+        pivot = int(pivot)
+        xp.minimum(
             distance,
             distance[:, pivot, None] + distance[None, pivot, :],
             out=distance,
         )
-    np.minimum(distance, _UNREACHED, out=distance)
+    xp.minimum(distance, _UNREACHED, out=distance)
     return distance
 
 
-def _masked_min_plus(delivered: np.ndarray, distance: np.ndarray) -> np.ndarray:
+def _masked_min_plus(delivered, distance):
     """``out[c, w] = min over delivered[c] sources u of distance[u, w]``."""
+    xp = get_backend()
     cells, n = delivered.shape
-    out = np.full((cells, n), _UNREACHED, dtype=np.int64)
+    out = xp.full((cells, n), _UNREACHED, dtype=xp.int64)
     for start in range(0, cells, _CONTINUATION_CHUNK):
         stop = min(start + _CONTINUATION_CHUNK, cells)
-        masked = np.where(
+        masked = xp.where(
             delivered[start:stop, :, None], distance[None, :, :], _UNREACHED
         )
         out[start:stop] = masked.min(axis=1)
@@ -523,18 +531,22 @@ def compile_schedule(
         raise SimulationError(f"rounds must be positive, got {rounds!r}")
     if delta < 1:
         raise SimulationError(f"delta must be >= 1, got {delta!r}")
+    xp = get_backend()
     n = topology.n_nodes
     epochs = _epoch_states(schedule, topology, rounds)
-    offsets = np.zeros((rounds, n), dtype=np.int64)
-    active_rounds = np.ones((rounds, n), dtype=bool)
+    offsets = xp.zeros((rounds, n), dtype=xp.int64)
+    active_rounds = xp.full((rounds, n), True, dtype=xp.bool_)
 
     # Pending spanning cells: absolute reach times plus their coordinates.
-    pending_reach = np.empty((0, n), dtype=np.int64)
-    pending_round = np.empty(0, dtype=np.int64)
-    pending_origin = np.empty(0, dtype=np.int64)
+    pending_reach = xp.empty((0, n), dtype=xp.int64)
+    pending_round = xp.empty((0,), dtype=xp.int64)
+    pending_origin = xp.empty((0,), dtype=xp.int64)
 
     for epoch in epochs:
-        distance = _epoch_distances(epoch.latencies, epoch.active)
+        distance = _epoch_distances(
+            xp.from_host(epoch.latencies), xp.from_host(epoch.active)
+        )
+        epoch_active = xp.from_host(epoch.active)
         start, end = epoch.start, epoch.end
 
         # 1. Continue pending cells across the boundary into this epoch:
@@ -542,14 +554,14 @@ def compile_schedule(
         #    peer re-gossips under the new graph.
         if pending_reach.shape[0]:
             delivered = pending_reach <= start
-            kept = np.where(delivered, pending_reach, _UNREACHED)
+            kept = xp.where(delivered, pending_reach, _UNREACHED)
             contribution = _masked_min_plus(delivered, distance)
-            pending_reach = np.minimum(
-                kept, np.minimum(start + contribution, _UNREACHED)
+            pending_reach = xp.minimum(
+                kept, xp.minimum(start + contribution, _UNREACHED)
             )
-            reach_active = np.where(epoch.active[None, :], pending_reach, -1)
+            reach_active = xp.where(epoch_active[None, :], pending_reach, -1)
             completion = reach_active.max(axis=1)
-            completion = np.maximum(completion, start)
+            completion = xp.maximum(completion, start)
             if end is None:
                 complete = completion < _UNREACHED
                 if not complete.all():
@@ -562,7 +574,7 @@ def compile_schedule(
             if complete.any():
                 rows = pending_round[complete]
                 cols = pending_origin[complete]
-                capped = np.minimum(completion[complete], start + delta)
+                capped = xp.minimum(completion[complete], start + delta)
                 offsets[rows, cols] = capped - rows
             pending_reach = pending_reach[~complete]
             pending_round = pending_round[~complete]
@@ -573,47 +585,49 @@ def compile_schedule(
         high = rounds if end is None else min(end, rounds)
         if low >= high:
             continue
-        active_rounds[low:high, :] = epoch.active[None, :]
-        reach_active = np.where(epoch.active[None, :], distance, -1)
-        radius = np.minimum(reach_active.max(axis=1), _UNREACHED)
-        mined_rounds = np.arange(low, high, dtype=np.int64)
-        origins = np.nonzero(epoch.active)[0]
+        active_rounds[low:high, :] = epoch_active[None, :]
+        reach_active = xp.where(epoch_active[None, :], distance, -1)
+        radius = xp.minimum(reach_active.max(axis=1), _UNREACHED)
+        mined_rounds = xp.arange(low, high, dtype=xp.int64)
+        origins = xp.nonzero(epoch_active)[0]
         if end is None:
             if (radius[origins] >= _UNREACHED).any():
                 raise SimulationError(
                     "the dynamics schedule leaves the network disconnected "
                     "forever: some blocks can never reach every active peer"
                 )
-            offsets[low:high][:, origins] = np.minimum(radius[origins], delta)[
+            offsets[low:high][:, origins] = xp.minimum(radius[origins], delta)[
                 None, :
             ]
             continue
         # Interior cells complete by the boundary; spanning cells enter the
         # pending set with their absolute reach-time vectors.
         interior = mined_rounds[:, None] + radius[None, origins] <= end
-        offsets[low:high][:, origins] = np.where(
-            interior, np.minimum(radius[None, origins], delta), 0
+        offsets[low:high][:, origins] = xp.where(
+            interior, xp.minimum(radius[None, origins], delta), 0
         )
-        span_row, span_col = np.nonzero(~interior)
+        span_row, span_col = xp.nonzero(~interior)
         if span_row.size:
             new_rounds = mined_rounds[span_row]
             new_origins = origins[span_col]
-            new_reach = np.minimum(
+            new_reach = xp.minimum(
                 new_rounds[:, None] + distance[new_origins, :], _UNREACHED
             )
-            pending_reach = np.concatenate([pending_reach, new_reach], axis=0)
-            pending_round = np.concatenate([pending_round, new_rounds])
-            pending_origin = np.concatenate([pending_origin, new_origins])
+            pending_reach = xp.concatenate([pending_reach, new_reach], axis=0)
+            pending_round = xp.concatenate([pending_round, new_rounds])
+            pending_origin = xp.concatenate([pending_origin, new_origins])
 
     if pending_reach.shape[0]:  # pragma: no cover - the open epoch drains all
         raise SimulationError(
             "internal error: pending cells survived the open terminal epoch"
         )
-    uniform = bool(active_rounds.all())
-    max_offset = int(offsets[active_rounds].max(initial=0))
+    offsets = xp.to_host(offsets)
+    active_host = xp.to_host(active_rounds)
+    uniform = bool(active_host.all())
+    max_offset = int(offsets[active_host].max(initial=0))
     return CompiledSchedule(
         offsets=offsets,
-        active=active_rounds,
+        active=active_host,
         max_offset=max_offset,
         uniform_origins=uniform,
     )
@@ -818,28 +832,35 @@ class TimeVaryingDelayModel(DelayModel):
 
     def draw_delays(
         self, trials: int, rounds: int, delta: int, rng: np.random.Generator
-    ) -> np.ndarray:
+    ):
         self._check_shape(trials, rounds, delta)
+        xp = get_backend()
+        index_dtype = get_dtype_policy().index_dtype(xp)
         compiled = self.compiled(rounds, delta)
+        offsets = xp.asarray(xp.from_host(compiled.offsets), dtype=index_dtype)
         if self.topology is None:
             # Offsets are deterministic per round; no entropy is consumed,
             # so the mining-trace stream matches the static engines exactly.
-            return np.tile(compiled.offsets, (trials, 1))
+            return xp.tile(offsets, (trials, 1))
         nodes = self.topology.n_nodes
-        row_index = np.arange(rounds, dtype=np.int64)[None, :]
+        row_index = xp.arange(rounds, dtype=xp.int64)[None, :]
         if compiled.uniform_origins:
             # Same draw as PeerGraphDelayModel: bit-identical origin stream.
-            sources = rng.integers(0, nodes, size=(trials, rounds))
-            return compiled.offsets[row_index, sources]
+            sources = xp.integers(rng, 0, nodes, (trials, rounds))
+            return offsets[row_index, sources]
         # Churn: sample uniformly among the peers active at each round.
-        counts = compiled.active.sum(axis=1).astype(np.int64)
-        order = np.argsort(~compiled.active, axis=1, kind="stable")
-        picks = np.minimum(
-            (rng.random((trials, rounds)) * counts[None, :]).astype(np.int64),
+        active = xp.from_host(compiled.active)
+        counts = active.sum(axis=1, dtype=xp.int64)
+        order = xp.argsort(~active, axis=1, kind="stable")
+        picks = xp.minimum(
+            xp.asarray(
+                xp.random(rng, (trials, rounds)) * counts[None, :],
+                dtype=xp.int64,
+            ),
             counts[None, :] - 1,
         )
         sources = order[row_index, picks]
-        return compiled.offsets[row_index, sources]
+        return offsets[row_index, sources]
 
     def payload(self) -> Dict[str, object]:
         return {

@@ -30,6 +30,13 @@ from typing import Iterable, List, Optional, Sequence, Union
 import numpy as np
 
 from .. import _version
+from ..backend import (
+    DEFAULT_BACKEND,
+    WIDE_POLICY,
+    Workspace,
+    get_backend,
+    get_dtype_policy,
+)
 from ..errors import SimulationError
 from ..params import ProtocolParameters
 from .batch import DRAW_MODES, BatchResult, BatchSimulation
@@ -172,6 +179,12 @@ class ExperimentRunner:
         self.draw_mode = draw_mode
         self.cache_hits = 0
         self.cache_misses = 0
+        # One scratch workspace shared across every point this runner
+        # executes in-process: repeated (trials, rounds) grid points reuse
+        # the engines' hot-kernel buffers instead of re-allocating them.
+        # (Process-pool workers each build their own runner and workspace;
+        # results never alias workspace memory, so sharing is safe.)
+        self.workspace = Workspace()
 
     # ------------------------------------------------------------------
     # Keys and seeds
@@ -241,6 +254,19 @@ class ExperimentRunner:
             placement,
         )
         payload["package_version"] = _version.__version__
+        # Non-default backends and dtype policies get their own cache slots
+        # (compact float statistics differ within a documented tolerance;
+        # accelerator kernels need not be bit-reproducible across devices).
+        # Default-configuration keys are unchanged, so warm caches and the
+        # base_seed=2026 goldens survive this layer.  Seeds deliberately
+        # ignore both: the host-seeded RNG bridge makes one seed produce one
+        # bit stream on every backend (see seed_sequence_for).
+        backend = get_backend()
+        if backend.name != DEFAULT_BACKEND:
+            payload["backend"] = backend.payload()
+        policy = get_dtype_policy()
+        if policy.name != WIDE_POLICY.name:
+            payload["dtype_policy"] = policy.payload()
         return self._digest(payload)
 
     def seed_sequence_for(
@@ -401,7 +427,9 @@ class ExperimentRunner:
                 return cached
         self.cache_misses += 1
         rng = np.random.default_rng(self.seed_sequence_for(params, trials, rounds))
-        simulation = BatchSimulation(params, rng=rng, draw_mode=self.draw_mode)
+        simulation = BatchSimulation(
+            params, rng=rng, draw_mode=self.draw_mode, workspace=self.workspace
+        )
         result = simulation.run(trials, rounds)
         if path is not None:
             self._store_cached(path, result)
@@ -465,7 +493,11 @@ class ExperimentRunner:
             self.seed_sequence_for(params, trials, rounds, scenario)
         )
         simulation = ScenarioSimulation(
-            params, scenario, rng=rng, draw_mode=self.draw_mode
+            params,
+            scenario,
+            rng=rng,
+            draw_mode=self.draw_mode,
+            workspace=self.workspace,
         )
         result = simulation.run(trials, rounds)
         if path is not None:
@@ -555,6 +587,7 @@ class ExperimentRunner:
             draw_mode=self.draw_mode,
             delay_model=model,
             power=power,
+            workspace=self.workspace,
         )
         result = simulation.run(trials, rounds)
         if path is not None:
@@ -643,6 +676,7 @@ class ExperimentRunner:
                 draw_mode=self.draw_mode,
                 delay_model=model,
                 power=power,
+                workspace=self.workspace,
             )
             result: Union[BatchResult, ScenarioResult] = simulation.run(
                 trials, rounds
@@ -686,6 +720,7 @@ class ExperimentRunner:
             delay_model=model,
             power=power,
             placement=placement,
+            workspace=self.workspace,
         )
         result = simulation.run(trials, rounds)
         if path is not None:

@@ -49,6 +49,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..backend import Workspace, get_backend, get_dtype_policy
 from ..core.concat_chain import convergence_opportunity_mask
 from ..errors import SimulationError
 from ..params import ProtocolParameters
@@ -62,6 +63,7 @@ from .adversary import (
 from .batch import (
     DRAW_MODES,
     _confidence_interval,
+    _opportunity_mask_ws,
     draw_mining_traces,
     worst_window_deficits,
 )
@@ -241,22 +243,33 @@ register_scenario(Scenario(name="selfish_mining", kind="selfish_mining"))
 # ----------------------------------------------------------------------
 # Scripted honest attribution
 # ----------------------------------------------------------------------
-def _max_window_successes(honest_counts: np.ndarray, window: int) -> int:
+def _max_window_successes(
+    honest_counts, window: int, backend=None, policy=None
+) -> int:
     """Largest number of honest successes in any ``window`` consecutive rounds."""
-    counts = np.atleast_2d(np.asarray(honest_counts, dtype=np.int64))
+    xp = get_backend(backend)
+    index_dtype = get_dtype_policy(policy).index_dtype(xp)
+    counts = xp.asarray(honest_counts, dtype=index_dtype)
+    if counts.ndim == 1:
+        counts = counts[None, :]
+    if counts.size == 0:
+        return 0
     if window <= 1:
-        return int(counts.max(initial=0))
-    padded = np.pad(counts, ((0, 0), (0, window - 1)))
-    cumulative = np.concatenate(
-        [np.zeros((padded.shape[0], 1), dtype=np.int64), np.cumsum(padded, axis=1)],
+        return int(counts.max())
+    padded = xp.pad(counts, ((0, 0), (0, window - 1)))
+    cumulative = xp.concatenate(
+        [
+            xp.zeros((padded.shape[0], 1), dtype=index_dtype),
+            xp.cumsum(padded, axis=1, dtype=index_dtype),
+        ],
         axis=1,
     )
     windows = cumulative[:, window:] - cumulative[:, :-window]
-    return int(windows.max(initial=0))
+    return int(windows.max())
 
 
 def _require_attribution_feasible(
-    honest_counts: np.ndarray, honest_miners: int, honest_delay: int
+    honest_counts, honest_miners: int, honest_delay: int, backend=None, policy=None
 ) -> None:
     """Raise unless rotating attribution avoids in-flight re-selection.
 
@@ -266,7 +279,7 @@ def _require_attribution_feasible(
     ``honest_miners`` successes.
     """
     window = max(honest_delay, 1)
-    worst = _max_window_successes(honest_counts, window)
+    worst = _max_window_successes(honest_counts, window, backend, policy)
     if worst > honest_miners:
         raise SimulationError(
             f"cannot attribute {worst} honest successes within a "
@@ -498,6 +511,14 @@ class ScenarioSimulation:
         Optional heterogeneous
         :class:`~repro.simulation.topology.MiningPowerProfile`; validated
         against ``params`` before any draw.
+    workspace:
+        Optional :class:`~repro.backend.Workspace` of preallocated scratch
+        buffers for the scan state and window kernels; pass one workspace
+        across repeated runs (as the runner does) and the hot loops stop
+        allocating.  Results never alias the workspace.  Like the batch
+        engine, the ambient backend and dtype policy are bound at
+        construction and results are converted to host NumPy at the
+        boundary.
     placement:
         Optional :class:`~repro.simulation.dynamics.AdversaryPlacement`
         (any object with a ``release_delay(topology, delta)`` method and a
@@ -530,11 +551,17 @@ class ScenarioSimulation:
         delay_model: Union[None, str, DelayModel] = None,
         power: Optional[MiningPowerProfile] = None,
         placement=None,
+        workspace: Optional[Workspace] = None,
     ):
         if draw_mode not in DRAW_MODES:
             raise SimulationError(
                 f"draw_mode must be one of {DRAW_MODES}, got {draw_mode!r}"
             )
+        self.backend = get_backend()
+        self.policy = get_dtype_policy()
+        self.workspace = workspace
+        if workspace is not None:
+            workspace.bind(self.backend)
         self.params = params
         self.scenario = get_scenario(scenario)
         self.delay_model = resolve_delay_model(delay_model)
@@ -591,7 +618,14 @@ class ScenarioSimulation:
         entropy, so its stream matches the legacy engine's exactly.
         """
         honest, adversary = draw_mining_traces(
-            self.params, trials, rounds, self.rng, self.draw_mode, power=self.power
+            self.params,
+            trials,
+            rounds,
+            self.rng,
+            self.draw_mode,
+            power=self.power,
+            backend=self.backend,
+            policy=self.policy,
         )
         delays = None
         max_delay = None
@@ -627,8 +661,10 @@ class ScenarioSimulation:
         validation cap and delivery pipeline for time-varying models whose
         adversarial windows exceed Δ.
         """
-        honest = np.asarray(honest_counts, dtype=np.int64)
-        adversary = np.asarray(adversary_counts, dtype=np.int64)
+        xp = self.backend
+        index_dtype = self.policy.index_dtype(xp)
+        honest = xp.asarray(honest_counts, dtype=index_dtype)
+        adversary = xp.asarray(adversary_counts, dtype=index_dtype)
         if honest.ndim != 2:
             raise SimulationError(
                 f"honest_counts must have shape (trials, rounds), got {honest.shape}"
@@ -643,6 +679,7 @@ class ScenarioSimulation:
         trials, rounds = honest.shape
         if rounds < 1:
             raise SimulationError("rounds must be positive")
+        self.policy.check_rounds(rounds)
         cap = self.params.delta if max_delay is None else int(max_delay)
         if cap < self.params.delta:
             raise SimulationError(
@@ -650,7 +687,7 @@ class ScenarioSimulation:
                 f"{max_delay!r}"
             )
         if delays is not None:
-            delays = np.asarray(delays, dtype=np.int64)
+            delays = xp.asarray(delays, dtype=index_dtype)
             if delays.shape != honest.shape:
                 raise SimulationError(
                     f"delays shape {delays.shape} does not match honest shape "
@@ -659,15 +696,43 @@ class ScenarioSimulation:
             if (delays < 0).any() or (delays > cap).any():
                 raise SimulationError(f"delays must lie in [0, {cap}]")
         window = cap if delays is not None else self.honest_delay
-        _require_attribution_feasible(honest, self.honest_miners, window)
+        _require_attribution_feasible(
+            honest, self.honest_miners, window, backend=xp, policy=self.policy
+        )
 
         state = self._scan(honest, adversary, record_rounds, delays=delays, cap=cap)
         if delays is None:
-            mask = convergence_opportunity_mask(honest, self.params.delta)
+            if self.workspace is not None:
+                mask = _opportunity_mask_ws(
+                    self.workspace,
+                    xp,
+                    honest,
+                    self.params.delta,
+                    self.policy.mask_dtype(xp),
+                    index_dtype,
+                )
+            else:
+                mask = xp.from_host(
+                    convergence_opportunity_mask(
+                        xp.to_host(honest), self.params.delta
+                    )
+                )
         else:
             mask = convergence_opportunity_mask_with_delays(
-                honest, delays, self.params.delta, max_delay=cap
+                honest,
+                delays,
+                self.params.delta,
+                max_delay=cap,
+                backend=xp,
+                policy=self.policy,
             )
+        deficits = worst_window_deficits(
+            mask,
+            adversary,
+            workspace=self.workspace,
+            backend=xp,
+            policy=self.policy,
+        )
         return ScenarioResult(
             params=self.params,
             scenario=self.scenario,
@@ -675,12 +740,14 @@ class ScenarioSimulation:
             rounds=rounds,
             draw_mode=self.draw_mode,
             honest_delay=self.honest_delay,
-            honest_blocks=honest.sum(axis=1),
-            adversary_blocks=adversary.sum(axis=1),
-            convergence_opportunities=mask.sum(axis=1),
-            worst_deficits=worst_window_deficits(mask, adversary),
-            honest_counts=honest if keep_traces else None,
-            adversary_counts=adversary if keep_traces else None,
+            honest_blocks=xp.to_host(honest.sum(axis=1, dtype=index_dtype)),
+            adversary_blocks=xp.to_host(adversary.sum(axis=1, dtype=index_dtype)),
+            convergence_opportunities=xp.to_host(
+                mask.sum(axis=1, dtype=index_dtype)
+            ),
+            worst_deficits=xp.to_host(deficits),
+            honest_counts=xp.to_host(honest) if keep_traces else None,
+            adversary_counts=xp.to_host(adversary) if keep_traces else None,
             delay_model=(
                 None if self.delay_model is None else self.delay_model.name
             ),
@@ -693,10 +760,10 @@ class ScenarioSimulation:
     # ------------------------------------------------------------------
     def _scan(
         self,
-        honest: np.ndarray,
-        adversary: np.ndarray,
+        honest,
+        adversary,
         record_rounds: bool,
-        delays: Optional[np.ndarray] = None,
+        delays=None,
         cap: Optional[int] = None,
     ) -> Dict[str, Optional[np.ndarray]]:
         """One pass over rounds with all per-trial state as vectors.
@@ -714,7 +781,18 @@ class ScenarioSimulation:
         travel ``release_delay`` rounds before merging into the public
         chain, and the displaced suffix is measured at landing — against
         the public height the honest miners actually reached by then.
+
+        All scan state lives in workspace buffers (a private workspace when
+        the engine was built without one), so repeated runs at one
+        (trials, rounds) shape reuse their vectors and delivery rings;
+        every array that escapes into the result is copied out first.  The
+        decision flags stay boolean regardless of the dtype policy — the
+        scan's ``~`` / ``&`` logic needs logical, not bitwise, semantics.
         """
+        xp = self.backend
+        workspace = self.workspace if self.workspace is not None else Workspace(xp)
+        index_dtype = self.policy.index_dtype(xp)
+        mask_dtype = self.policy.mask_dtype(xp)
         trials, rounds = honest.shape
         kind = self.scenario.kind
         delay = self.honest_delay
@@ -725,46 +803,54 @@ class ScenarioSimulation:
         give_up = self.scenario.give_up_deficit
 
         # Round-major copies make each round's column contiguous in the scan.
-        honest_rows = np.ascontiguousarray(honest.T)
-        adversary_rows = np.ascontiguousarray(adversary.T)
+        honest_rows = xp.ascontiguousarray(honest.T)
+        adversary_rows = xp.ascontiguousarray(adversary.T)
         delay_rows = (
-            None if delays is None else np.ascontiguousarray(delays.T)
+            None if delays is None else xp.ascontiguousarray(delays.T)
         )
 
-        public = np.zeros(trials, dtype=np.int64)
-        private = np.zeros(trials, dtype=np.int64)
-        fork = np.zeros(trials, dtype=np.int64)
-        active = np.zeros(trials, dtype=bool)
-        withheld = np.zeros(trials, dtype=np.int64)
-        releases = np.zeros(trials, dtype=np.int64)
-        abandons = np.zeros(trials, dtype=np.int64)
-        deepest = np.zeros(trials, dtype=np.int64)
-        orphaned = np.zeros(trials, dtype=np.int64)
-        no_release = np.zeros(trials, dtype=bool)
+        public = workspace.zeros("scan.public", (trials,), index_dtype)
+        private = workspace.zeros("scan.private", (trials,), index_dtype)
+        fork = workspace.zeros("scan.fork", (trials,), index_dtype)
+        active = workspace.zeros("scan.active", (trials,), xp.bool_)
+        withheld = workspace.zeros("scan.withheld", (trials,), index_dtype)
+        releases = workspace.zeros("scan.releases", (trials,), index_dtype)
+        abandons = workspace.zeros("scan.abandons", (trials,), index_dtype)
+        deepest = workspace.zeros("scan.deepest", (trials,), index_dtype)
+        orphaned = workspace.zeros("scan.orphaned", (trials,), index_dtype)
+        no_release = workspace.zeros("scan.no_release", (trials,), xp.bool_)
         # Scheduled arrival heights for in-flight honest blocks: slot r % delay
         # holds the height mined at round r, due at the start of round r+delay.
         ring = None
         schedule = None
         if delay_rows is not None:
-            schedule = np.zeros((trials, cap + 1), dtype=np.int64)
+            schedule = workspace.zeros(
+                "scan.schedule", (trials, cap + 1), index_dtype
+            )
         elif delay >= 1:
-            ring = np.zeros((trials, delay), dtype=np.int64)
+            ring = workspace.zeros("scan.ring", (trials, delay), index_dtype)
         # In-flight adversarial releases (placement-aware adversaries): the
         # slot being delivered this round is the one refilled afterwards, so
         # at most one pending release ever occupies a slot.
         release_heights = None
         release_forks = None
         if release_delay >= 1:
-            release_heights = np.zeros((trials, release_delay), dtype=np.int64)
-            release_forks = np.zeros((trials, release_delay), dtype=np.int64)
+            release_heights = workspace.zeros(
+                "scan.release_heights", (trials, release_delay), index_dtype
+            )
+            release_forks = workspace.zeros(
+                "scan.release_forks", (trials, release_delay), index_dtype
+            )
 
         if record_rounds:
-            public_record = np.zeros((trials, rounds), dtype=np.int64)
-            private_record = np.zeros((trials, rounds), dtype=np.int64)
-            release_record = np.zeros((trials, rounds), dtype=bool)
-            abandon_record = np.zeros((trials, rounds), dtype=bool)
-            lead_record = np.zeros((trials, rounds), dtype=np.int64)
-            depth_record = np.zeros((trials, rounds), dtype=np.int64)
+            # Record tensors escape into the result, so they are allocated
+            # fresh rather than drawn from the workspace.
+            public_record = xp.zeros((trials, rounds), dtype=index_dtype)
+            private_record = xp.zeros((trials, rounds), dtype=index_dtype)
+            release_record = xp.zeros((trials, rounds), dtype=mask_dtype)
+            abandon_record = xp.zeros((trials, rounds), dtype=mask_dtype)
+            lead_record = xp.zeros((trials, rounds), dtype=index_dtype)
+            depth_record = xp.zeros((trials, rounds), dtype=index_dtype)
 
         for index in range(rounds):
             mined_honest = honest_rows[index]
@@ -775,10 +861,10 @@ class ScenarioSimulation:
             #    delivery round (delay-model path).
             if ring is not None:
                 slot = index % delay
-                np.maximum(public, ring[:, slot], out=public)
+                xp.maximum(public, ring[:, slot], out=public)
             elif schedule is not None:
                 slot = index % (cap + 1)
-                np.maximum(public, schedule[:, slot], out=public)
+                xp.maximum(public, schedule[:, slot], out=public)
                 schedule[:, slot] = 0
 
             # 1b. Landing of in-flight adversarial releases: the displaced
@@ -789,13 +875,13 @@ class ScenarioSimulation:
                 landing = release_heights[:, release_slot]
                 if landing.any():
                     displaced = landing > public
-                    landed_depth = np.where(
+                    landed_depth = xp.where(
                         displaced, public - release_forks[:, release_slot], 0
                     )
                     if kind == "selfish_mining":
                         orphaned += landed_depth
-                    np.maximum(deepest, landed_depth, out=deepest)
-                    np.maximum(public, landing, out=public)
+                    xp.maximum(deepest, landed_depth, out=deepest)
+                    xp.maximum(public, landing, out=public)
                     release_heights[:, release_slot] = 0
                     release_forks[:, release_slot] = 0
 
@@ -804,10 +890,10 @@ class ScenarioSimulation:
             some_honest = mined_honest > 0
             mined_height = public + 1
             if ring is not None:
-                np.multiply(mined_height, some_honest, out=ring[:, slot])
+                xp.multiply(mined_height, some_honest, out=ring[:, slot])
             elif schedule is not None:
                 round_delays = delay_rows[index]
-                pipelined = np.nonzero(some_honest & (round_delays > 0))[0]
+                pipelined = xp.nonzero(some_honest & (round_delays > 0))[0]
                 if pipelined.size:
                     # Same-delivery-round collisions overwrite an older,
                     # never-larger height (public is monotone), so plain
@@ -827,8 +913,8 @@ class ScenarioSimulation:
             else:
                 some_adversary = mined_adversary > 0
                 starting = some_adversary & ~active
-                np.copyto(fork, public, where=starting)
-                np.copyto(private, public, where=starting)
+                xp.copyto(fork, public, where=starting)
+                xp.copyto(private, public, where=starting)
                 private += mined_adversary
                 withheld += mined_adversary
                 active |= some_adversary
@@ -847,27 +933,27 @@ class ScenarioSimulation:
                     # needs lead > 0, abandonment needs lead <= -give_up.
                     released = (lead > 0) & (depth >= target_depth)
                     if release_heights is None:
-                        np.maximum(deepest, depth * released, out=deepest)
+                        xp.maximum(deepest, depth * released, out=deepest)
                 else:  # selfish_mining
                     abandoned = (lead <= -1) & active
                     released = (lead >= 0) & (lead <= 1) & active
                     if release_heights is None:
                         orphan = depth * released
                         orphaned += orphan
-                        np.maximum(deepest, orphan, out=deepest)
+                        xp.maximum(deepest, orphan, out=deepest)
                 releases += released
                 abandons += abandoned
                 if release_heights is None:
                     # A release always publishes a chain at least as high as
                     # the public one, displacing (or tying) the public suffix.
-                    np.copyto(public, private, where=released)
+                    xp.copyto(public, private, where=released)
                 else:
                     # The release gossips from the adversary's graph position;
                     # its displacement is accounted when it lands.
-                    np.copyto(
+                    xp.copyto(
                         release_heights[:, release_slot], private, where=released
                     )
-                    np.copyto(
+                    xp.copyto(
                         release_forks[:, release_slot], fork, where=released
                     )
                 keep = ~(released | abandoned)
@@ -880,9 +966,9 @@ class ScenarioSimulation:
             if delay_rows is not None:
                 immediate = some_honest & (round_delays == 0)
                 if immediate.any():
-                    np.maximum(public, mined_height * immediate, out=public)
+                    xp.maximum(public, mined_height * immediate, out=public)
             elif delay == 0:
-                np.maximum(public, mined_height * some_honest, out=public)
+                xp.maximum(public, mined_height * some_honest, out=public)
 
             if record_rounds:
                 public_record[:, index] = public
@@ -896,25 +982,29 @@ class ScenarioSimulation:
         # Network flush: every in-flight honest block eventually arrives, as
         # does every in-flight adversarial release (its displaced depth is
         # not tallied — the run ended before the network saw it land).
-        final = public.copy()
+        final = xp.copy(public)
         if ring is not None:
-            np.maximum(final, ring.max(axis=1), out=final)
+            xp.maximum(final, ring.max(axis=1), out=final)
         elif schedule is not None:
-            np.maximum(final, schedule.max(axis=1), out=final)
+            xp.maximum(final, schedule.max(axis=1), out=final)
         if release_heights is not None:
-            np.maximum(final, release_heights.max(axis=1), out=final)
+            xp.maximum(final, release_heights.max(axis=1), out=final)
 
+        # Escaping per-trial vectors are copied out of the workspace; the
+        # per-round record tensors are already freshly owned.
         return {
-            "releases": releases,
-            "abandons": abandons,
-            "deepest_forks": deepest,
-            "orphaned_honest": orphaned,
-            "withheld_final": withheld,
-            "final_public_heights": final,
-            "public_heights": public_record if record_rounds else None,
-            "private_heights": private_record if record_rounds else None,
-            "release_mask": release_record if record_rounds else None,
-            "abandon_mask": abandon_record if record_rounds else None,
-            "decision_leads": lead_record if record_rounds else None,
-            "decision_fork_depths": depth_record if record_rounds else None,
+            "releases": xp.to_host(xp.copy(releases)),
+            "abandons": xp.to_host(xp.copy(abandons)),
+            "deepest_forks": xp.to_host(xp.copy(deepest)),
+            "orphaned_honest": xp.to_host(xp.copy(orphaned)),
+            "withheld_final": xp.to_host(xp.copy(withheld)),
+            "final_public_heights": xp.to_host(final),
+            "public_heights": xp.to_host(public_record) if record_rounds else None,
+            "private_heights": xp.to_host(private_record) if record_rounds else None,
+            "release_mask": xp.to_host(release_record) if record_rounds else None,
+            "abandon_mask": xp.to_host(abandon_record) if record_rounds else None,
+            "decision_leads": xp.to_host(lead_record) if record_rounds else None,
+            "decision_fork_depths": (
+                xp.to_host(depth_record) if record_rounds else None
+            ),
         }

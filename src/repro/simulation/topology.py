@@ -51,6 +51,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..backend import get_backend, get_dtype_policy
 from ..errors import SimulationError
 from ..params import ProtocolParameters, coerce_positive_int
 from .rng import SeedLike, resolve_rng
@@ -82,11 +83,13 @@ _UNREACHED = np.int64(2) ** 31
 # Generalized convergence-opportunity detection
 # ----------------------------------------------------------------------
 def convergence_opportunity_mask_with_delays(
-    honest_counts: np.ndarray,
-    delays: np.ndarray,
+    honest_counts,
+    delays,
     delta: int,
     max_delay: Optional[int] = None,
-) -> np.ndarray:
+    backend=None,
+    policy=None,
+):
     """Convergence opportunities under per-block realized delivery delays.
 
     The fixed-Δ pattern ``N^Δ H_1 N^Δ`` of Eq. (42) generalizes to realized
@@ -115,8 +118,11 @@ def convergence_opportunity_mask_with_delays(
     the obstructed span, which is exactly the consistency threat being
     measured.
     """
-    counts = np.asarray(honest_counts, dtype=np.int64)
-    offsets = np.asarray(delays, dtype=np.int64)
+    xp = get_backend(backend)
+    policy = get_dtype_policy(policy)
+    index_dtype = policy.index_dtype(xp)
+    counts = xp.asarray(honest_counts, dtype=index_dtype)
+    offsets = xp.asarray(delays, dtype=index_dtype)
     if counts.ndim != 2:
         raise SimulationError(
             f"honest_counts must have shape (trials, rounds), got {counts.shape}"
@@ -136,25 +142,27 @@ def convergence_opportunity_mask_with_delays(
     if (offsets < 0).any() or (offsets > cap).any():
         raise SimulationError(f"delays must lie in [0, {cap}]")
     trials, rounds = counts.shape
-    mask = np.zeros((trials, rounds), dtype=bool)
+    mask = xp.zeros((trials, rounds), dtype=policy.mask_dtype(xp))
     # No early exit for short traces: with realized delays below delta an
     # opportunity can complete even when rounds < 2*delta + 1 (the warm-up
     # and completion conditions below make the constant-delta case return
     # all-false there, exactly like the classic mask).
-    index = np.arange(rounds, dtype=np.int64)
+    index = xp.arange(rounds, dtype=index_dtype)
     success = counts > 0
     # Delivery round of each mined block; -1 sentinels keep the running
     # maximum below any real round for silent cells.
-    arrival = np.where(success, index + offsets, np.int64(-1))
-    previous_arrival = np.maximum.accumulate(arrival, axis=1)
-    previous_arrival = np.concatenate(
-        [np.full((trials, 1), -1, dtype=np.int64), previous_arrival[:, :-1]], axis=1
+    arrival = xp.where(success, index + offsets, -1)
+    previous_arrival = xp.maximum_accumulate(arrival, axis=1)
+    previous_arrival = xp.concatenate(
+        [xp.full((trials, 1), -1, dtype=index_dtype), previous_arrival[:, :-1]],
+        axis=1,
     )
     # First success strictly after each round, via a reversed running minimum.
-    next_success = np.where(success, index, np.int64(rounds))
-    next_success = np.minimum.accumulate(next_success[:, ::-1], axis=1)[:, ::-1]
-    next_success = np.concatenate(
-        [next_success[:, 1:], np.full((trials, 1), rounds, dtype=np.int64)], axis=1
+    next_success = xp.where(success, index, rounds)
+    next_success = xp.minimum_accumulate(next_success[:, ::-1], axis=1)[:, ::-1]
+    next_success = xp.concatenate(
+        [next_success[:, 1:], xp.full((trials, 1), rounds, dtype=index_dtype)],
+        axis=1,
     )
 
     completion = index + offsets
@@ -168,7 +176,7 @@ def convergence_opportunity_mask_with_delays(
     # Valid centres in one trial complete at distinct rounds (a later centre
     # requires the earlier one's block to have been delivered first), so a
     # plain scatter cannot collide.
-    rows, cols = np.nonzero(centre)
+    rows, cols = xp.nonzero(centre)
     mask[rows, completion[rows, cols]] = True
     return mask
 
@@ -424,20 +432,25 @@ class PeerGraphTopology:
         """All-pairs gossip arrival times (the vectorized kernel), cached.
 
         One min-plus relaxation per pivot node: ``D <- min(D, D[:,k] + D[k,:])``
-        — Floyd–Warshall with the inner two loops as one NumPy broadcast,
+        — Floyd–Warshall with the inner two loops as one array broadcast,
         which is what the ≥5x benchmark gate measures against the per-source
-        Python reference.
+        Python reference.  The kernel runs on the active backend; the cached
+        matrix lives on the host (the graph-analysis helpers built on it —
+        radii, diameters, quantiles — are host consumers).
         """
         if self._distances is None:
-            distance = np.where(self.latencies > 0, self.latencies, _UNREACHED)
-            np.fill_diagonal(distance, 0)
+            xp = get_backend()
+            latencies = xp.from_host(self.latencies)
+            distance = xp.where(latencies > 0, latencies, _UNREACHED)
+            diagonal = xp.arange(self.n_nodes)
+            distance[diagonal, diagonal] = 0
             for pivot in range(self.n_nodes):
-                np.minimum(
+                xp.minimum(
                     distance,
                     distance[:, pivot, None] + distance[None, pivot, :],
                     out=distance,
                 )
-            self._distances = distance
+            self._distances = xp.to_host(distance)
         return self._distances
 
     def distances_reference(self) -> np.ndarray:
@@ -599,9 +612,12 @@ class FixedDeltaDelayModel(DelayModel):
 
     def draw_delays(
         self, trials: int, rounds: int, delta: int, rng: np.random.Generator
-    ) -> np.ndarray:
+    ):
         self._check_shape(trials, rounds, delta)
-        return np.full((trials, rounds), delta, dtype=np.int64)
+        xp = get_backend()
+        return xp.full(
+            (trials, rounds), delta, dtype=get_dtype_policy().index_dtype(xp)
+        )
 
 
 class UniformDelayModel(DelayModel):
@@ -621,7 +637,7 @@ class UniformDelayModel(DelayModel):
 
     def draw_delays(
         self, trials: int, rounds: int, delta: int, rng: np.random.Generator
-    ) -> np.ndarray:
+    ):
         self._check_shape(trials, rounds, delta)
         high = delta if self.high is None else min(self.high, delta)
         if self.low > high:
@@ -629,7 +645,11 @@ class UniformDelayModel(DelayModel):
                 f"uniform delay support [{self.low}, {high}] is empty under "
                 f"the Delta cap {delta}"
             )
-        return rng.integers(self.low, high + 1, size=(trials, rounds), dtype=np.int64)
+        xp = get_backend()
+        # The host draw's default dtype is int64, matching the historical
+        # explicit dtype, so the bit stream is unchanged.
+        draws = xp.integers(rng, self.low, high + 1, (trials, rounds))
+        return xp.asarray(draws, dtype=get_dtype_policy().index_dtype(xp))
 
     def payload(self) -> Dict[str, object]:
         return {"name": self.name, "low": self.low, "high": self.high}
@@ -656,10 +676,12 @@ class TruncatedGeometricDelayModel(DelayModel):
 
     def draw_delays(
         self, trials: int, rounds: int, delta: int, rng: np.random.Generator
-    ) -> np.ndarray:
+    ):
         self._check_shape(trials, rounds, delta)
-        draws = rng.geometric(self.success_probability, size=(trials, rounds)) - 1
-        return np.minimum(draws.astype(np.int64), delta)
+        xp = get_backend()
+        index_dtype = get_dtype_policy().index_dtype(xp)
+        draws = xp.geometric(rng, self.success_probability, (trials, rounds)) - 1
+        return xp.minimum(xp.asarray(draws, dtype=index_dtype), delta)
 
     def payload(self) -> Dict[str, object]:
         return {"name": self.name, "success_probability": self.success_probability}
@@ -686,10 +708,14 @@ class PeerGraphDelayModel(DelayModel):
 
     def draw_delays(
         self, trials: int, rounds: int, delta: int, rng: np.random.Generator
-    ) -> np.ndarray:
+    ):
         self._check_shape(trials, rounds, delta)
-        radii = np.minimum(self.topology.delivery_radii(), delta)
-        sources = rng.integers(0, self.topology.n_nodes, size=(trials, rounds))
+        xp = get_backend()
+        index_dtype = get_dtype_policy().index_dtype(xp)
+        radii = xp.minimum(
+            xp.asarray(self.topology.delivery_radii(), dtype=index_dtype), delta
+        )
+        sources = xp.integers(rng, 0, self.topology.n_nodes, (trials, rounds))
         return radii[sources]
 
     def payload(self) -> Dict[str, object]:

@@ -1,0 +1,142 @@
+"""Lint-style guard: no direct NumPy tensor-op call sites in engine hot paths.
+
+The backend abstraction only holds if nobody quietly reintroduces a
+module-level ``np.`` call into a refactored kernel.  This test parses the
+four engine modules and asserts that every designated hot-path function
+touches ``np``/``numpy`` only through the allowlisted host-boundary names
+(type annotations and the :class:`numpy.random.Generator` seeding surface).
+Everything tensor-shaped must go through the dispatched backend handle or
+Python operators, which dispatch through the array type itself.
+
+Failing this test means a new ``np.<op>`` crept into a hot path — route it
+through :func:`repro.backend.get_backend` (adding the op to
+:data:`repro.backend.ARRAY_OPS` if it is genuinely new) instead of widening
+the allowlist.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+
+import pytest
+
+import repro.simulation.batch as batch
+import repro.simulation.dynamics as dynamics
+import repro.simulation.scenarios as scenarios
+import repro.simulation.topology as topology
+
+#: Names the engines may import NumPy under.
+NUMPY_ALIASES = {"np", "numpy"}
+
+#: ``np.<attr>`` accesses that remain legitimate inside hot paths: type
+#: annotations (``np.ndarray``) and the host RNG surface
+#: (``np.random.Generator`` annotations — all *draws* go through the
+#: backend's host-seeded bridge).
+ALLOWED_ATTRS = {"ndarray", "random"}
+
+#: The hot-path functions the guard covers, as (module, qualname) pairs.
+HOT_PATHS = [
+    (batch, "draw_mining_traces"),
+    (batch, "_bernoulli_counts"),
+    (batch, "count_convergence_opportunities_batch"),
+    (batch, "_opportunity_mask_ws"),
+    (batch, "worst_window_deficits"),
+    (batch, "_worst_window_deficits_ws"),
+    (batch, "BatchSimulation.run_traces"),
+    (scenarios, "_max_window_successes"),
+    (scenarios, "ScenarioSimulation.run_traces"),
+    (scenarios, "ScenarioSimulation._scan"),
+    (topology, "convergence_opportunity_mask_with_delays"),
+    (topology, "PeerGraphTopology.distances"),
+    (topology, "FixedDeltaDelayModel.draw_delays"),
+    (topology, "UniformDelayModel.draw_delays"),
+    (topology, "TruncatedGeometricDelayModel.draw_delays"),
+    (topology, "PeerGraphDelayModel.draw_delays"),
+    (dynamics, "compile_eclipse_offsets"),
+    (dynamics, "_epoch_distances"),
+    (dynamics, "_masked_min_plus"),
+    (dynamics, "compile_schedule"),
+    (dynamics, "TimeVaryingDelayModel.draw_delays"),
+]
+
+
+def _resolve_function_node(module, qualname: str) -> ast.FunctionDef:
+    """The AST node for ``qualname`` (``Class.method`` or plain function)."""
+    tree = ast.parse(inspect.getsource(module))
+    parts = qualname.split(".")
+    scope = tree.body
+    node = None
+    for part in parts:
+        node = next(
+            (
+                child
+                for child in scope
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+                and child.name == part
+            ),
+            None,
+        )
+        assert node is not None, f"{module.__name__}.{qualname} not found"
+        scope = getattr(node, "body", [])
+    assert isinstance(node, ast.FunctionDef)
+    return node
+
+
+def _numpy_violations(node: ast.FunctionDef) -> list:
+    violations = []
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Attribute)
+            and isinstance(child.value, ast.Name)
+            and child.value.id in NUMPY_ALIASES
+            and child.attr not in ALLOWED_ATTRS
+        ):
+            violations.append(f"np.{child.attr} at line {child.lineno}")
+        # A bare `np`/`numpy` passed around (e.g. as a backend stand-in)
+        # defeats the abstraction just as thoroughly as an attribute call.
+        if (
+            isinstance(child, ast.Name)
+            and child.id in NUMPY_ALIASES
+            and isinstance(child.ctx, ast.Load)
+            and not _is_attribute_base(child, node)
+        ):
+            violations.append(f"bare {child.id} at line {child.lineno}")
+    return violations
+
+
+def _is_attribute_base(name: ast.Name, root: ast.FunctionDef) -> bool:
+    return any(
+        isinstance(parent, ast.Attribute) and parent.value is name
+        for parent in ast.walk(root)
+    )
+
+
+@pytest.mark.parametrize(
+    "module,qualname",
+    HOT_PATHS,
+    ids=[f"{module.__name__.split('.')[-1]}:{name}" for module, name in HOT_PATHS],
+)
+def test_hot_path_has_no_direct_numpy_tensor_ops(module, qualname):
+    node = _resolve_function_node(module, qualname)
+    violations = _numpy_violations(node)
+    assert not violations, (
+        f"{module.__name__}.{qualname} bypasses the backend layer: "
+        + ", ".join(violations)
+    )
+
+
+def test_guard_actually_detects_violations():
+    """The guard must flag a representative smuggled ``np.`` call (meta-test
+    so allowlist edits cannot quietly blind it)."""
+    source = (
+        "def bad(x):\n"
+        "    return np.cumsum(x) + np.asarray(x) + len(np.ndarray.__mro__)\n"
+    )
+    node = ast.parse(source).body[0]
+    found = _numpy_violations(node)
+    assert any("np.cumsum" in item for item in found)
+    assert any("np.asarray" in item for item in found)
+    assert not any("np.ndarray" in item for item in found)

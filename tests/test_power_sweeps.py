@@ -1,0 +1,141 @@
+"""Pool-concentration sweep: helpers, structure, and the seeded golden."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    concentration_table,
+    gini_coefficient,
+    herfindahl_index,
+    zipf_weights,
+)
+from repro.core.probabilities import HeterogeneousMiningProbabilities
+from repro.errors import AnalysisError
+from repro.params import parameters_from_c
+from repro.simulation import MiningPowerProfile
+
+TOLERANCE = 1e-9
+
+#: Golden rows for concentration_table(skews=(0.0, 1.0, 2.0), trials=12,
+#: rounds=3000, seed=2026) at the default c=4, n=200, delta=3, nu=0.2 point
+#: (160 honest miners), pinned at the repo's standard base_seed=2026.
+GOLDEN_ROWS = {
+    0.0: {
+        "gini": 0.0,
+        "hhi": 6.250000000000e-03,
+        "alpha_bar": 9.354939883590e-01,
+        "alpha1": 6.239226266671e-02,
+        "heterogeneous_rate": 4.181929832786e-02,
+        "rate_shift": 1.0,
+        "empirical_rate": 4.122222222222e-02,
+    },
+    1.0: {
+        "gini": 6.526126504390e-01,
+        "hhi": 5.123381067679e-02,
+        "alpha_bar": 9.353998620579e-01,
+        "alpha1": 6.257484830256e-02,
+        "heterogeneous_rate": 4.191636511085e-02,
+        "rate_shift": 1.002321100231e00,
+        "empirical_rate": 4.172222222222e-02,
+    },
+    2.0: {
+        "gini": 9.631098664523e-01,
+        "hhi": 4.030474297388e-01,
+        "alpha_bar": 9.346474573524e-01,
+        "alpha1": 6.405078794909e-02,
+        "heterogeneous_rate": 4.269838509927e-02,
+        "rate_shift": 1.021021078941e00,
+        "empirical_rate": 4.411111111111e-02,
+    },
+}
+
+
+class TestHelpers:
+    def test_zipf_weights_shape_and_skew(self):
+        flat = zipf_weights(8, 0.0)
+        assert np.allclose(flat, 1.0)
+        skewed = zipf_weights(8, 1.0)
+        assert skewed[0] == 1.0
+        assert (np.diff(skewed) < 0).all()
+
+    def test_zipf_rejects_bad_inputs(self):
+        with pytest.raises(AnalysisError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(AnalysisError):
+            zipf_weights(4, -0.5)
+
+    def test_gini_extremes(self):
+        assert gini_coefficient([1.0, 1.0, 1.0, 1.0]) == pytest.approx(0.0)
+        # One pool holding almost everything approaches (m-1)/m.
+        assert gini_coefficient([1e-9, 1e-9, 1e-9, 1.0]) == pytest.approx(
+            0.75, abs=1e-6
+        )
+
+    def test_hhi_extremes(self):
+        assert herfindahl_index([1.0] * 5) == pytest.approx(0.2)
+        assert herfindahl_index([1e-12, 1.0]) == pytest.approx(1.0, abs=1e-9)
+
+    def test_helpers_reject_nonpositive_weights(self):
+        for helper in (gini_coefficient, herfindahl_index):
+            with pytest.raises(AnalysisError):
+                helper([1.0, 0.0])
+            with pytest.raises(AnalysisError):
+                helper([])
+
+
+class TestConcentrationTable:
+    def test_rejects_empty_and_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            concentration_table(skews=())
+        with pytest.raises(AnalysisError):
+            concentration_table(trials=-1)
+        with pytest.raises(AnalysisError):
+            concentration_table(rounds=0)
+
+    def test_analytical_rows_match_heterogeneous_probabilities(self):
+        """Each row's rate is exactly the Poisson-binomial Eq. 44 of its
+        profile — the table is a view over core.probabilities, not a
+        reimplementation."""
+        params = parameters_from_c(c=4.0, n=200, delta=3, nu=0.2)
+        rows = concentration_table(skews=(1.2,), params=params)
+        profile = MiningPowerProfile.from_weights(
+            params, zipf_weights(rows[0]["honest_miners"], 1.2)
+        )
+        expected = HeterogeneousMiningProbabilities(
+            profile.honest_p, profile.adversary_p
+        ).convergence_opportunity(params.delta)
+        assert rows[0]["heterogeneous_rate"] == pytest.approx(
+            expected, rel=TOLERANCE
+        )
+        assert "empirical_rate" not in rows[0]  # trials=0: analytical only
+
+    def test_concentration_statistics_are_monotone_in_skew(self):
+        rows = concentration_table(skews=(0.0, 0.5, 1.0, 1.5, 2.0))
+        ginis = [row["gini"] for row in rows]
+        hhis = [row["hhi"] for row in rows]
+        shifts = [row["rate_shift"] for row in rows]
+        assert ginis == sorted(ginis)
+        assert hhis == sorted(hhis)
+        # At small per-miner p the one-success mass dominates: the rate
+        # shift grows with concentration and never drops below 1.
+        assert shifts == sorted(shifts)
+        assert shifts[0] == pytest.approx(1.0, rel=TOLERANCE)
+
+    def test_golden_table_at_base_seed_2026(self):
+        rows = concentration_table(
+            skews=tuple(GOLDEN_ROWS), trials=12, rounds=3_000, seed=2026
+        )
+        assert [row["skew"] for row in rows] == list(GOLDEN_ROWS)
+        for row in rows:
+            golden = GOLDEN_ROWS[row["skew"]]
+            for key, expected in golden.items():
+                assert row[key] == pytest.approx(expected, rel=TOLERANCE), (
+                    row["skew"],
+                    key,
+                )
+            assert row["ci_covers_prediction"] is True
+            assert row["homogeneous_rate"] == pytest.approx(
+                4.181929832786e-02, rel=TOLERANCE
+            )
