@@ -18,7 +18,11 @@
   subsystem;
 * :mod:`repro.analysis.power_sweeps` — pool-concentration tables: Gini/HHI
   of a skewed :class:`~repro.simulation.MiningPowerProfile` versus the
-  Poisson-binomial shift of the Eq. (44) convergence-opportunity rate.
+  Poisson-binomial shift of the Eq. (44) convergence-opportunity rate;
+* :mod:`repro.analysis.tail_sweeps` — deep-tail validation on the
+  rare-event estimator: tilted/splitting violation tails versus the
+  Lundberg-exponent predictions under the corrected and Kiffer
+  convergence rates, plus the plain-MC overlap-region agreement table.
 """
 
 from .attack_sweeps import ATTACK_SCENARIOS, attack_success_grid, attack_surface_sweep
@@ -46,6 +50,11 @@ from .sweeps import (
     simulation_sweep,
 )
 from .tables import format_value, render_mapping, render_table, table_i
+from .tail_sweeps import (
+    lundberg_exponent,
+    overlap_validation_table,
+    tail_depth_sweep,
+)
 from .validation import (
     BatchExpectationValidation,
     ConsistencyScenario,
@@ -102,4 +111,7 @@ __all__ = [
     "gini_coefficient",
     "herfindahl_index",
     "concentration_table",
+    "lundberg_exponent",
+    "tail_depth_sweep",
+    "overlap_validation_table",
 ]

@@ -28,7 +28,7 @@ from ..core.bounds import neat_bound
 from ..core.pss import pss_attack_succeeds
 from ..errors import AnalysisError
 from ..params import parameters_from_c
-from ..simulation.batch import _confidence_interval
+from ..simulation.batch import proportion_confidence_interval
 from ..simulation.runner import ExperimentRunner
 from ..simulation.scenarios import Scenario, get_scenario
 
@@ -151,6 +151,6 @@ def attack_success_grid(
 
 
 def _binomial_ci(mask: np.ndarray) -> Tuple[float, float]:
-    """Normal-approximation 95% CI for a success fraction, clamped to [0, 1]."""
-    low, high = _confidence_interval(np.asarray(mask, dtype=np.float64))
-    return (max(low, 0.0), min(high, 1.0))
+    """Wilson score 95% CI for a success fraction (honest at 0 and 1)."""
+    mask = np.asarray(mask)
+    return proportion_confidence_interval(int(mask.sum()), mask.size)

@@ -28,7 +28,9 @@ def format_value(value: object, precision: int = 6) -> str:
         if value == 0.0:
             return "0"
         if math.isnan(value):
-            return "nan"
+            # NaN means "not estimable" (e.g. a single-trial CI half-width),
+            # never a numeric value — render it as such.
+            return "n/a"
         if math.isinf(value):
             return "inf" if value > 0 else "-inf"
         magnitude = abs(value)

@@ -74,6 +74,7 @@ __all__ = [
     "convergence_opportunity_mask",
     "count_convergence_opportunities_batch",
     "worst_window_deficits",
+    "proportion_confidence_interval",
     "BatchResult",
     "BatchSimulation",
 ]
@@ -299,17 +300,57 @@ def _worst_window_deficits_ws(
 def _confidence_interval(values: np.ndarray) -> Tuple[float, float]:
     """Normal-approximation 95% confidence interval for the mean of ``values``.
 
-    Host-side statistics helper: accumulates in the active dtype policy's
-    ``stat`` dtype (float64 under ``wide`` — the historical behaviour;
-    float32 under ``compact``, within the documented
-    :data:`~repro.backend.dtypes.COMPACT_STAT_RTOL`).
+    Host-side statistics helper for *unbounded* means (rates, depths, fork
+    sizes): accumulates in the active dtype policy's ``stat`` dtype (float64
+    under ``wide`` — the historical behaviour; float32 under ``compact``,
+    within the documented :data:`~repro.backend.dtypes.COMPACT_STAT_RTOL`).
+
+    A single observation carries no variance information, so the interval is
+    ``(nan, nan)`` rather than the zero-width ``(mean, mean)`` — a one-trial
+    run must never masquerade as a certain estimate (the tables render the
+    NaN bounds as ``n/a``).  Proportion-valued statistics over 0-1 outcomes
+    (violation/success probabilities) must go through
+    :func:`proportion_confidence_interval` instead: the normal approximation
+    collapses to a zero-width interval at 0 or ``trials`` successes, which is
+    exactly where honest tail bounds matter most.
     """
     values = np.asarray(values, dtype=np.dtype(get_dtype_policy().stat))
-    mean = float(values.mean())
     if values.size < 2:
-        return (mean, mean)
+        return (math.nan, math.nan)
+    mean = float(values.mean())
     half_width = 1.96 * float(values.std(ddof=1)) / math.sqrt(values.size)
     return (mean - half_width, mean + half_width)
+
+
+def proportion_confidence_interval(
+    successes: int, trials: int
+) -> Tuple[float, float]:
+    """Wilson score 95% confidence interval for a Bernoulli proportion.
+
+    The right tool for probability estimates over 0-1 outcomes: unlike the
+    normal (Wald) approximation, the interval never collapses to zero width
+    at the boundaries — a run with *zero* observed successes still reports
+    the honest upper bound ``z^2 / (n + z^2)`` (≈ ``3.84 / n`` for large
+    ``n``), and a run where every trial succeeded still admits failure
+    probability mass.  Both endpoints are clipped to ``[0, 1]`` by
+    construction.  A zero-trial input returns ``(nan, nan)``.
+    """
+    trials = int(trials)
+    successes = int(successes)
+    if trials < 1:
+        return (math.nan, math.nan)
+    if not 0 <= successes <= trials:
+        raise SimulationError(
+            f"successes must lie in [0, {trials}], got {successes!r}"
+        )
+    z = 1.96
+    estimate = successes / trials
+    denominator = 1.0 + z * z / trials
+    centre = (estimate + z * z / (2.0 * trials)) / denominator
+    half_width = (z / denominator) * math.sqrt(
+        estimate * (1.0 - estimate) / trials + z * z / (4.0 * trials * trials)
+    )
+    return (max(centre - half_width, 0.0), min(centre + half_width, 1.0))
 
 
 @dataclass
@@ -396,6 +437,21 @@ class BatchResult:
         if depth < 0:
             raise SimulationError("depth must be non-negative")
         return self.worst_deficits >= depth
+
+    def violation_probability(self, depth: int) -> float:
+        """Fraction of trials whose worst windowed deficit reached ``depth``."""
+        return float(self.deficit_exceeds(depth).mean())
+
+    def violation_ci95(self, depth: int) -> Tuple[float, float]:
+        """Wilson score 95% interval for the depth-``depth`` violation probability.
+
+        Proportion-valued, so it goes through
+        :func:`proportion_confidence_interval`: a batch with zero observed
+        violations reports a strictly positive upper bound instead of the
+        false certainty of a zero-width normal interval.
+        """
+        flags = self.deficit_exceeds(depth)
+        return proportion_confidence_interval(int(flags.sum()), flags.size)
 
     def summary(self) -> Dict[str, float]:
         """A flat dictionary of the headline numbers (for tables)."""

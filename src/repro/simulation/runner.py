@@ -40,6 +40,12 @@ from ..backend import (
 from ..errors import SimulationError
 from ..params import ProtocolParameters
 from .batch import DRAW_MODES, BatchResult, BatchSimulation
+from .rare_events import (
+    RARE_EVENT_METHODS,
+    ExponentialTilt,
+    RareEventResult,
+    RareEventSimulation,
+)
 from .dynamics import (
     AdversaryPlacement,
     DynamicsSchedule,
@@ -198,6 +204,7 @@ class ExperimentRunner:
         delay_model: Optional[DelayModel] = None,
         power: Optional[MiningPowerProfile] = None,
         placement: Optional[AdversaryPlacement] = None,
+        rare_event: Optional[dict] = None,
     ) -> dict:
         """The version-free description of one experiment point."""
         payload = {
@@ -216,6 +223,8 @@ class ExperimentRunner:
             payload["power"] = power.payload()
         if placement is not None:
             payload["placement"] = placement.payload()
+        if rare_event is not None:
+            payload["rare_event"] = rare_event
         return payload
 
     @staticmethod
@@ -232,17 +241,21 @@ class ExperimentRunner:
         delay_model: Union[None, str, DelayModel] = None,
         power: Optional[MiningPowerProfile] = None,
         placement: Optional[AdversaryPlacement] = None,
+        rare_event: Optional[dict] = None,
     ) -> str:
         """Hex digest identifying one (version, engine, params, shape, seed, …) result.
 
         Passive fixed-delta batch runs omit the scenario / delay-model /
-        power / placement fields entirely.  Dynamics runs fold the whole
-        schedule payload (event list, and the topology digest when one is
-        wired) into the key, so two runs differing only in when a partition
-        heals never collide.  The package version is always included, so a
-        cache written by an older release (whose engine semantics may have
-        since changed) is never silently reused — an upgrade simply recomputes
-        and re-stores under the new key.
+        power / placement / rare-event fields entirely.  Dynamics runs fold
+        the whole schedule payload (event list, and the topology digest when
+        one is wired) into the key, so two runs differing only in when a
+        partition heals never collide; rare-event runs fold the full
+        estimator spec (depth, method, explicit tilt, pilot knobs), so two
+        estimates differing only in pilot configuration never collide.  The
+        package version is always included, so a cache written by an older
+        release (whose engine semantics may have since changed) is never
+        silently reused — an upgrade simply recomputes and re-stores under
+        the new key.
         """
         payload = self._point_payload(
             params,
@@ -252,6 +265,7 @@ class ExperimentRunner:
             resolve_delay_model(delay_model),
             power,
             placement,
+            rare_event,
         )
         payload["package_version"] = _version.__version__
         # Non-default backends and dtype policies get their own cache slots
@@ -278,15 +292,17 @@ class ExperimentRunner:
         delay_model: Union[None, str, DelayModel] = None,
         power: Optional[MiningPowerProfile] = None,
         placement: Optional[AdversaryPlacement] = None,
+        rare_event: Optional[dict] = None,
     ) -> np.random.SeedSequence:
         """The point's seed sequence: base seed plus point-digest entropy words.
 
         Deriving the entropy from the point description makes the stream a
         pure function of (engine version, parameters, shape, draw mode,
-        base seed, scenario, delay model, power, placement) — independent of
-        grid composition and execution order.  The *package* version is
-        deliberately excluded: upgrading the library invalidates caches but
-        must not silently reroll every seeded experiment.
+        base seed, scenario, delay model, power, placement, rare-event
+        spec) — independent of grid composition and execution order.  The
+        *package* version is deliberately excluded: upgrading the library
+        invalidates caches but must not silently reroll every seeded
+        experiment.
         """
         digest = self._digest(
             self._point_payload(
@@ -297,6 +313,7 @@ class ExperimentRunner:
                 resolve_delay_model(delay_model),
                 power,
                 placement,
+                rare_event,
             )
         )
         words = [int(digest[index : index + 8], 16) for index in range(0, 32, 8)]
@@ -754,6 +771,207 @@ class ExperimentRunner:
                 scenario=scenario,
                 power=power,
                 placement=placement,
+            )
+            for point in points
+        ]
+
+    # ------------------------------------------------------------------
+    # Rare-event execution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rare_event_spec(
+        depth: int,
+        method: str,
+        tilt: Optional[ExponentialTilt],
+        pilot_trials: int,
+        elite_fraction: float,
+        max_iterations: int,
+        smoothing: float,
+    ) -> dict:
+        """The estimator-aware half of a rare-event cache key / seed payload.
+
+        Every knob that changes either the sampling measure or the amount of
+        entropy the estimator consumes is part of the spec, so two estimates
+        that could differ numerically can never share a cache slot or a
+        seed stream.  The pilot knobs are folded in even with an explicit
+        tilt (when they are inert) — a constant key for a given call
+        signature is worth more than a marginally smaller payload.
+        """
+        if method not in RARE_EVENT_METHODS:
+            raise SimulationError(
+                f"method must be one of {RARE_EVENT_METHODS}, got {method!r}"
+            )
+        return {
+            "depth": int(depth),
+            "method": method,
+            "tilt": None if tilt is None else tilt.payload(),
+            "pilot_trials": int(pilot_trials),
+            "elite_fraction": float(elite_fraction),
+            "max_iterations": int(max_iterations),
+            "smoothing": float(smoothing),
+        }
+
+    def _load_cached_rare(self, path: str) -> Optional[RareEventResult]:
+        if not os.path.exists(path):
+            return None
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            tilt_payload = meta.get("tilt")
+            levels = archive["level_probabilities"]
+            return RareEventResult(
+                params=_params_from_payload(meta["params"]),
+                depth=int(meta["depth"]),
+                method=str(meta["method"]),
+                trials=int(meta["trials"]),
+                rounds=int(meta["rounds"]),
+                probability=float(meta["probability"]),
+                ci_low=float(meta["ci_low"]),
+                ci_high=float(meta["ci_high"]),
+                relative_error=float(meta["relative_error"]),
+                effective_sample_size=float(meta["effective_sample_size"]),
+                hits=int(meta["hits"]),
+                tilt=(
+                    None
+                    if tilt_payload is None
+                    else ExponentialTilt(**tilt_payload)
+                ),
+                pilot_iterations=int(meta["pilot_iterations"]),
+                level_probabilities=None if levels.size == 0 else levels,
+            )
+
+    def _store_cached_rare(self, path: str, result: RareEventResult) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        meta = json.dumps(
+            {
+                "engine_version": ENGINE_VERSION,
+                "package_version": _version.__version__,
+                "params": _params_payload(result.params),
+                "depth": result.depth,
+                "method": result.method,
+                "trials": result.trials,
+                "rounds": result.rounds,
+                "probability": result.probability,
+                "ci_low": result.ci_low,
+                "ci_high": result.ci_high,
+                "relative_error": result.relative_error,
+                "effective_sample_size": result.effective_sample_size,
+                "hits": result.hits,
+                "tilt": None if result.tilt is None else result.tilt.payload(),
+                "pilot_iterations": result.pilot_iterations,
+                "base_seed": self.base_seed,
+            },
+            sort_keys=True,
+        )
+        levels = (
+            np.zeros(0)
+            if result.level_probabilities is None
+            else np.asarray(result.level_probabilities)
+        )
+        temporary = f"{path}.tmp.{os.getpid()}"
+        np.savez(temporary, meta=np.asarray(meta), level_probabilities=levels)
+        os.replace(f"{temporary}.npz", path)
+
+    def run_rare_event_point(
+        self,
+        params: ProtocolParameters,
+        trials: int,
+        rounds: int,
+        depth: int,
+        method: str = "tilted",
+        tilt: Optional[ExponentialTilt] = None,
+        pilot_trials: int = 512,
+        elite_fraction: float = 0.1,
+        max_iterations: int = 10,
+        smoothing: float = 0.7,
+    ) -> RareEventResult:
+        """Run (or fetch from cache) one rare-event estimate.
+
+        ``method`` selects the estimator (``"plain"``, ``"tilted"`` or
+        ``"splitting"``); for ``"tilted"`` an explicit ``tilt`` skips the
+        cross-entropy pilot stage.  The cache key and seed stream fold in
+        the full estimator spec, so e.g. the same point estimated at two
+        depths, or with and without a pinned tilt, never collide.  Only the
+        binomial draw mode is supported: the exponential-tilt likelihood
+        ratios are exact for the Binomial per-round law, not for the
+        auditing Bernoulli path or heterogeneous power profiles.
+        """
+        if self.draw_mode != "binomial":
+            raise SimulationError(
+                "rare-event estimation supports only the binomial draw mode; "
+                f"this runner uses {self.draw_mode!r}"
+            )
+        spec = self._rare_event_spec(
+            depth,
+            method,
+            tilt,
+            pilot_trials,
+            elite_fraction,
+            max_iterations,
+            smoothing,
+        )
+        key = self.cache_key(params, trials, rounds, rare_event=spec)
+        path = self._cache_path(key, prefix="rare")
+        if path is not None:
+            cached = self._load_cached_rare(path)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        self.cache_misses += 1
+        rng = np.random.default_rng(
+            self.seed_sequence_for(params, trials, rounds, rare_event=spec)
+        )
+        estimator = RareEventSimulation(
+            params, depth, rng=rng, workspace=self.workspace
+        )
+        if method == "plain":
+            result = estimator.run_plain(trials, rounds)
+        elif method == "splitting":
+            result = estimator.run_splitting(trials, rounds)
+        else:
+            result = estimator.run_tilted(
+                trials,
+                rounds,
+                tilt=tilt,
+                pilot_trials=pilot_trials,
+                elite_fraction=elite_fraction,
+                max_iterations=max_iterations,
+                smoothing=smoothing,
+            )
+        if path is not None:
+            self._store_cached_rare(path, result)
+        return result
+
+    def run_rare_event_grid(
+        self,
+        points: Sequence[ProtocolParameters],
+        trials: int,
+        rounds: int,
+        depth: int,
+        method: str = "tilted",
+        tilt: Optional[ExponentialTilt] = None,
+        pilot_trials: int = 512,
+        elite_fraction: float = 0.1,
+        max_iterations: int = 10,
+        smoothing: float = 0.7,
+    ) -> List[RareEventResult]:
+        """Run one rare-event estimate at every parameter point.
+
+        Serial in-process, like the topology grids: each point's chunked
+        estimator already vectorizes all trials, and per-point seeds make
+        the results independent of grid composition anyway.
+        """
+        return [
+            self.run_rare_event_point(
+                point,
+                trials,
+                rounds,
+                depth,
+                method=method,
+                tilt=tilt,
+                pilot_trials=pilot_trials,
+                elite_fraction=elite_fraction,
+                max_iterations=max_iterations,
+                smoothing=smoothing,
             )
             for point in points
         ]

@@ -65,6 +65,7 @@ from .batch import (
     _confidence_interval,
     _opportunity_mask_ws,
     draw_mining_traces,
+    proportion_confidence_interval,
     worst_window_deficits,
 )
 from .rng import SeedLike, resolve_rng
@@ -384,9 +385,15 @@ class ScenarioResult:
 
     @property
     def attack_success_ci95(self) -> Tuple[float, float]:
-        """95% confidence interval for the attack-success probability."""
-        low, high = _confidence_interval(self.attack_success_mask())
-        return (max(low, 0.0), min(high, 1.0))
+        """Wilson score 95% interval for the attack-success probability.
+
+        Proportion-valued over 0-1 outcomes, so it uses
+        :func:`~repro.simulation.batch.proportion_confidence_interval`:
+        all-failure and all-success batches report honest non-degenerate
+        bounds instead of a zero-width normal interval.
+        """
+        mask = self.attack_success_mask()
+        return proportion_confidence_interval(int(mask.sum()), mask.size)
 
     @property
     def mean_deepest_fork(self) -> float:

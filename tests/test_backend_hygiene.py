@@ -23,6 +23,7 @@ import pytest
 
 import repro.simulation.batch as batch
 import repro.simulation.dynamics as dynamics
+import repro.simulation.rare_events as rare_events
 import repro.simulation.scenarios as scenarios
 import repro.simulation.topology as topology
 
@@ -58,6 +59,7 @@ HOT_PATHS = [
     (dynamics, "_masked_min_plus"),
     (dynamics, "compile_schedule"),
     (dynamics, "TimeVaryingDelayModel.draw_delays"),
+    (rare_events, "draw_tilted_traces"),
 ]
 
 

@@ -44,7 +44,9 @@ class TestFormatValue:
 
     def test_zero_and_specials(self):
         assert format_value(0.0) == "0"
-        assert format_value(float("nan")) == "nan"
+        # NaN marks a non-estimable statistic (e.g. a single-trial CI
+        # half-width) and must read as such, not as a number.
+        assert format_value(float("nan")) == "n/a"
         assert format_value(float("inf")) == "inf"
         assert format_value(float("-inf")) == "-inf"
 
