@@ -22,7 +22,11 @@ script stresses exactly that assumption:
 3. position the adversary on a gossip graph with
    :class:`repro.simulation.AdversaryPlacement` (hub versus leaf) and show
    how a release that must itself gossip fares against the honest chain;
-4. print a churn-rate tightness table
+4. price a *partial* cut with the two-component scan
+   (:func:`repro.analysis.equivocation_comparison_sweep`): equivocation —
+   one conflicting private chain per partition component — versus
+   single-chain withholding on the same shared traces, per cut duration;
+5. print a churn-rate tightness table
    (:func:`repro.analysis.churn_tightness_table`): how much of the static
    Eq. 44 prediction survives periodic peer churn.
 """
@@ -32,7 +36,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis import churn_tightness_table, partition_depth_sweep, render_table
+from repro.analysis import (
+    churn_tightness_table,
+    equivocation_comparison_sweep,
+    partition_depth_sweep,
+    render_table,
+)
 from repro.params import parameters_from_c
 from repro.simulation import (
     AdversaryPlacement,
@@ -149,7 +158,39 @@ def main(argv=None) -> int:
     print(render_table(placement_rows))
     print()
 
-    # 4. Churn tightness: the static prediction under periodic peer churn.
+    # 4. Partial cuts: the two-component scan prices the majority/minority
+    #    race exactly, and equivocation (one private chain per component)
+    #    is compared against single-chain withholding on shared traces.
+    equivocation_rows = equivocation_comparison_sweep(
+        durations=(0, args.rounds // 8, args.rounds // 4),
+        partition_start=args.rounds // 4,
+        trials=args.trials,
+        rounds=args.rounds,
+        seed=args.seed,
+    )
+    print(
+        "Partial cut (half the honest power isolated): equivocation vs "
+        "single-chain withholding on shared traces:"
+    )
+    print(
+        render_table(
+            [
+                {
+                    "cut duration": row["partition_duration"],
+                    "single fork": row["single_mean_deepest_fork"],
+                    "single success": row["single_success_probability"],
+                    "equiv fork": row["equivocation_mean_deepest_fork"],
+                    "equiv success": row["equivocation_success_probability"],
+                    "merge depth": row["equivocation_mean_merge_depth"],
+                    "equiv advantage": row["equivocation_advantage"],
+                }
+                for row in equivocation_rows
+            ]
+        )
+    )
+    print()
+
+    # 5. Churn tightness: the static prediction under periodic peer churn.
     churn_rows = churn_tightness_table(
         leave_counts=(0, 2, 4),
         period=max(args.rounds // 8, 1),

@@ -59,8 +59,12 @@ Attacks are described declaratively by :class:`~repro.simulation.Scenario`
 objects held in a registry: ``passive`` and ``max_delay`` (publish
 immediately, delaying honest blocks by 0 and Δ rounds respectively),
 ``private_chain`` (the PSS Remark 8.5 withholding attack, parameterised by
-``target_depth`` and ``give_up_deficit``) and ``selfish_mining``
-(Eyal-Sirer adapted to the round model).  Look scenarios up with
+``target_depth`` and ``give_up_deficit``), ``selfish_mining``
+(Eyal-Sirer adapted to the round model), and — via
+:mod:`repro.simulation.dynamics` — ``eclipse`` / ``partition_attack``
+(withholding plus a scheduled network cut) and ``equivocation`` (the
+adversary shows *conflicting* private chains to the two sides of a partial
+cut; see the network-dynamics section).  Look scenarios up with
 :func:`~repro.simulation.get_scenario`, enumerate them with
 :func:`~repro.simulation.list_scenarios`, and add custom variants with
 :func:`~repro.simulation.register_scenario`.  Each scenario runs on two
@@ -73,7 +77,7 @@ legacy :class:`~repro.simulation.NakamotoSimulation` with the scenario's
 >>> from repro import ScenarioSimulation
 >>> from repro.simulation import list_scenarios
 >>> sorted(list_scenarios())
-['eclipse', 'max_delay', 'partition_attack', 'passive', 'private_chain', 'selfish_mining']
+['eclipse', 'equivocation', 'max_delay', 'partition_attack', 'passive', 'private_chain', 'selfish_mining']
 >>> attack = parameters_from_c(c=1.0, n=400, delta=3, nu=0.4)
 >>> result = ScenarioSimulation(attack, "private_chain", rng=0).run(8, 2_000)
 >>> bool(result.attack_success_probability >= 0.0)
@@ -136,6 +140,22 @@ privately inside it) join the scenario registry, and
 :class:`~repro.simulation.AdversaryPlacement` positions corrupted miners
 on the gossip graph — their releases then propagate through gossip
 (``hub`` / ``leaf`` / ``random``) instead of landing instantaneously.
+
+A :class:`~repro.simulation.PartitionScenario` with ``cut_fraction`` set
+makes the cut *partial*: the honest network splits into a majority and a
+minority component (each honest success landing in the minority with that
+probability) and the engine switches to a **two-component scan** — per-
+component public heights, fork points and pending-release rings, a common
+prefix frozen at the cut round, and merge-on-heal reconciliation where the
+higher chain wins and the losing suffix counts as displaced depth.  The
+``equivocation`` scenario rides on it: the adversary maintains one private
+chain per component, feeds each round's successes to the weaker race, and
+releases conflicting chains to the two sides.  Both are pinned bit-exactly
+to the pure-Python :func:`~repro.simulation.reference_partition_scan`;
+aggregate-path runs (no windows) stay bit-identical to the legacy engine,
+and routing a *node-set* partition through the aggregate single-height
+scan now raises (``allow_partial_partitions=True`` downgrades it to a
+warning) instead of silently mispricing the race.
 
 >>> from repro.simulation import DynamicsSchedule, PartitionEvent, TimeVaryingDelayModel
 >>> model = TimeVaryingDelayModel(DynamicsSchedule([PartitionEvent(1_000, 200)]))

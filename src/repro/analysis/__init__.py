@@ -14,7 +14,8 @@
   the paper's fixed-Δ prediction, per graph degree / latency spread;
 * :mod:`repro.analysis.partition_sweeps` — consistency-violation depth
   versus partition/eclipse duration (deterministically monotone under the
-  shared-trace design) and churn-rate tightness tables, on the dynamics
+  shared-trace design), churn-rate tightness tables, and equivocation vs
+  single-chain partial-cut comparisons on shared traces, on the dynamics
   subsystem;
 * :mod:`repro.analysis.power_sweeps` — pool-concentration tables: Gini/HHI
   of a skewed :class:`~repro.simulation.MiningPowerProfile` versus the
@@ -26,7 +27,11 @@
 """
 
 from .attack_sweeps import ATTACK_SCENARIOS, attack_success_grid, attack_surface_sweep
-from .partition_sweeps import churn_tightness_table, partition_depth_sweep
+from .partition_sweeps import (
+    churn_tightness_table,
+    equivocation_comparison_sweep,
+    partition_depth_sweep,
+)
 from .power_sweeps import (
     concentration_table,
     gini_coefficient,
@@ -107,6 +112,7 @@ __all__ = [
     "effective_delta_table",
     "partition_depth_sweep",
     "churn_tightness_table",
+    "equivocation_comparison_sweep",
     "zipf_weights",
     "gini_coefficient",
     "herfindahl_index",

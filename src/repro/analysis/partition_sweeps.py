@@ -21,6 +21,10 @@ subsystem (:mod:`repro.simulation.dynamics` via
   sweep: peers periodically leave and rejoin a gossip graph, and each row
   compares the empirical convergence-opportunity rate under that churn
   level against the fixed-Δ prediction (tightness ratio, 95% CI).
+* :func:`equivocation_comparison_sweep` — equivocation versus the
+  single-chain partition attack on *shared* partial-cut traces: one row
+  per duration with both strategies' displaced depths and the equivocation
+  advantage, priced by the two-component scan.
 """
 
 from __future__ import annotations
@@ -40,12 +44,18 @@ from ..simulation.dynamics import (
     ChurnEvent,
     DynamicsSchedule,
     PartitionEvent,
+    PartitionScenario,
     TimeVaryingDelayModel,
 )
 from ..simulation.runner import ExperimentRunner
+from ..simulation.scenarios import ScenarioSimulation
 from ..simulation.topology import PeerGraphTopology
 
-__all__ = ["partition_depth_sweep", "churn_tightness_table"]
+__all__ = [
+    "partition_depth_sweep",
+    "churn_tightness_table",
+    "equivocation_comparison_sweep",
+]
 
 
 def _check_shape(trials: int, rounds: int) -> None:
@@ -161,6 +171,130 @@ def partition_depth_sweep(
                     params.convergence_opportunity_probability
                 ),
                 "theoretical_adversary_rate": params.beta,
+            }
+        )
+    return rows
+
+
+def equivocation_comparison_sweep(
+    durations: Sequence[int] = (0, 100, 200, 400),
+    *,
+    partition_start: int = 1_000,
+    cut_fraction: float = 0.5,
+    target_depth: int = 6,
+    c: float = 1.0,
+    n: int = 500,
+    delta: int = 3,
+    nu: float = 0.25,
+    trials: int = 16,
+    rounds: int = 4_000,
+    seed: int = 0,
+    runner: Optional[ExperimentRunner] = None,
+) -> List[Dict[str, object]]:
+    """Equivocation vs single-chain partition attacks on shared traces.
+
+    Both strategies attack the same partial cut — the network splits into a
+    majority and a minority holding ``cut_fraction`` of the honest power
+    over ``[partition_start, partition_start + duration)`` — and both are
+    priced by the two-component scan.  The single-chain attacker
+    (``private_chain``) races the best public chain it can see across the
+    cut; the equivocating attacker maintains one private chain per
+    component, feeding each round's successes to the weaker race and
+    releasing conflicting chains to the two sides.
+
+    Every duration and both strategies run on the *same* seeded mining and
+    minority-split tensors (the common-random-numbers design of
+    :func:`partition_depth_sweep`), so each row's
+    ``equivocation_advantage`` — the difference in mean displaced depth —
+    reflects the strategy change alone, not sampling noise.  Rows also
+    carry both strategies' attack-success probabilities at
+    ``target_depth``, the mean merge-on-heal displaced depth, and the
+    shared trace parameters.
+    """
+    _check_shape(trials, rounds)
+    if not durations:
+        raise AnalysisError("at least one partition duration is required")
+    if any(int(duration) < 0 for duration in durations):
+        raise AnalysisError("partition durations must be non-negative")
+    if not (0 <= int(partition_start) < rounds):
+        raise AnalysisError(
+            f"partition_start must lie inside the run [0, {rounds}), got "
+            f"{partition_start!r}"
+        )
+    if not (0.0 < float(cut_fraction) < 1.0):
+        raise AnalysisError(
+            f"cut_fraction must lie strictly in (0, 1), got {cut_fraction!r}"
+        )
+    runner = runner if runner is not None else ExperimentRunner(base_seed=seed)
+    params = parameters_from_c(c=float(c), n=n, delta=int(delta), nu=float(nu))
+    trace_rng = np.random.default_rng(
+        runner.seed_sequence_for(params, trials, rounds)
+    )
+    honest, adversary = draw_mining_traces(
+        params, trials, rounds, trace_rng, runner.draw_mode
+    )
+    # A fresh generator from the same per-sweep entropy gives every
+    # duration and both strategies the identical minority-split stream.
+    origin_entropy = runner.seed_sequence_for(params, trials, rounds).entropy
+    split = np.random.default_rng(
+        np.random.SeedSequence([*np.atleast_1d(origin_entropy), 2])
+    ).binomial(np.asarray(honest), float(cut_fraction))
+    rows: List[Dict[str, object]] = []
+    for duration in durations:
+        results = {}
+        for kind in ("private_chain", "equivocation"):
+            scenario = PartitionScenario(
+                name=f"sweep_{kind}",
+                kind=kind,
+                target_depth=int(target_depth),
+                give_up_deficit=None,
+                partition_start=int(partition_start),
+                partition_duration=int(duration),
+                cut_fraction=float(cut_fraction),
+            )
+            results[kind] = ScenarioSimulation(
+                params, scenario, rng=0, draw_mode=runner.draw_mode
+            ).run_traces(honest, adversary, split_counts=split)
+        single, equivocation = (
+            results["private_chain"],
+            results["equivocation"],
+        )
+        single_ci = _confidence_interval(single.deepest_forks)
+        equivocation_ci = _confidence_interval(equivocation.deepest_forks)
+        rows.append(
+            {
+                "partition_start": int(partition_start),
+                "partition_duration": int(duration),
+                "cut_fraction": float(cut_fraction),
+                "target_depth": int(target_depth),
+                "c": params.c,
+                "nu": params.nu,
+                "delta": params.delta,
+                "single_mean_deepest_fork": single.mean_deepest_fork,
+                "single_deepest_fork_ci95_low": single_ci[0],
+                "single_deepest_fork_ci95_high": single_ci[1],
+                "single_max_deepest_fork": single.max_deepest_fork,
+                "single_success_probability": (
+                    single.attack_success_probability
+                ),
+                "single_mean_merge_depth": float(single.merge_depths.mean()),
+                "equivocation_mean_deepest_fork": (
+                    equivocation.mean_deepest_fork
+                ),
+                "equivocation_deepest_fork_ci95_low": equivocation_ci[0],
+                "equivocation_deepest_fork_ci95_high": equivocation_ci[1],
+                "equivocation_max_deepest_fork": (
+                    equivocation.max_deepest_fork
+                ),
+                "equivocation_success_probability": (
+                    equivocation.attack_success_probability
+                ),
+                "equivocation_mean_merge_depth": float(
+                    equivocation.merge_depths.mean()
+                ),
+                "equivocation_advantage": (
+                    equivocation.mean_deepest_fork - single.mean_deepest_fork
+                ),
             }
         )
     return rows

@@ -170,7 +170,10 @@ def overlap_validation_table(
     flags against the plain reference.  A depth where plain MC records zero
     violations still yields an honest row: the Wilson interval gives the
     plain estimate a strictly positive upper bound, and agreement is then
-    judged against that bound.
+    judged against that bound.  An estimate whose interval has a NaN
+    endpoint (single-trial CIs, zero-probability splitting runs) carries
+    ``None`` in its agreement flag — no evidence either way — rather than
+    letting a NaN comparison masquerade as a verdict.
     """
     _check_sweep(depths, trials, rounds)
     if plain_trials < trials:

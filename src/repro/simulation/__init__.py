@@ -53,6 +53,12 @@ Components
     eclipse attack scenarios where the adversary schedules the cut itself,
     and :class:`AdversaryPlacement` — corrupted miners positioned on the
     gossip graph whose releases propagate instead of landing instantly.
+    :class:`PartitionScenario` with ``cut_fraction`` prices *partial* cuts
+    with the two-component scan (per-component public chains, merge-on-heal
+    reconciliation, pinned bit-exactly to
+    :func:`reference_partition_scan`), including the ``equivocation``
+    family where the adversary shows conflicting private chains to the two
+    components.
 ``rare_events``
     Rare-event estimation of deep violation tails: exponential tilting of
     the Bernoulli/Binomial mining draws with exact (stopped) per-trial
@@ -72,6 +78,7 @@ Components
 
 from .adversary import (
     AdversaryStrategy,
+    EquivocationAdversary,
     MaxDelayAdversary,
     PassiveAdversary,
     PrivateChainAdversary,
@@ -139,6 +146,7 @@ from .dynamics import (
     compile_eclipse_offsets,
     compile_schedule,
     list_placements,
+    partition_windows,
     reference_compile_schedule,
 )
 from .scenarios import (
@@ -148,6 +156,7 @@ from .scenarios import (
     ScenarioSimulation,
     get_scenario,
     list_scenarios,
+    reference_partition_scan,
     register_scenario,
     rotating_honest_attribution,
 )
@@ -167,6 +176,7 @@ __all__ = [
     "PassiveAdversary",
     "MaxDelayAdversary",
     "PrivateChainAdversary",
+    "EquivocationAdversary",
     "SelfishMiningAdversary",
     "RoundRecord",
     "ConvergenceOpportunityDetector",
@@ -200,6 +210,7 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "register_scenario",
+    "reference_partition_scan",
     "rotating_honest_attribution",
     "resolve_rng",
     "spawn_rngs",
@@ -230,4 +241,5 @@ __all__ = [
     "AdversaryPlacement",
     "list_placements",
     "PartitionScenario",
+    "partition_windows",
 ]

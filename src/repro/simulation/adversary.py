@@ -38,6 +38,7 @@ __all__ = [
     "PassiveAdversary",
     "MaxDelayAdversary",
     "PrivateChainAdversary",
+    "EquivocationAdversary",
     "SelfishMiningAdversary",
 ]
 
@@ -258,6 +259,21 @@ class PrivateChainAdversary(AdversaryStrategy):
     def abandon_rounds(self) -> List[int]:
         """Rounds (1-indexed) at which a hopeless fork was abandoned."""
         return list(self._state.abandon_rounds)
+
+
+class EquivocationAdversary(PrivateChainAdversary):
+    """Per-component equivocation, projected onto a merged network.
+
+    The full strategy shows *conflicting* private chains to the two sides of
+    a network partition (one chain per component, successes routed to the
+    weaker race), which only the vectorized two-component scan in
+    :mod:`repro.simulation.scenarios` can price — the legacy per-trial
+    simulator has no network components to disagree about.  On a merged
+    network the conflicting chains collapse into one, so this reference
+    strategy is behaviourally identical to :class:`PrivateChainAdversary`;
+    it exists so ``kind="equivocation"`` scenarios can still be replayed
+    through the legacy engine for the unpartitioned prefix of a run.
+    """
 
 
 class SelfishMiningAdversary(AdversaryStrategy):

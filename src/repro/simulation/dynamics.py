@@ -97,6 +97,7 @@ __all__ = [
     "AdversaryPlacement",
     "list_placements",
     "PartitionScenario",
+    "partition_windows",
 ]
 
 #: Chunk size (pending cells) for the masked min-plus continuation kernel,
@@ -960,6 +961,50 @@ class AdversaryPlacement:
 # ----------------------------------------------------------------------
 # Partition / eclipse scenarios
 # ----------------------------------------------------------------------
+def partition_windows(
+    schedule: DynamicsSchedule, rounds: int
+) -> List[Tuple[int, int]]:
+    """The ``[start, end)`` cut windows a schedule imposes on a run.
+
+    This is the window view the two-component scenario scan consumes: only
+    full-network :class:`PartitionEvent` cuts (``nodes=None``) qualify — a
+    node-set cut needs a topology to say which miners landed on which side,
+    which the scan's honest/minority split tensor already encodes.  Windows
+    starting at or beyond ``rounds`` are dropped, ends are clipped to
+    ``rounds`` (a window still open when the run stops simply never heals),
+    empty windows vanish, and overlapping or back-to-back windows merge —
+    healing and re-cutting in the same round never reconverges anyone.
+    """
+    if rounds < 0:
+        raise SimulationError(f"rounds must be non-negative, got {rounds!r}")
+    raw: List[Tuple[int, int]] = []
+    for event in schedule.events:
+        if not isinstance(event, PartitionEvent):
+            continue
+        if event.nodes is not None:
+            raise SimulationError(
+                "partition_windows covers full-network cuts only; a node-set "
+                "partition needs a topology (use the TimeVaryingDelayModel "
+                "path)"
+            )
+        if event.duration is None:
+            raise SimulationError(
+                "a forever partition (duration=None) has no heal round"
+            )
+        start = min(event.round, rounds)
+        end = min(event.round + event.duration, rounds)
+        if end > start:
+            raw.append((start, end))
+    raw.sort()
+    merged: List[Tuple[int, int]] = []
+    for start, end in raw:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
 @dataclass(frozen=True)
 class PartitionScenario(Scenario):
     """A withholding attack whose adversary also schedules a network cut.
@@ -978,10 +1023,19 @@ class PartitionScenario(Scenario):
     such a scenario without an explicit ``delay_model``, it builds the
     matching :class:`TimeVaryingDelayModel` automatically — the cut and
     the attack always fire together.
+
+    ``cut_fraction`` switches from the full eclipse to a *partial* cut: the
+    network splits into a majority and a minority component, each honest
+    success landing in the minority with that probability, and the engine
+    prices the two chain races with the two-component scan (per-component
+    public heights and merge-on-heal reconciliation) instead of a delay
+    model.  ``kind="equivocation"`` (which requires a cut_fraction) shows
+    conflicting private chains to the two components.
     """
 
     partition_start: int = 1_000
     partition_duration: int = 300
+    cut_fraction: Optional[float] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -998,7 +1052,19 @@ class PartitionScenario(Scenario):
         if self.kind == "publish":
             raise SimulationError(
                 "a partition scenario withholds blocks; use kind "
-                "'private_chain' or 'selfish_mining'"
+                "'private_chain', 'selfish_mining' or 'equivocation'"
+            )
+        if self.cut_fraction is not None:
+            fraction = float(self.cut_fraction)
+            if not (0.0 < fraction < 1.0) or math.isnan(fraction):
+                raise SimulationError(
+                    "cut_fraction must lie strictly in (0, 1) (the minority "
+                    f"component's honest share), got {self.cut_fraction!r}"
+                )
+            object.__setattr__(self, "cut_fraction", fraction)
+        elif self.kind == "equivocation":
+            raise SimulationError(
+                "equivocation needs two network components; set cut_fraction"
             )
 
     def dynamics_schedule(self) -> DynamicsSchedule:
@@ -1007,16 +1073,31 @@ class PartitionScenario(Scenario):
             [PartitionEvent(self.partition_start, self.partition_duration)]
         )
 
+    def partition_windows(self, rounds: int) -> List[Tuple[int, int]]:
+        """The clipped, merged ``[start, end)`` cut windows for a run."""
+        return partition_windows(self.dynamics_schedule(), rounds)
+
     def build_delay_model(
         self, topology: Optional[PeerGraphTopology] = None
     ) -> TimeVaryingDelayModel:
         """The delay model realizing the scheduled cut (full eclipse by default)."""
+        if self.cut_fraction is not None:
+            raise SimulationError(
+                "a partial-cut scenario is priced by the two-component scan, "
+                "not a delay model; cut_fraction and build_delay_model are "
+                "mutually exclusive"
+            )
         return TimeVaryingDelayModel(self.dynamics_schedule(), topology=topology)
 
     def payload(self) -> Dict[str, object]:
         payload = super().payload()
         payload["partition_start"] = self.partition_start
         payload["partition_duration"] = self.partition_duration
+        # Only partial cuts carry the key, so every pre-existing scenario's
+        # payload — and with it every cache key and seed stream — is
+        # byte-identical to previous releases.
+        if self.cut_fraction is not None:
+            payload["cut_fraction"] = self.cut_fraction
         return payload
 
 
@@ -1038,5 +1119,16 @@ register_scenario(
         give_up_deficit=None,
         partition_start=1_000,
         partition_duration=300,
+    )
+)
+register_scenario(
+    PartitionScenario(
+        name="equivocation",
+        kind="equivocation",
+        target_depth=6,
+        give_up_deficit=None,
+        partition_start=1_000,
+        partition_duration=300,
+        cut_fraction=0.5,
     )
 )

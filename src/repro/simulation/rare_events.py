@@ -418,10 +418,21 @@ class RareEventResult:
             return -math.inf
         return math.log10(self.probability)
 
-    def agrees_with(self, other: "RareEventResult") -> bool:
-        """Whether the two estimates' 95% intervals overlap (joint-CI check)."""
-        if math.isnan(self.ci_low) or math.isnan(other.ci_low):
-            return False
+    def agrees_with(self, other: "RareEventResult") -> Optional[bool]:
+        """Whether the two estimates' 95% intervals overlap (joint-CI check).
+
+        Returns ``None`` — *no evidence*, not disagreement — when either
+        interval has a NaN endpoint: single-trial CIs and zero-probability
+        splitting runs report NaN half-widths, and a NaN comparison must
+        not silently decide the overlap either way.  (A splitting run can
+        have a finite ``ci_low`` of 0.0 next to a NaN ``ci_high``, so both
+        endpoints of both intervals are checked.)
+        """
+        if any(
+            math.isnan(value)
+            for value in (self.ci_low, self.ci_high, other.ci_low, other.ci_high)
+        ):
+            return None
         return self.ci_low <= other.ci_high and other.ci_low <= self.ci_high
 
     def summary(self) -> Dict[str, object]:

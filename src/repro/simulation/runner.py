@@ -106,9 +106,13 @@ def _scenario_from_payload(payload: dict) -> Scenario:
         ),
     )
     if "partition_start" in payload:
+        cut_fraction = payload.get("cut_fraction")
         return PartitionScenario(
             partition_start=int(payload["partition_start"]),
             partition_duration=int(payload["partition_duration"]),
+            cut_fraction=(
+                None if cut_fraction is None else float(cut_fraction)
+            ),
             **common,
         )
     return Scenario(**common)
@@ -382,6 +386,7 @@ class ExperimentRunner:
         "adversary_blocks",
         "convergence_opportunities",
         "worst_deficits",
+        "merge_depths",
     )
 
     def _load_cached_scenario(self, path: str) -> Optional[ScenarioResult]:
@@ -702,6 +707,24 @@ class ExperimentRunner:
                 self._store_cached(path, result)
             return result
         scenario = get_scenario(scenario)
+        cut_fraction = getattr(scenario, "cut_fraction", None)
+        if cut_fraction is not None:
+            # A partial cut is priced by the two-component scan, which owns
+            # its delivery semantics: no topology, and no schedule beyond
+            # the scenario's own cut.  The cache key still folds in the
+            # schedule (via the model) plus the scenario payload, whose
+            # cut_fraction separates it from the full-eclipse variant.
+            if topology is not None:
+                raise SimulationError(
+                    "partial-cut scenarios (cut_fraction set) split honest "
+                    "power probabilistically, not by graph position; "
+                    "topology must be None"
+                )
+            if schedule.payload() != scenario.dynamics_schedule().payload():
+                raise SimulationError(
+                    "a partial-cut scenario runs its own cut schedule; pass "
+                    "schedule=None or the scenario's dynamics_schedule()"
+                )
         key = self.cache_key(
             params,
             trials,
@@ -734,7 +757,9 @@ class ExperimentRunner:
             scenario,
             rng=rng,
             draw_mode=self.draw_mode,
-            delay_model=model,
+            # The two-component scan replaces the delay model for partial
+            # cuts; ScenarioSimulation rejects the combination explicitly.
+            delay_model=None if cut_fraction is not None else model,
             power=power,
             placement=placement,
             workspace=self.workspace,

@@ -40,10 +40,43 @@ Scenarios are named, registered descriptions of an adversary —
 default — and every :class:`Scenario` can also build the corresponding
 legacy :class:`~repro.simulation.adversary.AdversaryStrategy`, which stays
 the reference implementation.
+
+Partial partitions and the two-component scan
+---------------------------------------------
+A :class:`~repro.simulation.dynamics.PartitionScenario` with a
+``cut_fraction`` splits the honest network in two for the scheduled window:
+a minority component holding that fraction of the honest mining power and
+the majority complement.  The engine then generalizes the scan to *two*
+public chains — per-component heights, delivery rings and pending-release
+rings — forked from the common prefix frozen at the cut round.  Honest
+successes are allocated binomially between the components (the ``split``
+tensor, drawn after the honest and adversarial tensors), each component
+runs the legacy constant-Δ delivery pipeline internally, and nothing
+crosses the cut until the heal.  At the merge round the higher chain wins
+and the displaced depth of the losing component — its height above the
+common prefix — is tallied (``merge_depths``, also folded into
+``deepest_forks``): the majority/minority race the aggregate scan silently
+mispriced.  Conventions, shared bit-exactly with the pure-Python
+:func:`reference_partition_scan`: the common prefix does not advance on
+honest mining inside the window (pre-cut in-flight blocks deliver to both
+sides but the last-Δ suffix is adversarially unconverged, the worst case);
+reconciliation at the heal is instantaneous; a window still open when the
+run ends is flushed without a merge tally, exactly like an in-flight
+release.
+
+The ``equivocation`` kind rides on that scan: outside the window it is the
+``private_chain`` state machine, and inside it the adversary maintains one
+private chain *per component* — duplicated at the cut, extended by feeding
+each round's blocks to the weaker race, released to its own component
+only (through the :class:`~repro.simulation.dynamics.AdversaryPlacement`
+gossip path when one is wired), so the components are kept on conflicting
+chains and the heal itself displaces a suffix.  At the merge the chain
+racing the winning component survives as the single private chain.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -55,6 +88,7 @@ from ..errors import SimulationError
 from ..params import ProtocolParameters
 from .adversary import (
     AdversaryStrategy,
+    EquivocationAdversary,
     MaxDelayAdversary,
     PassiveAdversary,
     PrivateChainAdversary,
@@ -83,12 +117,17 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "rotating_honest_attribution",
+    "reference_partition_scan",
     "ScenarioResult",
     "ScenarioSimulation",
 ]
 
 #: The adversary state machines the engine knows how to vectorize.
-SCENARIO_KINDS = ("publish", "private_chain", "selfish_mining")
+SCENARIO_KINDS = ("publish", "private_chain", "selfish_mining", "equivocation")
+
+#: Kinds the two-component partition scan can price (the withholding state
+#: machines; ``publish`` scenarios have no private chain to race per side).
+PARTITION_KINDS = ("private_chain", "selfish_mining", "equivocation")
 
 
 @dataclass(frozen=True)
@@ -103,19 +142,24 @@ class Scenario:
         The adversary state machine: ``"publish"`` (mine on the public tip,
         publish every block immediately — the passive and maximum-delay
         adversaries), ``"private_chain"`` (the PSS Remark 8.5 withholding
-        attack) or ``"selfish_mining"`` (Eyal-Sirer adapted to the round
-        model).
+        attack), ``"selfish_mining"`` (Eyal-Sirer adapted to the round
+        model) or ``"equivocation"`` (one private chain per partition
+        component, released to its own side only — meaningful solely on a
+        partial-cut :class:`~repro.simulation.dynamics.PartitionScenario`,
+        where the engine runs the two-component scan).
     honest_delay:
         The delay (in rounds, capped by Δ) the adversary imposes on every
         honest block.  ``None`` means the full Δ; ``publish`` scenarios may
         choose any value in ``[0, Δ]``, while the two withholding kinds
         always delay by Δ (their legacy reference strategies hard-code it).
     target_depth:
-        ``private_chain`` only: the minimum public-suffix depth a release
-        must displace (the ``T`` whose consistency the attack breaks).
+        ``private_chain`` / ``equivocation``: the minimum public-suffix
+        depth a release must displace (the ``T`` whose consistency the
+        attack breaks; per component for ``equivocation``).
     give_up_deficit:
-        ``private_chain`` only: abandon the fork once it falls this many
-        blocks behind the public chain; ``None`` never gives up.
+        ``private_chain`` / ``equivocation``: abandon the fork once it
+        falls this many blocks behind the public chain it races; ``None``
+        never gives up.
     """
 
     name: str
@@ -180,12 +224,20 @@ class Scenario:
                 target_depth=self.target_depth,
                 give_up_deficit=self.give_up_deficit,
             )
+        if self.kind == "equivocation":
+            # The legacy engine has no network components, so the reference
+            # strategy is the merged-network projection: plain withholding.
+            return EquivocationAdversary(
+                delta,
+                target_depth=self.target_depth,
+                give_up_deficit=self.give_up_deficit,
+            )
         return SelfishMiningAdversary(delta)
 
     @property
     def success_depth(self) -> int:
         """The fork depth that counts as a successful attack for this scenario."""
-        if self.kind == "private_chain":
+        if self.kind in ("private_chain", "equivocation"):
             return self.target_depth
         return 1
 
@@ -321,6 +373,289 @@ def rotating_honest_attribution(
 
 
 # ----------------------------------------------------------------------
+# Pure-Python per-trial reference for the two-component partition scan
+# ----------------------------------------------------------------------
+def reference_partition_scan(
+    honest_counts: Sequence[int],
+    adversary_counts: Sequence[int],
+    split_counts: Optional[Sequence[int]] = None,
+    *,
+    delta: int,
+    windows: Sequence[Tuple[int, int]] = (),
+    kind: str = "private_chain",
+    target_depth: int = 6,
+    give_up_deficit: Optional[int] = 12,
+    release_delay: int = 0,
+) -> Dict[str, object]:
+    """One trial of the two-component partition scan, in plain Python.
+
+    This is the executable specification the vectorized
+    :meth:`ScenarioSimulation._scan_partition` must match *bit for bit*:
+    the equivalence tests sweep a (nu, Δ, cut-fraction, duration) grid and
+    compare every tally and per-round record, and the equivocation
+    benchmark uses it as the per-trial baseline for the speedup gate.
+
+    ``windows`` holds disjoint, sorted ``[start, end)`` cut windows in
+    0-indexed scan rounds (see
+    :func:`~repro.simulation.dynamics.partition_windows`).  During a window
+    honest successes split between the majority component 0
+    (``honest - split``) and the minority component 1 (``split``), each
+    component runs its own Δ-delay ring, and the common prefix is frozen at
+    the cut round; the heal merges max-height-wins and tallies the losing
+    side's displaced depth.  Outside every window the scan is exactly the
+    aggregate engine's constant-delay path.
+    """
+    if kind not in PARTITION_KINDS:
+        raise SimulationError(
+            f"the partition scan prices kinds {PARTITION_KINDS}, got {kind!r}"
+        )
+    if delta < 1:
+        raise SimulationError(f"delta must be >= 1, got {delta!r}")
+    if release_delay < 0:
+        raise SimulationError(
+            f"release_delay must be >= 0, got {release_delay!r}"
+        )
+    honest = [int(count) for count in honest_counts]
+    adversary = [int(count) for count in adversary_counts]
+    rounds = len(honest)
+    split = (
+        [0] * rounds if split_counts is None else [int(s) for s in split_counts]
+    )
+    if len(adversary) != rounds or len(split) != rounds:
+        raise SimulationError("trace lengths must match")
+    window_list = sorted((int(start), int(end)) for start, end in windows)
+    starts = {start: end for start, end in window_list if start < rounds}
+    equivocating = kind == "equivocation"
+
+    pub = [0, 0]
+    ring = [[0] * delta, [0] * delta]
+    rel_h = [[0] * release_delay, [0] * release_delay]
+    rel_f = [[0] * release_delay, [0] * release_delay]
+    priv = [0, 0]
+    fork = [0, 0]
+    active = [False, False]
+    withheld = [0, 0]
+    common = 0
+    cut = False
+    cut_end = -1
+    releases = abandons = deepest = orphaned = merge_depth = 0
+    public_heights: List[int] = []
+    private_heights: List[int] = []
+    release_mask: List[bool] = []
+    abandon_mask: List[bool] = []
+
+    for index in range(rounds):
+        # Phase 0a: merge-on-heal — max height wins, the losing component's
+        # suffix above the frozen common prefix is the displaced depth.
+        if cut and index == cut_end:
+            winner = 0 if pub[0] >= pub[1] else 1
+            displaced = pub[1 - winner] - common
+            merge_depth = max(merge_depth, displaced)
+            deepest = max(deepest, displaced)
+            pub[0] = pub[winner]
+            ring[0] = [max(a, b) for a, b in zip(ring[0], ring[1])]
+            for slot in range(release_delay):
+                if rel_h[1][slot] > rel_h[0][slot]:
+                    rel_h[0][slot] = rel_h[1][slot]
+                    rel_f[0][slot] = rel_f[1][slot]
+            if equivocating:
+                # The chain racing the winning component survives; the one
+                # racing the displaced chain forked from a dead branch.
+                if winner == 1:
+                    priv[0], fork[0] = priv[1], fork[1]
+                    active[0], withheld[0] = active[1], withheld[1]
+                priv[1] = fork[1] = withheld[1] = 0
+                active[1] = False
+            cut = False
+            common = 0
+        # Phase 0b: cut entry — both components start from the merged state;
+        # the common prefix freezes at the pre-cut public height.
+        if not cut and index in starts:
+            cut = True
+            cut_end = starts[index]
+            pub[1] = pub[0]
+            ring[1] = list(ring[0])
+            rel_h[1] = list(rel_h[0])
+            rel_f[1] = list(rel_f[0])
+            common = pub[0]
+            if equivocating:
+                priv[1], fork[1] = priv[0], fork[0]
+                active[1], withheld[1] = active[0], withheld[0]
+
+        components = (0, 1) if cut else (0,)
+
+        # Phase 1: start-of-round ring deliveries, per component.
+        slot = index % delta
+        for c in components:
+            pub[c] = max(pub[c], ring[c][slot])
+
+        # Phase 1b: landing of in-flight adversarial releases.
+        if release_delay >= 1:
+            release_slot = index % release_delay
+            if equivocating and cut:
+                # Per-component conflicting releases: each lands on its own
+                # side only and never advances the common prefix.
+                for c in components:
+                    landing = rel_h[c][release_slot]
+                    if landing > 0:
+                        if landing > pub[c]:
+                            landed = pub[c] - rel_f[c][release_slot]
+                            deepest = max(deepest, landed)
+                            pub[c] = landing
+                        rel_h[c][release_slot] = 0
+                        rel_f[c][release_slot] = 0
+            else:
+                # Single-chain release, mirrored into both rings during a
+                # cut: the adversary spans the cut, so it lands everywhere.
+                landing = rel_h[0][release_slot]
+                if landing > 0:
+                    landed = 0
+                    displaced_everywhere = True
+                    for c in components:
+                        if landing > pub[c]:
+                            landed = max(
+                                landed, pub[c] - rel_f[c][release_slot]
+                            )
+                        else:
+                            displaced_everywhere = False
+                    if kind == "selfish_mining":
+                        orphaned += landed
+                    deepest = max(deepest, landed)
+                    if cut and displaced_everywhere:
+                        common = landing
+                    for c in components:
+                        pub[c] = max(pub[c], landing)
+                        rel_h[c][release_slot] = 0
+                        rel_f[c][release_slot] = 0
+
+        # Phase 2: honest mining — the minority component mines the split
+        # share; every component's successes sit one above its own tip.
+        total = honest[index]
+        minority = split[index] if cut else 0
+        counts = [total - minority, minority]
+        mined = [0, 0]
+        for c in components:
+            mined[c] = pub[c] + 1
+            ring[c][slot] = mined[c] if counts[c] > 0 else 0
+
+        # Phases 3/4: adversarial mining and the release decision.
+        mined_adversary = adversary[index]
+        released_any = False
+        abandoned_any = False
+        if equivocating and cut:
+            # Feed the weaker race: the whole round's successes extend the
+            # chain with the smaller lead (minority side on a full tie).
+            lead0 = priv[0] - pub[0]
+            lead1 = priv[1] - pub[1]
+            choose1 = lead1 < lead0 or (lead1 == lead0 and pub[1] < pub[0])
+            allocation = [0, mined_adversary] if choose1 else [mined_adversary, 0]
+            for c in (0, 1):
+                if allocation[c] > 0 and not active[c]:
+                    fork[c] = pub[c]
+                    priv[c] = pub[c]
+                priv[c] += allocation[c]
+                withheld[c] += allocation[c]
+                active[c] = active[c] or allocation[c] > 0
+            for c in (0, 1):
+                lead = priv[c] - pub[c]
+                depth = pub[c] - fork[c]
+                released = lead > 0 and depth >= target_depth
+                abandoned = (
+                    give_up_deficit is not None
+                    and active[c]
+                    and lead <= -give_up_deficit
+                )
+                if released:
+                    releases += 1
+                    released_any = True
+                    if release_delay >= 1:
+                        rel_h[c][release_slot] = priv[c]
+                        rel_f[c][release_slot] = fork[c]
+                    else:
+                        deepest = max(deepest, depth)
+                        pub[c] = priv[c]
+                if abandoned:
+                    abandons += 1
+                    abandoned_any = True
+                if released or abandoned:
+                    priv[c] = fork[c] = withheld[c] = 0
+                    active[c] = False
+        else:
+            # Single private chain racing the best public chain it can see.
+            best = max(pub[c] for c in components)
+            if mined_adversary > 0 and not active[0]:
+                fork[0] = best
+                priv[0] = best
+            priv[0] += mined_adversary
+            withheld[0] += mined_adversary
+            active[0] = active[0] or mined_adversary > 0
+            lead = priv[0] - best
+            depth = best - fork[0]
+            if kind == "selfish_mining":
+                abandoned = active[0] and lead <= -1
+                released = active[0] and 0 <= lead <= 1
+            else:
+                abandoned = (
+                    give_up_deficit is not None
+                    and active[0]
+                    and lead <= -give_up_deficit
+                )
+                released = lead > 0 and depth >= target_depth
+            if released:
+                releases += 1
+                released_any = True
+                if release_delay >= 1:
+                    for c in components:
+                        rel_h[c][release_slot] = priv[0]
+                        rel_f[c][release_slot] = fork[0]
+                else:
+                    if kind == "selfish_mining":
+                        orphaned += depth
+                    deepest = max(deepest, depth)
+                    for c in components:
+                        pub[c] = priv[0]
+                    if cut:
+                        # The release is one chain adopted by both sides:
+                        # the components re-converge on the private chain.
+                        common = priv[0]
+            if abandoned:
+                abandons += 1
+                abandoned_any = True
+            if released or abandoned:
+                priv[0] = fork[0] = withheld[0] = 0
+                active[0] = False
+
+        public_heights.append(max(pub[c] for c in components))
+        private_heights.append(max(priv) if (equivocating and cut) else priv[0])
+        release_mask.append(released_any)
+        abandon_mask.append(abandoned_any)
+
+    # Network flush: in-flight honest blocks and adversarial releases all
+    # arrive eventually; a still-open window never merges (no depth tally),
+    # exactly like a release the run ended before the network saw land.
+    final = 0
+    for c in (0, 1) if cut else (0,):
+        final = max(final, pub[c], max(ring[c]))
+        if release_delay >= 1:
+            final = max(final, max(rel_h[c]))
+    withheld_final = max(withheld[0], withheld[1]) if cut else withheld[0]
+
+    return {
+        "releases": releases,
+        "abandons": abandons,
+        "deepest_fork": deepest,
+        "orphaned_honest": orphaned,
+        "withheld_final": withheld_final,
+        "final_public_height": final,
+        "merge_depth": merge_depth,
+        "public_heights": public_heights,
+        "private_heights": private_heights,
+        "release_mask": release_mask,
+        "abandon_mask": abandon_mask,
+    }
+
+
+# ----------------------------------------------------------------------
 # Result object
 # ----------------------------------------------------------------------
 @dataclass
@@ -363,6 +698,12 @@ class ScenarioResult:
     #: Rounds an adversarial release took to reach the honest miners (0 =
     #: the legacy perfectly-connected adversary; see ``AdversaryPlacement``).
     release_delay: int = 0
+    #: Deepest suffix displaced at a partition heal, per trial (all zeros on
+    #: the aggregate path — only the two-component scan can merge).
+    merge_depths: Optional[np.ndarray] = field(default=None, repr=False)
+    #: ``(trials, rounds, 2)`` per-component public heights, kept only by the
+    #: two-component scan under ``record_rounds=True``.
+    component_heights: Optional[np.ndarray] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # Attack-success statistics
@@ -415,7 +756,16 @@ class ScenarioResult:
     # ------------------------------------------------------------------
     @property
     def growth_rates(self) -> np.ndarray:
-        """Per-trial public chain growth (blocks per round)."""
+        """Per-trial public chain growth (blocks per round).
+
+        Convention (audited against the legacy per-trial simulator, which
+        labels rounds 1..rounds): ``final_public_heights`` includes the
+        end-of-run network flush — blocks still in flight when mining stops
+        are delivered before the height is read — and the denominator is the
+        number of mining rounds.  This matches
+        ``SimulationResult.growth_rate`` bit-for-bit; there is no off-by-one
+        between the engines, and the golden test pins it.
+        """
         return self.final_public_heights / self.rounds
 
     @property
@@ -475,6 +825,11 @@ class ScenarioResult:
             "lemma1_fraction": self.lemma1_fraction,
             "delay_model": self.delay_model,
             "release_delay": self.release_delay,
+            "mean_merge_depth": (
+                0.0
+                if self.merge_depths is None
+                else float(self.merge_depths.mean())
+            ),
         }
 
 
@@ -559,6 +914,7 @@ class ScenarioSimulation:
         power: Optional[MiningPowerProfile] = None,
         placement=None,
         workspace: Optional[Workspace] = None,
+        allow_partial_partitions: bool = False,
     ):
         if draw_mode not in DRAW_MODES:
             raise SimulationError(
@@ -571,6 +927,39 @@ class ScenarioSimulation:
             workspace.bind(self.backend)
         self.params = params
         self.scenario = get_scenario(scenario)
+        # A PartitionScenario with a cut_fraction prices the cut as a real
+        # two-component chain race (majority vs minority); everything else
+        # takes the aggregate single-height scan.
+        self._cut_fraction = getattr(self.scenario, "cut_fraction", None)
+        if self.scenario.kind == "equivocation" and self._cut_fraction is None:
+            raise SimulationError(
+                "equivocation needs two network components to show "
+                "conflicting chains to; set cut_fraction on the scenario"
+            )
+        if self._cut_fraction is not None:
+            if self.scenario.kind not in PARTITION_KINDS:
+                raise SimulationError(
+                    f"partial partitions price kinds {PARTITION_KINDS}, got "
+                    f"{self.scenario.kind!r}"
+                )
+            if delay_model is not None:
+                raise SimulationError(
+                    "partial-cut scenarios own their delivery semantics (the "
+                    "two-component scan); an explicit delay_model cannot be "
+                    "combined with cut_fraction"
+                )
+            self.delay_model = None
+            self.honest_delay = self.scenario.resolved_honest_delay(
+                params.delta
+            )
+            self._init_placement(placement)
+            self.rng = resolve_rng(rng)
+            self.draw_mode = draw_mode
+            self.power = power
+            if self.power is not None:
+                self.power.validate_against(params)
+            self.honest_miners = max(int(round(params.honest_count)), 1)
+            return
         self.delay_model = resolve_delay_model(delay_model)
         if self.delay_model is None:
             # A scenario that schedules its own network cut supplies the
@@ -579,6 +968,7 @@ class ScenarioSimulation:
             builder = getattr(self.scenario, "build_delay_model", None)
             if builder is not None:
                 self.delay_model = builder()
+        self._check_partial_partition_events(allow_partial_partitions)
         if self.delay_model is None:
             self.honest_delay = self.scenario.resolved_honest_delay(params.delta)
         else:
@@ -586,30 +976,66 @@ class ScenarioSimulation:
             # bound every *static* draw respects (time-varying models widen
             # the pipeline via delay_cap at run time).
             self.honest_delay = params.delta
-        self.placement = placement
-        if placement is None or placement.kind == "instant":
-            self.release_delay = 0
-        else:
-            if self.scenario.kind == "publish":
-                raise SimulationError(
-                    "publish scenarios broadcast continuously; adversary "
-                    "placement applies only to withholding scenarios"
-                )
-            topology = getattr(self.delay_model, "topology", None)
-            self.release_delay = int(
-                placement.release_delay(topology, params.delta)
-            )
-            if not (0 <= self.release_delay <= params.delta):
-                raise SimulationError(
-                    f"placement release delay {self.release_delay} lies "
-                    f"outside [0, {params.delta}]"
-                )
+        self._init_placement(placement)
         self.rng = resolve_rng(rng)
         self.draw_mode = draw_mode
         self.power = power
         if self.power is not None:
             self.power.validate_against(params)
         self.honest_miners = max(int(round(params.honest_count)), 1)
+
+    def _init_placement(self, placement) -> None:
+        self.placement = placement
+        if placement is None or placement.kind == "instant":
+            self.release_delay = 0
+            return
+        if self.scenario.kind == "publish":
+            raise SimulationError(
+                "publish scenarios broadcast continuously; adversary "
+                "placement applies only to withholding scenarios"
+            )
+        topology = getattr(self.delay_model, "topology", None)
+        self.release_delay = int(
+            placement.release_delay(topology, self.params.delta)
+        )
+        if not (0 <= self.release_delay <= self.params.delta):
+            raise SimulationError(
+                f"placement release delay {self.release_delay} lies "
+                f"outside [0, {self.params.delta}]"
+            )
+
+    def _check_partial_partition_events(self, allow: bool) -> None:
+        """Refuse to misprice a partial cut on the aggregate-height path.
+
+        A ``PartitionEvent`` with an explicit node set leaves the remaining
+        honest miners connected: two components, two chain races.  The
+        aggregate scan tracks one public height, which is exact only for
+        full eclipses, so routing a partial cut through it silently
+        underprices the majority/minority race — price it with
+        ``cut_fraction`` (the two-component scan) instead.  Pass
+        ``allow_partial_partitions=True`` to accept the mispricing loudly.
+        """
+        schedule = getattr(self.delay_model, "schedule", None)
+        if schedule is None or schedule.empty:
+            return
+        partial = [
+            event.payload()
+            for event in schedule.events
+            if event.payload().get("kind") == "partition"
+            and event.payload().get("nodes") is not None
+        ]
+        if not partial:
+            return
+        message = (
+            f"{len(partial)} partition event(s) cut an explicit node set, "
+            "leaving the rest of the network connected; the aggregate "
+            "single-height scan misprices that two-component race. Use a "
+            "PartitionScenario with cut_fraction to price it exactly, or "
+            "pass allow_partial_partitions=True to proceed anyway."
+        )
+        if not allow:
+            raise ValueError(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=3)
 
     def run(
         self,
@@ -622,7 +1048,10 @@ class ScenarioSimulation:
 
         Draw order: honest tensor, adversarial tensor, then (non-trivial
         delay models only) the delay tensor — ``fixed_delta`` consumes no
-        entropy, so its stream matches the legacy engine's exactly.
+        entropy, so its stream matches the legacy engine's exactly.  A
+        partial-cut scenario has no delay model, so its third draw is the
+        minority-split tensor: per round, ``Binomial(honest, cut_fraction)``
+        of the honest successes land in the minority component.
         """
         honest, adversary = draw_mining_traces(
             self.params,
@@ -634,6 +1063,20 @@ class ScenarioSimulation:
             backend=self.backend,
             policy=self.policy,
         )
+        if self._cut_fraction is not None:
+            split = self.backend.binomial(
+                self.rng,
+                self.backend.to_host(honest),
+                float(self._cut_fraction),
+                honest.shape,
+            )
+            return self.run_traces(
+                honest,
+                adversary,
+                keep_traces=keep_traces,
+                record_rounds=record_rounds,
+                split_counts=split,
+            )
         delays = None
         max_delay = None
         if self.delay_model is not None and not self.delay_model.trivial:
@@ -658,6 +1101,7 @@ class ScenarioSimulation:
         record_rounds: bool = False,
         delays: Optional[np.ndarray] = None,
         max_delay: Optional[int] = None,
+        split_counts: Optional[np.ndarray] = None,
     ) -> ScenarioResult:
         """Simulate the scenario over pre-drawn ``(trials, rounds)`` tensors.
 
@@ -666,7 +1110,10 @@ class ScenarioSimulation:
         pre-drawn per-block honest delivery offsets; ``None`` uses the
         constant ``honest_delay``.  ``max_delay`` (default Δ) widens the
         validation cap and delivery pipeline for time-varying models whose
-        adversarial windows exceed Δ.
+        adversarial windows exceed Δ.  ``split_counts`` (partial-cut
+        scenarios only) carries the pre-drawn minority share of each round's
+        honest successes; ``None`` keeps every honest success in the
+        majority component.
         """
         xp = self.backend
         index_dtype = self.policy.index_dtype(xp)
@@ -707,7 +1154,39 @@ class ScenarioSimulation:
             honest, self.honest_miners, window, backend=xp, policy=self.policy
         )
 
-        state = self._scan(honest, adversary, record_rounds, delays=delays, cap=cap)
+        cut_windows: List[Tuple[int, int]] = []
+        if self._cut_fraction is not None:
+            if delays is not None:
+                raise SimulationError(
+                    "partial-cut scenarios have no delay model; delays "
+                    "cannot be supplied"
+                )
+            cut_windows = list(self.scenario.partition_windows(rounds))
+            if split_counts is None:
+                split = xp.zeros(honest.shape, dtype=index_dtype)
+            else:
+                split = xp.asarray(split_counts, dtype=index_dtype)
+                if split.shape != honest.shape:
+                    raise SimulationError(
+                        f"split_counts shape {split.shape} does not match "
+                        f"honest shape {honest.shape}"
+                    )
+                if (split < 0).any() or (split > honest).any():
+                    raise SimulationError(
+                        "split_counts must lie in [0, honest_counts]"
+                    )
+            state = self._scan_partition(
+                honest, adversary, split, record_rounds, windows=cut_windows
+            )
+        elif split_counts is not None:
+            raise SimulationError(
+                "split_counts applies only to partial-cut scenarios "
+                "(PartitionScenario with cut_fraction set)"
+            )
+        else:
+            state = self._scan(
+                honest, adversary, record_rounds, delays=delays, cap=cap
+            )
         if delays is None:
             if self.workspace is not None:
                 mask = _opportunity_mask_ws(
@@ -733,6 +1212,11 @@ class ScenarioSimulation:
                 backend=xp,
                 policy=self.policy,
             )
+        # During a cut no round is a convergence opportunity — the honest
+        # miners cannot all hear a unique block while the network is split —
+        # so the Lemma 1 window accounting drops those columns entirely.
+        for start, end in cut_windows:
+            mask[:, start:end] = 0
         deficits = worst_window_deficits(
             mask,
             adversary,
@@ -1013,5 +1497,363 @@ class ScenarioSimulation:
             "decision_leads": xp.to_host(lead_record) if record_rounds else None,
             "decision_fork_depths": (
                 xp.to_host(depth_record) if record_rounds else None
+            ),
+            # The aggregate path never splits, so it never merges.
+            "merge_depths": xp.to_host(
+                xp.zeros((trials,), dtype=index_dtype)
+            ),
+            "component_heights": None,
+        }
+
+    def _scan_partition(
+        self,
+        honest,
+        adversary,
+        split,
+        record_rounds: bool,
+        windows: Sequence[Tuple[int, int]],
+    ) -> Dict[str, Optional[np.ndarray]]:
+        """The two-component scan: per-component chains during cut windows.
+
+        Vectorized counterpart of :func:`reference_partition_scan` (the
+        equivalence tests pin the two bit-exactly).  Component 0 is the
+        majority, component 1 the minority; outside every window only
+        component 0 exists and the round body is exactly :meth:`_scan`'s
+        constant-delay path, so an empty window list is bit-identical to the
+        aggregate engine.  ``windows`` holds disjoint sorted ``[start, end)``
+        cut rounds — global, not per trial, so the cut/merge phases are
+        static branches over vector state.
+        """
+        xp = self.backend
+        workspace = self.workspace if self.workspace is not None else Workspace(xp)
+        index_dtype = self.policy.index_dtype(xp)
+        mask_dtype = self.policy.mask_dtype(xp)
+        trials, rounds = honest.shape
+        kind = self.scenario.kind
+        delay = self.honest_delay
+        if delay < 1:
+            raise SimulationError(
+                f"the two-component scan needs honest delay >= 1, got {delay}"
+            )
+        release_delay = self.release_delay
+        target_depth = self.scenario.target_depth
+        give_up = self.scenario.give_up_deficit
+        equivocating = kind == "equivocation"
+
+        window_list = sorted((int(s), int(e)) for s, e in windows)
+        starts = {s: e for s, e in window_list if s < rounds}
+
+        honest_rows = xp.ascontiguousarray(honest.T)
+        adversary_rows = xp.ascontiguousarray(adversary.T)
+        split_rows = xp.ascontiguousarray(split.T)
+
+        def pair(tag, shape=(trials,), dtype=index_dtype):
+            return [
+                workspace.zeros(f"scan2.{tag}0", shape, dtype),
+                workspace.zeros(f"scan2.{tag}1", shape, dtype),
+            ]
+
+        pub = pair("public")
+        ring = pair("ring", (trials, delay))
+        priv = pair("private")
+        fork = pair("fork")
+        active = pair("active", dtype=xp.bool_)
+        withheld = pair("withheld")
+        rel_h = rel_f = None
+        if release_delay >= 1:
+            rel_h = pair("release_heights", (trials, release_delay))
+            rel_f = pair("release_forks", (trials, release_delay))
+        common = workspace.zeros("scan2.common", (trials,), index_dtype)
+        releases = workspace.zeros("scan2.releases", (trials,), index_dtype)
+        abandons = workspace.zeros("scan2.abandons", (trials,), index_dtype)
+        deepest = workspace.zeros("scan2.deepest", (trials,), index_dtype)
+        orphaned = workspace.zeros("scan2.orphaned", (trials,), index_dtype)
+        merge_depth = workspace.zeros("scan2.merge_depth", (trials,), index_dtype)
+        no_release = workspace.zeros("scan2.no_release", (trials,), xp.bool_)
+
+        if record_rounds:
+            public_record = xp.zeros((trials, rounds), dtype=index_dtype)
+            private_record = xp.zeros((trials, rounds), dtype=index_dtype)
+            release_record = xp.zeros((trials, rounds), dtype=mask_dtype)
+            abandon_record = xp.zeros((trials, rounds), dtype=mask_dtype)
+            lead_record = xp.zeros((trials, rounds), dtype=index_dtype)
+            depth_record = xp.zeros((trials, rounds), dtype=index_dtype)
+            component_record = xp.zeros((trials, rounds, 2), dtype=index_dtype)
+
+        cut = False
+        cut_end = -1
+        for index in range(rounds):
+            # 0a. Merge-on-heal: max height wins; the losing component's
+            #     suffix above the frozen common prefix is displaced.
+            if cut and index == cut_end:
+                # The winner mask must be read before pub[0] absorbs the max.
+                won1 = pub[1] > pub[0]
+                displaced = xp.minimum(pub[0], pub[1]) - common
+                xp.maximum(merge_depth, displaced, out=merge_depth)
+                xp.maximum(deepest, displaced, out=deepest)
+                xp.maximum(pub[0], pub[1], out=pub[0])
+                xp.maximum(ring[0], ring[1], out=ring[0])
+                if rel_h is not None:
+                    higher = rel_h[1] > rel_h[0]
+                    xp.copyto(rel_h[0], rel_h[1], where=higher)
+                    xp.copyto(rel_f[0], rel_f[1], where=higher)
+                if equivocating:
+                    # The chain racing the winning component survives; the
+                    # loser's chain forked from a displaced branch and is
+                    # dropped without an abandon tally.
+                    xp.copyto(priv[0], priv[1], where=won1)
+                    xp.copyto(fork[0], fork[1], where=won1)
+                    xp.copyto(active[0], active[1], where=won1)
+                    xp.copyto(withheld[0], withheld[1], where=won1)
+                    priv[1][:] = 0
+                    fork[1][:] = 0
+                    withheld[1][:] = 0
+                    active[1][:] = False
+                cut = False
+                common[:] = 0
+            # 0b. Cut entry: both components start from the merged state and
+            #     the common prefix freezes at the pre-cut public height.
+            if not cut and index in starts:
+                cut = True
+                cut_end = starts[index]
+                pub[1][:] = pub[0]
+                ring[1][:] = ring[0]
+                if rel_h is not None:
+                    rel_h[1][:] = rel_h[0]
+                    rel_f[1][:] = rel_f[0]
+                common[:] = pub[0]
+                if equivocating:
+                    priv[1][:] = priv[0]
+                    fork[1][:] = fork[0]
+                    active[1][:] = active[0]
+                    withheld[1][:] = withheld[0]
+
+            mined_honest = honest_rows[index]
+            mined_adversary = adversary_rows[index]
+            components = (0, 1) if cut else (0,)
+
+            # 1. Start-of-round ring deliveries, per component.
+            slot = index % delay
+            for c in components:
+                xp.maximum(pub[c], ring[c][:, slot], out=pub[c])
+
+            # 1b. Landing of in-flight adversarial releases.
+            if rel_h is not None:
+                release_slot = index % release_delay
+                if equivocating and cut:
+                    # Conflicting releases: each lands on its own side only
+                    # and never advances the common prefix.
+                    for c in components:
+                        landing = rel_h[c][:, release_slot]
+                        if landing.any():
+                            displaced = landing > pub[c]
+                            landed = xp.where(
+                                displaced,
+                                pub[c] - rel_f[c][:, release_slot],
+                                0,
+                            )
+                            xp.maximum(deepest, landed, out=deepest)
+                            xp.maximum(pub[c], landing, out=pub[c])
+                            rel_h[c][:, release_slot] = 0
+                            rel_f[c][:, release_slot] = 0
+                else:
+                    # Single-chain release, mirrored into both rings during
+                    # a cut: the adversary spans the cut and lands
+                    # everywhere at once.
+                    landing = rel_h[0][:, release_slot]
+                    if landing.any():
+                        landed = workspace.zeros(
+                            "scan2.landed", (trials,), index_dtype
+                        )
+                        displaced_all = None
+                        for c in components:
+                            displaced = landing > pub[c]
+                            xp.maximum(
+                                landed,
+                                xp.where(
+                                    displaced,
+                                    pub[c] - rel_f[c][:, release_slot],
+                                    0,
+                                ),
+                                out=landed,
+                            )
+                            displaced_all = (
+                                displaced
+                                if displaced_all is None
+                                else displaced_all & displaced
+                            )
+                        if kind == "selfish_mining":
+                            orphaned += landed
+                        xp.maximum(deepest, landed, out=deepest)
+                        if cut:
+                            # Displacing both sides re-converges them on the
+                            # released chain.
+                            xp.copyto(common, landing, where=displaced_all)
+                        # `landing` aliases component 0's ring slot, so the
+                        # slots are cleared only after every component read it.
+                        for c in components:
+                            xp.maximum(pub[c], landing, out=pub[c])
+                        for c in components:
+                            rel_h[c][:, release_slot] = 0
+                            rel_f[c][:, release_slot] = 0
+
+            # 2. Honest mining: the minority component mines the split
+            #    share; each component's successes sit above its own tip.
+            if cut:
+                minority = split_rows[index]
+                counts = [mined_honest - minority, minority]
+            else:
+                counts = [mined_honest]
+            for c in components:
+                xp.multiply(pub[c] + 1, counts[c] > 0, out=ring[c][:, slot])
+
+            # 3/4. Adversarial mining and the release decision.
+            if equivocating and cut:
+                # Feed the weaker race: the whole round's successes extend
+                # the chain with the smaller lead (minority on a full tie).
+                lead0 = priv[0] - pub[0]
+                lead1 = priv[1] - pub[1]
+                choose1 = (lead1 < lead0) | ((lead1 == lead0) & (pub[1] < pub[0]))
+                allocation = [
+                    mined_adversary * ~choose1,
+                    mined_adversary * choose1,
+                ]
+                released_any = no_release
+                abandoned_any = no_release
+                for c in (0, 1):
+                    some = allocation[c] > 0
+                    starting = some & ~active[c]
+                    xp.copyto(fork[c], pub[c], where=starting)
+                    xp.copyto(priv[c], pub[c], where=starting)
+                    priv[c] += allocation[c]
+                    withheld[c] += allocation[c]
+                    active[c] |= some
+                    lead = priv[c] - pub[c]
+                    depth = pub[c] - fork[c]
+                    released = (lead > 0) & (depth >= target_depth)
+                    if give_up is not None:
+                        abandoned = (lead <= -give_up) & active[c]
+                    else:
+                        abandoned = no_release
+                    releases += released
+                    abandons += abandoned
+                    if rel_h is None:
+                        xp.maximum(deepest, depth * released, out=deepest)
+                        xp.copyto(pub[c], priv[c], where=released)
+                    else:
+                        xp.copyto(
+                            rel_h[c][:, release_slot], priv[c], where=released
+                        )
+                        xp.copyto(
+                            rel_f[c][:, release_slot], fork[c], where=released
+                        )
+                    keep = ~(released | abandoned)
+                    priv[c] *= keep
+                    fork[c] *= keep
+                    withheld[c] *= keep
+                    active[c] &= keep
+                    released_any = released_any | released
+                    abandoned_any = abandoned_any | abandoned
+                released = released_any
+                abandoned = abandoned_any
+                lead = xp.maximum(priv[0] - pub[0], priv[1] - pub[1])
+                depth = xp.maximum(pub[0] - fork[0], pub[1] - fork[1])
+            else:
+                # Single private chain racing the best public chain in view.
+                best = xp.maximum(pub[0], pub[1]) if cut else pub[0]
+                some_adversary = mined_adversary > 0
+                starting = some_adversary & ~active[0]
+                xp.copyto(fork[0], best, where=starting)
+                xp.copyto(priv[0], best, where=starting)
+                priv[0] += mined_adversary
+                withheld[0] += mined_adversary
+                active[0] |= some_adversary
+                lead = priv[0] - best
+                depth = best - fork[0]
+                if kind == "selfish_mining":
+                    abandoned = (lead <= -1) & active[0]
+                    released = (lead >= 0) & (lead <= 1) & active[0]
+                    if rel_h is None:
+                        orphan = depth * released
+                        orphaned += orphan
+                        xp.maximum(deepest, orphan, out=deepest)
+                else:
+                    if give_up is not None:
+                        abandoned = (lead <= -give_up) & active[0]
+                    else:
+                        abandoned = no_release
+                    released = (lead > 0) & (depth >= target_depth)
+                    if rel_h is None:
+                        xp.maximum(deepest, depth * released, out=deepest)
+                releases += released
+                abandons += abandoned
+                if rel_h is None:
+                    for c in components:
+                        xp.copyto(pub[c], priv[0], where=released)
+                    if cut:
+                        # One chain adopted by both sides: the components
+                        # re-converge on the private chain.
+                        xp.copyto(common, priv[0], where=released)
+                else:
+                    for c in components:
+                        xp.copyto(
+                            rel_h[c][:, release_slot], priv[0], where=released
+                        )
+                        xp.copyto(
+                            rel_f[c][:, release_slot], fork[0], where=released
+                        )
+                keep = ~(released | abandoned)
+                priv[0] *= keep
+                fork[0] *= keep
+                withheld[0] *= keep
+                active[0] &= keep
+
+            if record_rounds:
+                top = xp.maximum(pub[0], pub[1]) if cut else pub[0]
+                public_record[:, index] = top
+                private_record[:, index] = (
+                    xp.maximum(priv[0], priv[1])
+                    if (equivocating and cut)
+                    else priv[0]
+                )
+                release_record[:, index] = released
+                abandon_record[:, index] = abandoned
+                lead_record[:, index] = lead
+                depth_record[:, index] = depth
+                component_record[:, index, 0] = pub[0]
+                component_record[:, index, 1] = pub[1] if cut else pub[0]
+
+        # Network flush: in-flight honest blocks and adversarial releases
+        # all arrive eventually; a window still open at the end of the run
+        # never merges — like a release the run ended before the network
+        # saw land, its displaced depth is not tallied.
+        final = xp.copy(pub[0])
+        withheld_final = xp.copy(withheld[0])
+        for c in (0, 1) if cut else (0,):
+            xp.maximum(final, pub[c], out=final)
+            xp.maximum(final, ring[c].max(axis=1), out=final)
+            if rel_h is not None:
+                xp.maximum(final, rel_h[c].max(axis=1), out=final)
+        if cut:
+            xp.maximum(withheld_final, withheld[1], out=withheld_final)
+
+        return {
+            "releases": xp.to_host(xp.copy(releases)),
+            "abandons": xp.to_host(xp.copy(abandons)),
+            "deepest_forks": xp.to_host(xp.copy(deepest)),
+            "orphaned_honest": xp.to_host(xp.copy(orphaned)),
+            "withheld_final": xp.to_host(withheld_final),
+            "final_public_heights": xp.to_host(final),
+            "public_heights": xp.to_host(public_record) if record_rounds else None,
+            "private_heights": xp.to_host(private_record) if record_rounds else None,
+            "release_mask": xp.to_host(release_record) if record_rounds else None,
+            "abandon_mask": xp.to_host(abandon_record) if record_rounds else None,
+            "decision_leads": xp.to_host(lead_record) if record_rounds else None,
+            "decision_fork_depths": (
+                xp.to_host(depth_record) if record_rounds else None
+            ),
+            "merge_depths": xp.to_host(xp.copy(merge_depth)),
+            "component_heights": (
+                xp.to_host(component_record) if record_rounds else None
             ),
         }

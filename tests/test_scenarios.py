@@ -33,6 +33,7 @@ class TestScenarioRegistry:
     def test_default_registry_contents(self):
         assert list_scenarios() == [
             "eclipse",
+            "equivocation",
             "max_delay",
             "partition_attack",
             "passive",
