@@ -24,7 +24,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import bench_scale
+from conftest import bench_scale, record_trajectory
 from repro.backend import (
     Workspace,
     backend_specs,
@@ -90,6 +90,20 @@ def test_workspace_reuse_beats_per_call_allocation():
     )
     assert speedup >= WORKSPACE_SPEEDUP_GATE, (
         f"workspace path only {speedup:.2f}x faster than per-call allocation"
+    )
+
+    record_trajectory(
+        "backend",
+        {
+            "trials": TRIALS,
+            "rounds": ROUNDS,
+            "repeats": REPEATS,
+            "reference_seconds": reference_seconds,
+            "workspace_seconds": pooled_seconds,
+            "speedup": speedup,
+            "workspace_nbytes": workspace.nbytes,
+            "gate": WORKSPACE_SPEEDUP_GATE,
+        },
     )
 
 

@@ -17,7 +17,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import bench_scale
+from conftest import bench_scale, record_trajectory
 
 from repro.analysis import partition_depth_sweep, render_table
 from repro.params import parameters_from_c
@@ -83,6 +83,19 @@ def test_schedule_compilation_speedup_over_reference():
     assert speedup >= 5.0, (
         f"vectorized schedule compiler only {speedup:.1f}x faster than the "
         "per-cell reference"
+    )
+
+    record_trajectory(
+        "dynamics",
+        {
+            "nodes": NODES,
+            "degree": DEGREE,
+            "rounds": ROUNDS,
+            "reference_seconds": reference_seconds,
+            "vectorized_seconds": vectorized_seconds,
+            "speedup": speedup,
+            "gate": 5.0,
+        },
     )
 
 

@@ -12,6 +12,15 @@ Run directly (``python -m pytest benchmarks/bench_equivocation.py``) the
 module also refreshes ``BENCH_equivocation.json`` at the repo root when
 ``REPRO_BENCH_RECORD=1`` — the persisted perf-trajectory entry the roadmap
 asks for.
+
+Migration note: ``BENCH_equivocation.json`` predates the unified
+``repro.bench_trajectory`` schema.  Its historical entries were lifted into
+the committed ``BENCH_trajectory.json`` via
+:func:`repro.observability.migrate_legacy_entries` (``timestamp`` and
+``machine`` are ``None`` there — the legacy file never recorded them), and
+new measurements are appended to *both* files: the legacy file keeps its
+original flat shape for existing consumers, the trajectory gets the
+schema-versioned record via :func:`conftest.record_trajectory`.
 """
 
 from __future__ import annotations
@@ -23,7 +32,7 @@ import time
 
 import numpy as np
 
-from conftest import bench_scale
+from conftest import bench_scale, record_trajectory
 from repro._version import __version__
 from repro.params import parameters_from_c
 from repro.simulation import (
@@ -148,4 +157,17 @@ def test_partition_scan_beats_per_trial_reference():
             "speedup": speedup,
             "gate": SPEEDUP_GATE,
         }
+    )
+    record_trajectory(
+        "equivocation",
+        {
+            "trials": TRIALS,
+            "rounds": ROUNDS,
+            "seed": SEED,
+            "cut_fraction": SCENARIO.cut_fraction,
+            "vectorized_seconds": vectorized_seconds,
+            "reference_seconds": reference_seconds,
+            "speedup": speedup,
+            "gate": SPEEDUP_GATE,
+        },
     )

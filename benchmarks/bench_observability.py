@@ -1,0 +1,226 @@
+"""Benchmark: the observability layer's own cost and coverage guarantees.
+
+Three claims are measured, gating the instrumentation subsystem itself:
+
+* **no-op overhead** — with no tracer or metrics registry installed (the
+  default), the instrumentation call sites the batch engine executes must
+  cost **< 2%** of the batch bench workload's wall time.  The bound is
+  computed analytically rather than by noisy A/B timing: one traced run
+  counts exactly how many span and metric calls the workload executes, a
+  tight loop measures the per-call cost of the *disabled* dispatch path
+  (one attribute check), and the product must sit under the gate.
+* **span coverage** — with a tracer installed, a dynamics grid run through
+  the :class:`~repro.simulation.ExperimentRunner` must emit root spans
+  covering **>= 90%** of the measured wall time, and one schema-valid JSONL
+  manifest record per grid point (the provenance trail the issue asks for).
+* **trajectory validity** — the committed ``BENCH_trajectory.json`` must
+  validate against the ``repro.bench_trajectory`` schema, and the
+  :func:`conftest.record_trajectory` helper must append schema-valid
+  records under ``REPRO_BENCH_RECORD=1``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+import pytest
+
+from conftest import bench_scale, record_trajectory
+
+from repro.observability import (
+    METRICS,
+    TRACE,
+    Metrics,
+    load_trajectory,
+    read_run_log,
+    use_metrics,
+    use_tracer,
+)
+from repro.params import parameters_from_c
+from repro.simulation import (
+    BatchSimulation,
+    DynamicsSchedule,
+    ExperimentRunner,
+    PartitionEvent,
+)
+
+TRIALS = bench_scale(64, 256)
+ROUNDS = bench_scale(2_000, 8_000)
+PARAMS = parameters_from_c(c=2.0, n=400, delta=3, nu=0.25)
+
+#: The issue's gate: disabled instrumentation must cost < 2% of the batch
+#: bench workload.
+OVERHEAD_GATE = 0.02
+
+#: The issue's gate: an instrumented dynamics grid run must attribute >= 90%
+#: of its wall time to spans.
+COVERAGE_GATE = 0.90
+
+#: Iterations for timing the disabled dispatch path (cheap: ~100ns/call).
+PROBE_CALLS = 200_000
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class _CallCountingMetrics(Metrics):
+    """A registry that additionally counts how many times it was called."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def increment(self, name, value=1):
+        self.calls += 1
+        super().increment(name, value)
+
+    def gauge(self, name, value):
+        self.calls += 1
+        super().gauge(name, value)
+
+
+def _per_call_seconds(callable_, calls=PROBE_CALLS):
+    start = time.perf_counter()
+    for _ in range(calls):
+        callable_()
+    return (time.perf_counter() - start) / calls
+
+
+def test_noop_instrumentation_overhead_under_gate():
+    """Disabled spans and counters must cost < 2% of the batch bench run.
+
+    The engine's instrumentation sites are fixed per workload, so the no-op
+    overhead is (sites executed) x (cost of one disabled dispatch); both
+    factors are measured here rather than assumed.
+    """
+    if TRACE.enabled or METRICS.enabled:
+        pytest.skip("instrumentation globally enabled (REPRO_TRACE=1)")
+
+    engine = BatchSimulation(PARAMS, rng=0)
+    run_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        engine.run(TRIALS, ROUNDS)
+        run_seconds = min(run_seconds, time.perf_counter() - start)
+
+    # Count the call sites the identical workload actually executes.
+    counting = _CallCountingMetrics()
+    with use_tracer() as tracer, use_metrics(counting):
+        engine.run(TRIALS, ROUNDS)
+    span_calls = sum(1 for _ in tracer.walk())
+    metric_calls = counting.calls
+
+    def _noop_span():
+        with TRACE.span("overhead-probe"):
+            pass
+
+    span_seconds = _per_call_seconds(_noop_span)
+    increment_seconds = _per_call_seconds(
+        lambda: METRICS.increment("overhead-probe")
+    )
+
+    overhead = span_calls * span_seconds + metric_calls * increment_seconds
+    fraction = overhead / run_seconds
+    print(
+        f"\nNo-op instrumentation at {TRIALS} trials x {ROUNDS} rounds: "
+        f"{span_calls} spans x {span_seconds * 1e9:.0f}ns + "
+        f"{metric_calls} metric calls x {increment_seconds * 1e9:.0f}ns = "
+        f"{overhead * 1e6:.1f}us over a {run_seconds * 1e3:.1f}ms run "
+        f"({fraction * 100:.4f}%, gate {OVERHEAD_GATE * 100:.0f}%)"
+    )
+    assert fraction < OVERHEAD_GATE, (
+        f"disabled instrumentation costs {fraction * 100:.2f}% of the batch "
+        f"bench run (gate {OVERHEAD_GATE * 100:.0f}%)"
+    )
+
+    record_trajectory(
+        "observability",
+        {
+            "trials": TRIALS,
+            "rounds": ROUNDS,
+            "span_calls": span_calls,
+            "metric_calls": metric_calls,
+            "noop_span_seconds": span_seconds,
+            "noop_increment_seconds": increment_seconds,
+            "run_seconds": run_seconds,
+            "overhead_fraction": fraction,
+            "gate": OVERHEAD_GATE,
+        },
+    )
+
+
+def test_traced_dynamics_grid_covers_wall_time_and_logs_manifests(tmp_path):
+    """An instrumented dynamics grid run must be >= 90% span-covered.
+
+    Each grid point must also land one schema-valid manifest record in the
+    runner's JSONL log (validated on read by ``read_run_log``).
+    """
+    trials = bench_scale(12, 24)
+    rounds = bench_scale(1_200, 2_000)
+    grid = [(0.2, 3), (0.3, 4)]
+    schedule = DynamicsSchedule([PartitionEvent(rounds // 4, rounds // 8)])
+    log_path = tmp_path / "run_log.jsonl"
+    runner = ExperimentRunner(
+        base_seed=2026, cache_dir=str(tmp_path / "cache"), run_log=log_path
+    )
+
+    with use_tracer() as tracer, use_metrics():
+        # One tiny warm-up point pays the lazy-import and first-call costs
+        # outside the measured window, then the trace forest is cleared.
+        runner.run_point(parameters_from_c(c=2.0, n=400, delta=3, nu=0.2), 2, 50)
+        tracer.reset()
+        start = time.perf_counter()
+        for nu, delta in grid:
+            params = parameters_from_c(c=2.0, n=400, delta=delta, nu=nu)
+            runner.run_dynamics_point(params, trials, rounds, schedule=schedule)
+        wall_seconds = time.perf_counter() - start
+
+    covered = tracer.total_time()
+    coverage = covered / wall_seconds
+    print(
+        f"\nTraced dynamics grid ({len(grid)} points, {trials} trials x "
+        f"{rounds} rounds): {covered * 1e3:.1f}ms in spans of "
+        f"{wall_seconds * 1e3:.1f}ms wall ({coverage * 100:.1f}%, gate "
+        f"{COVERAGE_GATE * 100:.0f}%)"
+    )
+    assert coverage >= COVERAGE_GATE, (
+        f"spans cover only {coverage * 100:.1f}% of the grid run's wall time"
+    )
+
+    records = [
+        record
+        for record in read_run_log(log_path)
+        if record["method"] == "run_dynamics_point"
+    ]
+    assert len(records) == len(grid)
+    for record in records:
+        assert record["cache"] == "miss"
+        assert record["result_digest"]
+        assert record["base_seed"] == 2026
+
+
+def test_committed_trajectory_validates_and_appends(tmp_path, monkeypatch):
+    """The committed trajectory file must be schema-valid end to end.
+
+    Also exercises the append path the six gated benches share: under
+    ``REPRO_BENCH_RECORD=1`` with ``REPRO_BENCH_TRAJECTORY`` pointing at a
+    scratch file, ``record_trajectory`` must append a schema-valid record
+    (this is the path the CI smoke step validates).
+    """
+    entries = load_trajectory(REPO_ROOT / "BENCH_trajectory.json")
+    assert entries, "committed trajectory must carry the migrated history"
+    benchmarks = {entry["benchmark"] for entry in entries}
+    # Seeded from the two pre-schema files' migrated entries.
+    assert {"equivocation", "rare_events"} <= benchmarks
+
+    scratch = tmp_path / "trajectory.json"
+    monkeypatch.setenv("REPRO_BENCH_RECORD", "1")
+    monkeypatch.setenv("REPRO_BENCH_TRAJECTORY", str(scratch))
+    record_trajectory("observability", {"probe_seconds": 0.001})
+    record_trajectory("observability", {"probe_seconds": 0.002})
+    appended = load_trajectory(scratch)
+    assert [entry["metrics"]["probe_seconds"] for entry in appended] == [
+        0.001,
+        0.002,
+    ]
+    assert all(entry["benchmark"] == "observability" for entry in appended)

@@ -20,6 +20,15 @@ Run directly (``python -m pytest benchmarks/bench_rare_events.py``) the
 module also refreshes ``BENCH_rare_events.json`` at the repo root when
 ``REPRO_BENCH_RECORD=1`` — the persisted perf-trajectory entry the
 roadmap asks for.
+
+Migration note: ``BENCH_rare_events.json`` predates the unified
+``repro.bench_trajectory`` schema.  Its historical entries were lifted into
+the committed ``BENCH_trajectory.json`` via
+:func:`repro.observability.migrate_legacy_entries` (``timestamp`` and
+``machine`` are ``None`` there — the legacy file never recorded them), and
+new measurements are appended to *both* files: the legacy file keeps its
+original flat shape for existing consumers, the trajectory gets the
+schema-versioned record via :func:`conftest.record_trajectory`.
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ import os
 import pathlib
 import time
 
-from conftest import bench_scale
+from conftest import bench_scale, record_trajectory
 from repro._version import __version__
 from repro.params import parameters_from_c
 from repro.simulation import RareEventSimulation
@@ -118,23 +127,22 @@ def test_tilted_variance_reduction_beats_plain_mc():
         f"tilted estimator only {reduction:.1f}x lower variance than plain MC"
     )
 
-    _record(
-        {
-            "version": __version__,
-            "depth": OVERLAP_DEPTH,
-            "trials": TRIALS,
-            "rounds": ROUNDS,
-            "seed": SEED,
-            "tilted_probability": tilted.probability,
-            "tilted_relative_error": tilted.relative_error,
-            "tilted_effective_sample_size": tilted.effective_sample_size,
-            "tilted_seconds": tilted_seconds,
-            "splitting_probability": splitting.probability,
-            "splitting_seconds": splitting_seconds,
-            "variance_reduction": reduction,
-            "gate": VARIANCE_REDUCTION_GATE,
-        }
-    )
+    payload = {
+        "depth": OVERLAP_DEPTH,
+        "trials": TRIALS,
+        "rounds": ROUNDS,
+        "seed": SEED,
+        "tilted_probability": tilted.probability,
+        "tilted_relative_error": tilted.relative_error,
+        "tilted_effective_sample_size": tilted.effective_sample_size,
+        "tilted_seconds": tilted_seconds,
+        "splitting_probability": splitting.probability,
+        "splitting_seconds": splitting_seconds,
+        "variance_reduction": reduction,
+        "gate": VARIANCE_REDUCTION_GATE,
+    }
+    _record({"version": __version__, **payload})
+    record_trajectory("rare_events", payload)
 
 
 def test_deep_tail_reach_beyond_plain_mc():

@@ -15,7 +15,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import bench_scale
+from conftest import bench_scale, record_trajectory
 
 from repro.analysis import attack_surface_sweep, render_table
 from repro.params import parameters_from_c
@@ -81,6 +81,19 @@ def test_scenario_engine_speedup_over_legacy_loop(scenario_name):
     # activity should be in the same regime as the engine batch's.
     legacy_released = sum(run.adversary_releases > 0 for run in legacy_results)
     assert (legacy_released > 0) == (int(result.releases.sum()) > 0)
+
+    record_trajectory(
+        "scenarios",
+        {
+            "scenario": scenario_name,
+            "trials": TRIALS,
+            "rounds": ROUNDS,
+            "legacy_seconds": legacy_seconds,
+            "engine_seconds": engine_seconds,
+            "speedup": speedup,
+            "gate": 5.0,
+        },
+    )
 
 
 @pytest.mark.benchmark(group="scenarios")

@@ -16,7 +16,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import bench_scale
+from conftest import bench_scale, record_trajectory
 
 from repro.analysis import delta_tightness_sweep, render_table
 from repro.params import parameters_from_c
@@ -72,6 +72,20 @@ def test_gossip_kernel_speedup_over_per_block_reference():
     assert speedup >= 5.0, (
         f"vectorized gossip kernel only {speedup:.1f}x faster than the "
         "per-block reference"
+    )
+
+    record_trajectory(
+        "topology",
+        {
+            "nodes": NODES,
+            "degree": DEGREE,
+            "trials": TRIALS,
+            "rounds": ROUNDS,
+            "reference_seconds": reference_seconds,
+            "vectorized_seconds": vectorized_seconds,
+            "speedup": speedup,
+            "gate": 5.0,
+        },
     )
 
 

@@ -11,6 +11,13 @@ speedup gates.  The flag is read in exactly one place —
 :func:`quick_mode` below — and every ``bench_*.py`` module sizes its
 workloads through :func:`bench_scale`, so a new benchmark cannot quietly
 invent its own environment handling.
+
+Perf history rides along the same way: under ``REPRO_BENCH_RECORD=1`` every
+gated benchmark calls :func:`record_trajectory` with its measured numbers,
+appending one ``repro.bench_trajectory`` record to the unified
+``BENCH_trajectory.json`` (or wherever ``REPRO_BENCH_TRAJECTORY`` points).
+The flag gating is also in exactly one place — here — so a normal
+``pytest benchmarks/`` run never mutates the committed trajectory file.
 """
 
 from __future__ import annotations
@@ -23,6 +30,10 @@ import pytest
 #: The environment flag the CI smoke steps set; read at call time so a test
 #: harness can toggle it per-invocation.
 QUICK_ENV_VAR = "REPRO_BENCH_QUICK"
+
+#: Opt-in flag for persisting measured datapoints (legacy ``BENCH_*.json``
+#: refreshes and unified trajectory appends alike).
+RECORD_ENV_VAR = "REPRO_BENCH_RECORD"
 
 
 def quick_mode() -> bool:
@@ -37,6 +48,26 @@ def bench_scale(quick, full):
     graph sizes): ``TRIALS = bench_scale(8, 64)``.
     """
     return quick if quick_mode() else full
+
+
+def record_trajectory(benchmark: str, metrics: dict) -> None:
+    """Append one measured datapoint to the unified perf trajectory.
+
+    A no-op unless ``REPRO_BENCH_RECORD=1``, so ordinary benchmark runs
+    leave the committed ``BENCH_trajectory.json`` untouched.  The record is
+    stamped with the current package version, host fingerprint, and the
+    active quick/full mode; ``metrics`` carries the benchmark-specific
+    numbers (speedups, wall times, gates).
+    """
+    if os.environ.get(RECORD_ENV_VAR, "") != "1":
+        return
+    from repro.observability import append_trajectory, trajectory_record
+
+    append_trajectory(
+        trajectory_record(
+            benchmark, "quick" if quick_mode() else "full", metrics
+        )
+    )
 
 
 @pytest.fixture

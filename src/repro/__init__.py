@@ -231,6 +231,42 @@ per-call allocation.  See ``examples/backend_speed.py``.
 ...     pooled = BatchSimulation(small, rng=0, workspace=Workspace()).run(32, 2_000)
 >>> bool((pooled.convergence_opportunities == batch.convergence_opportunities).all())
 True
+
+Observability
+-------------
+:mod:`repro.observability` instruments every engine and the
+:class:`~repro.simulation.ExperimentRunner` with zero overhead when off —
+the default state is pinned bit-identical to the uninstrumented engines by
+golden-digest tests, and hot-path kernels never touch instrumentation
+inside their per-round loops (enforced by the AST hygiene guard).  Four
+pieces:
+
+* **tracing** — ``REPRO_TRACE=1`` (process-wide) or a
+  :func:`~repro.observability.use_tracer` context records nestable wall-
+  time spans (runner call → engine stage → kernel), each stamped with the
+  ambient backend and dtype policy;
+* **metrics** — counters and gauges (trials/rounds simulated, cache
+  hits/misses and version skips per runner method, workspace reuse versus
+  fresh allocation, host↔device transfers, rare-event pilot iterations and
+  ESS) behind :func:`~repro.observability.use_metrics`, exported as one
+  JSON snapshot;
+* **run manifests** — ``ExperimentRunner(run_log=...)`` or
+  ``REPRO_RUN_LOG=path`` appends one validated JSON line per ``run_*``
+  call (schema ``repro.run_manifest``: params, seed, cache slot and
+  hit/miss state, duration, backend, package version, result digest),
+  giving every cached ``.npz`` artefact a provenance trail;
+* **perf trajectory** — the gated benchmarks append schema-versioned
+  records (``repro.bench_trajectory``) to the committed
+  ``BENCH_trajectory.json`` under ``REPRO_BENCH_RECORD=1``, and
+  :func:`repro.analysis.perf_trajectory_table` renders the history.
+
+>>> from repro.observability import use_metrics, use_tracer
+>>> with use_tracer() as tracer, use_metrics() as metrics:
+...     _ = BatchSimulation(small, rng=0).run(8, 500)
+>>> [root.name for root in tracer.roots]
+['batch.run']
+>>> metrics.counter("engine.batch.trials")
+8
 """
 
 from .core import (

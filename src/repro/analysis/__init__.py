@@ -23,7 +23,9 @@
 * :mod:`repro.analysis.tail_sweeps` — deep-tail validation on the
   rare-event estimator: tilted/splitting violation tails versus the
   Lundberg-exponent predictions under the corrected and Kiffer
-  convergence rates, plus the plain-MC overlap-region agreement table.
+  convergence rates, plus the plain-MC overlap-region agreement table;
+* :mod:`repro.analysis.perf_report` — the persisted benchmark trajectory
+  (``BENCH_trajectory.json``) rendered as diffable plain-text tables.
 """
 
 from .attack_sweeps import ATTACK_SCENARIOS, attack_success_grid, attack_surface_sweep
@@ -53,6 +55,11 @@ from .sweeps import (
     implication_chain_ablation,
     security_margin_sweep,
     simulation_sweep,
+)
+from .perf_report import (
+    latest_by_benchmark,
+    perf_trajectory_rows,
+    perf_trajectory_table,
 )
 from .tables import format_value, render_mapping, render_table, table_i
 from .tail_sweeps import (
@@ -120,4 +127,7 @@ __all__ = [
     "lundberg_exponent",
     "tail_depth_sweep",
     "overlap_validation_table",
+    "perf_trajectory_rows",
+    "perf_trajectory_table",
+    "latest_by_benchmark",
 ]

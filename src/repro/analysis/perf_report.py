@@ -1,0 +1,105 @@
+"""Render the persisted perf trajectory as diffable plain-text tables.
+
+The benchmark harness appends one ``repro.bench_trajectory`` record per
+gated measurement to ``BENCH_trajectory.json`` (see
+:mod:`repro.observability.trajectory`); this module turns that history into
+the human-facing artefacts:
+
+* :func:`perf_trajectory_rows` — flat table rows, one per record, with the
+  headline metric picked out per benchmark (speedup, variance reduction,
+  overhead fraction);
+* :func:`perf_trajectory_table` — the rows rendered through
+  :func:`repro.analysis.tables.render_table`;
+* :func:`latest_by_benchmark` — the newest record per benchmark, the
+  one-glance "where is perf today" summary.
+
+Rendering is read-only: this module never writes the trajectory file.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..observability import load_trajectory
+from .tables import render_table
+
+__all__ = [
+    "HEADLINE_METRICS",
+    "perf_trajectory_rows",
+    "perf_trajectory_table",
+    "latest_by_benchmark",
+]
+
+#: Per-benchmark headline metric surfaced in the ``headline`` column; any
+#: benchmark not listed falls back to its first sorted metric name.
+HEADLINE_METRICS = {
+    "scenarios": "speedup",
+    "topology": "speedup",
+    "dynamics": "speedup",
+    "backend": "speedup",
+    "equivocation": "speedup",
+    "rare_events": "variance_reduction",
+    "observability": "overhead_fraction",
+}
+
+
+def _headline(record: dict) -> Tuple[str, object]:
+    metrics = record["metrics"]
+    name = HEADLINE_METRICS.get(record["benchmark"])
+    if name is None or name not in metrics:
+        name = sorted(metrics)[0]
+    return name, metrics[name]
+
+
+def perf_trajectory_rows(
+    path: Union[None, str, os.PathLike] = None,
+    benchmark: Optional[str] = None,
+) -> List[dict]:
+    """Flat table rows for the trajectory at ``path``, oldest first.
+
+    ``benchmark`` filters to one benchmark's history (e.g. ``"scenarios"``);
+    ``path`` resolves like the trajectory writers do (explicit path, else
+    ``REPRO_BENCH_TRAJECTORY``, else ``BENCH_trajectory.json``).
+    """
+    rows = []
+    for record in load_trajectory(path):
+        if benchmark is not None and record["benchmark"] != benchmark:
+            continue
+        name, value = _headline(record)
+        machine = record["machine"]
+        rows.append(
+            {
+                "benchmark": record["benchmark"],
+                "version": record["version"],
+                "mode": record["mode"],
+                "headline": f"{name}={value:.4g}"
+                if isinstance(value, float)
+                else f"{name}={value}",
+                "gate": record["metrics"].get("gate", ""),
+                "machine": "" if machine is None else machine.get("machine", ""),
+                "metrics": len(record["metrics"]),
+            }
+        )
+    return rows
+
+
+def perf_trajectory_table(
+    path: Union[None, str, os.PathLike] = None,
+    benchmark: Optional[str] = None,
+) -> str:
+    """The perf history rendered as a plain-text table."""
+    rows = perf_trajectory_rows(path, benchmark=benchmark)
+    if not rows:
+        return "(no trajectory records)"
+    return render_table(rows)
+
+
+def latest_by_benchmark(
+    path: Union[None, str, os.PathLike] = None,
+) -> Dict[str, dict]:
+    """The newest trajectory record per benchmark (file order = age order)."""
+    latest: Dict[str, dict] = {}
+    for record in load_trajectory(path):
+        latest[record["benchmark"]] = record
+    return latest

@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from ..errors import BackendUnavailableError
+from ..observability import METRICS as _METRICS
 from .dispatch import ArrayBackend
 
 __all__ = ["ArrayApiBackend", "PREFERRED_ACCELERATORS"]
@@ -273,9 +274,11 @@ class ArrayApiBackend(ArrayBackend):  # pragma: no cover - needs accelerator dep
     # Host boundary
     # ------------------------------------------------------------------
     def from_host(self, array, dtype=None):
+        _METRICS.increment("backend.array_api.from_host")
         return self.asarray(np.asarray(array), dtype=dtype)
 
     def to_host(self, array):
+        _METRICS.increment("backend.array_api.to_host")
         if isinstance(array, np.ndarray):
             return array
         if self.module == "torch":

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..errors import BackendError
+from ..observability import METRICS as _METRICS
 from .dispatch import ArrayBackend, get_backend
 
 __all__ = ["Workspace"]
@@ -101,7 +102,9 @@ class Workspace:
             and tuple(buffer.shape) == shape
             and buffer.dtype == dtype
         ):
+            _METRICS.increment("workspace.reused")
             return buffer
+        _METRICS.increment("workspace.allocated")
         buffer = backend.empty(shape, dtype=dtype)
         self._buffers[tag] = buffer
         return buffer

@@ -16,6 +16,7 @@ __all__ = [
     "AnalysisError",
     "BackendError",
     "BackendUnavailableError",
+    "ObservabilityError",
 ]
 
 
@@ -47,6 +48,12 @@ class AnalysisError(ReproError, RuntimeError):
 class BackendError(ReproError, RuntimeError):
     """Raised when the array-backend layer is misconfigured (unknown backend
     name, dtype-policy mismatch, workspace bound to a different backend)."""
+
+
+class ObservabilityError(ReproError, RuntimeError):
+    """Raised by :mod:`repro.observability` for malformed instrumentation
+    artefacts — a run-manifest or perf-trajectory record that fails schema
+    validation, or a run log that cannot be written where asked."""
 
 
 class BackendUnavailableError(BackendError):

@@ -59,6 +59,7 @@ import numpy as np
 from ..backend import ArrayBackend, Workspace, get_backend, get_dtype_policy
 from ..core.concat_chain import convergence_opportunity_mask
 from ..errors import SimulationError
+from ..observability import METRICS as _METRICS, TRACE as _TRACE
 from ..params import ProtocolParameters
 from .rng import SeedLike, resolve_rng
 from .topology import (
@@ -566,30 +567,40 @@ class BatchSimulation:
         ``delay_model=None`` or ``"fixed_delta"`` a seed produces exactly
         the pre-topology stream.
         """
-        honest, adversary = draw_mining_traces(
-            self.params,
-            trials,
-            rounds,
-            self.rng,
-            self.draw_mode,
-            power=self.power,
-            backend=self.backend,
-            policy=self.policy,
-        )
-        delays = None
-        max_delay = None
-        if self.delay_model is not None and not self.delay_model.trivial:
-            delays = self.delay_model.draw_delays(
-                trials, rounds, self.params.delta, self.rng
+        with _TRACE.span(
+            "batch.run",
+            trials=int(trials),
+            rounds=int(rounds),
+            draw_mode=self.draw_mode,
+            delay_model=self._delay_model_name,
+        ):
+            with _TRACE.span("batch.draw"):
+                honest, adversary = draw_mining_traces(
+                    self.params,
+                    trials,
+                    rounds,
+                    self.rng,
+                    self.draw_mode,
+                    power=self.power,
+                    backend=self.backend,
+                    policy=self.policy,
+                )
+                delays = None
+                max_delay = None
+                if self.delay_model is not None and not self.delay_model.trivial:
+                    delays = self.delay_model.draw_delays(
+                        trials, rounds, self.params.delta, self.rng
+                    )
+                    max_delay = self.delay_model.delay_cap(
+                        self.params.delta, rounds
+                    )
+            return self.run_traces(
+                honest,
+                adversary,
+                keep_traces=keep_traces,
+                delays=delays,
+                max_delay=max_delay,
             )
-            max_delay = self.delay_model.delay_cap(self.params.delta, rounds)
-        return self.run_traces(
-            honest,
-            adversary,
-            keep_traces=keep_traces,
-            delays=delays,
-            max_delay=max_delay,
-        )
 
     def run_traces(
         self,
@@ -625,38 +636,42 @@ class BatchSimulation:
         if rounds < 1:
             raise SimulationError("rounds must be positive")
         self.policy.check_rounds(rounds)
-        if delays is None:
-            if self.workspace is not None:
-                mask = _opportunity_mask_ws(
-                    self.workspace,
-                    xp,
-                    honest,
-                    self.params.delta,
-                    self.policy.mask_dtype(xp),
-                    index_dtype,
-                )
-            else:
-                mask = xp.from_host(
-                    convergence_opportunity_mask(
-                        xp.to_host(honest), self.params.delta
+        _METRICS.increment("engine.batch.trials", trials)
+        _METRICS.increment("engine.batch.rounds", trials * rounds)
+        with _TRACE.span("batch.mask", trials=trials, rounds=rounds):
+            if delays is None:
+                if self.workspace is not None:
+                    mask = _opportunity_mask_ws(
+                        self.workspace,
+                        xp,
+                        honest,
+                        self.params.delta,
+                        self.policy.mask_dtype(xp),
+                        index_dtype,
                     )
+                else:
+                    mask = xp.from_host(
+                        convergence_opportunity_mask(
+                            xp.to_host(honest), self.params.delta
+                        )
+                    )
+            else:
+                mask = convergence_opportunity_mask_with_delays(
+                    honest,
+                    delays,
+                    self.params.delta,
+                    max_delay=max_delay,
+                    backend=xp,
+                    policy=self.policy,
                 )
-        else:
-            mask = convergence_opportunity_mask_with_delays(
-                honest,
-                delays,
-                self.params.delta,
-                max_delay=max_delay,
+        with _TRACE.span("batch.deficits", trials=trials, rounds=rounds):
+            deficits = worst_window_deficits(
+                mask,
+                adversary,
+                workspace=self.workspace,
                 backend=xp,
                 policy=self.policy,
             )
-        deficits = worst_window_deficits(
-            mask,
-            adversary,
-            workspace=self.workspace,
-            backend=xp,
-            policy=self.policy,
-        )
         return BatchResult(
             params=self.params,
             trials=trials,

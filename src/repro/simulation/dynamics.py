@@ -74,6 +74,7 @@ import numpy as np
 
 from ..backend import get_backend, get_dtype_policy
 from ..errors import SimulationError
+from ..observability import METRICS as _METRICS, TRACE as _TRACE
 from .rng import resolve_rng
 from .scenarios import Scenario, register_scenario
 from .topology import (
@@ -808,18 +809,28 @@ class TimeVaryingDelayModel(DelayModel):
         """The compiled tensors for one ``(rounds, delta)`` shape, cached."""
         key = (int(rounds), int(delta))
         if key not in self._compiled:
-            if self.topology is None:
-                offsets = compile_eclipse_offsets(self.schedule, rounds, delta)
-                self._compiled[key] = CompiledSchedule(
-                    offsets=offsets,
-                    active=None,
-                    max_offset=int(offsets.max(initial=delta)),
-                    uniform_origins=True,
-                )
-            else:
-                self._compiled[key] = compile_schedule(
-                    self.schedule, self.topology, rounds, delta
-                )
+            _METRICS.increment("engine.dynamics.schedule_compilations")
+            with _TRACE.span(
+                "dynamics.compile",
+                rounds=key[0],
+                delta=key[1],
+                events=len(self.schedule.events),
+                topology=self.topology is not None,
+            ):
+                if self.topology is None:
+                    offsets = compile_eclipse_offsets(
+                        self.schedule, rounds, delta
+                    )
+                    self._compiled[key] = CompiledSchedule(
+                        offsets=offsets,
+                        active=None,
+                        max_offset=int(offsets.max(initial=delta)),
+                        uniform_origins=True,
+                    )
+                else:
+                    self._compiled[key] = compile_schedule(
+                        self.schedule, self.topology, rounds, delta
+                    )
         return self._compiled[key]
 
     def delay_cap(self, delta: int, rounds: Optional[int] = None) -> int:

@@ -68,6 +68,7 @@ import numpy as np
 from ..backend import ArrayBackend, Workspace, get_backend, get_dtype_policy
 from ..core.concat_chain import convergence_opportunity_mask
 from ..errors import SimulationError
+from ..observability import METRICS as _METRICS, TRACE as _TRACE
 from ..params import ProtocolParameters
 from .batch import (
     BatchSimulation,
@@ -540,18 +541,22 @@ class RareEventSimulation:
         """
         if trials < 1:
             raise SimulationError(f"trials must be positive, got {trials!r}")
+        _METRICS.increment("engine.rare_events.trials", int(trials))
         hits = 0
-        for chunk in self._chunk_sizes(trials, rounds):
-            honest, adversary = draw_mining_traces(
-                self.params,
-                chunk,
-                rounds,
-                self.rng,
-                backend=self.engine.backend,
-                policy=self.engine.policy,
-            )
-            deficits, _, _ = self._deficits(honest, adversary)
-            hits += int((deficits >= self.depth).sum())
+        with _TRACE.span(
+            "rare.plain", trials=int(trials), rounds=int(rounds), depth=self.depth
+        ):
+            for chunk in self._chunk_sizes(trials, rounds):
+                honest, adversary = draw_mining_traces(
+                    self.params,
+                    chunk,
+                    rounds,
+                    self.rng,
+                    backend=self.engine.backend,
+                    policy=self.engine.policy,
+                )
+                deficits, _, _ = self._deficits(honest, adversary)
+                hits += int((deficits >= self.depth).sum())
         probability = hits / trials
         ci_low, ci_high = proportion_confidence_interval(hits, trials)
         relative_error = (
@@ -606,64 +611,77 @@ class RareEventSimulation:
         """
         if trials < 2:
             raise SimulationError(f"trials must be >= 2, got {trials!r}")
+        _METRICS.increment("engine.rare_events.trials", int(trials))
         pilot_iterations = 0
         if tilt is None:
-            tilt, pilot_iterations = cross_entropy_tilt(
-                self.params,
-                self.depth,
-                rounds,
-                self.rng,
-                pilot_trials=pilot_trials,
-                elite_fraction=elite_fraction,
-                max_iterations=max_iterations,
-                smoothing=smoothing,
-                workspace=self.engine.workspace,
+            with _TRACE.span(
+                "rare.pilot", depth=self.depth, pilot_trials=int(pilot_trials)
+            ):
+                tilt, pilot_iterations = cross_entropy_tilt(
+                    self.params,
+                    self.depth,
+                    rounds,
+                    self.rng,
+                    pilot_trials=pilot_trials,
+                    elite_fraction=elite_fraction,
+                    max_iterations=max_iterations,
+                    smoothing=smoothing,
+                    workspace=self.engine.workspace,
+                )
+            _METRICS.increment(
+                "rare_events.pilot_iterations", pilot_iterations
             )
         xp = self.engine.backend
         delta = self.params.delta
         hits = 0
         weight_sum = 0.0
         weight_square_sum = 0.0
-        for chunk in self._chunk_sizes(trials, rounds):
-            honest, adversary = draw_tilted_traces(
-                self.params,
-                tilt,
-                chunk,
-                rounds,
-                self.rng,
-                backend=xp,
-                policy=self.engine.policy,
-            )
-            honest_host = xp.to_host(honest)
-            adversary_host = xp.to_host(adversary)
-            reached, first_crossing = self._first_crossings(
-                honest_host, adversary_host, self.depth
-            )
-            hits += int(reached.sum())
-            if not reached.any():
-                continue
-            # Stopped likelihood ratio: weight only the prefix up to each
-            # trial's first crossing (honest side `delta` rounds further).
-            adversary_cut = first_crossing[reached]
-            honest_cut = np.minimum(adversary_cut + delta, rounds)
-            rows = np.arange(adversary_cut.size)
-            honest_blocks = np.cumsum(
-                honest_host[reached], axis=1, dtype=np.int64
-            )[rows, honest_cut - 1]
-            adversary_blocks = np.cumsum(
-                adversary_host[reached], axis=1, dtype=np.int64
-            )[rows, adversary_cut - 1]
-            log_ratio = log_likelihood_ratios(
-                self.params,
-                tilt,
-                honest_blocks,
-                adversary_blocks,
-                honest_cut,
-                adversary_cut,
-            )
-            weights = np.exp(np.minimum(log_ratio, 700.0))
-            weight_sum += float(weights.sum())
-            weight_square_sum += float((weights * weights).sum())
+        with _TRACE.span(
+            "rare.tilted",
+            trials=int(trials),
+            rounds=int(rounds),
+            depth=self.depth,
+        ):
+            for chunk in self._chunk_sizes(trials, rounds):
+                honest, adversary = draw_tilted_traces(
+                    self.params,
+                    tilt,
+                    chunk,
+                    rounds,
+                    self.rng,
+                    backend=xp,
+                    policy=self.engine.policy,
+                )
+                honest_host = xp.to_host(honest)
+                adversary_host = xp.to_host(adversary)
+                reached, first_crossing = self._first_crossings(
+                    honest_host, adversary_host, self.depth
+                )
+                hits += int(reached.sum())
+                if not reached.any():
+                    continue
+                # Stopped likelihood ratio: weight only the prefix up to each
+                # trial's first crossing (honest side `delta` rounds further).
+                adversary_cut = first_crossing[reached]
+                honest_cut = np.minimum(adversary_cut + delta, rounds)
+                rows = np.arange(adversary_cut.size)
+                honest_blocks = np.cumsum(
+                    honest_host[reached], axis=1, dtype=np.int64
+                )[rows, honest_cut - 1]
+                adversary_blocks = np.cumsum(
+                    adversary_host[reached], axis=1, dtype=np.int64
+                )[rows, adversary_cut - 1]
+                log_ratio = log_likelihood_ratios(
+                    self.params,
+                    tilt,
+                    honest_blocks,
+                    adversary_blocks,
+                    honest_cut,
+                    adversary_cut,
+                )
+                weights = np.exp(np.minimum(log_ratio, 700.0))
+                weight_sum += float(weights.sum())
+                weight_square_sum += float((weights * weights).sum())
         probability = weight_sum / trials
         # Sample variance of the weighted indicator (zeros included).
         variance = max(
@@ -678,6 +696,8 @@ class RareEventSimulation:
             if weight_square_sum > 0.0
             else math.nan
         )
+        if not math.isnan(effective):
+            _METRICS.gauge("rare_events.effective_sample_size", float(effective))
         return RareEventResult(
             params=self.params,
             depth=self.depth,
@@ -713,41 +733,16 @@ class RareEventSimulation:
         """
         if trials < 2:
             raise SimulationError(f"trials must be >= 2, got {trials!r}")
+        _METRICS.increment("engine.rare_events.trials", int(trials))
         xp = self.engine.backend
         delta = self.params.delta
-        honest, adversary = draw_mining_traces(
-            self.params,
-            trials,
-            rounds,
-            self.rng,
-            backend=xp,
-            policy=self.engine.policy,
-        )
-        honest = xp.to_host(honest)
-        adversary = xp.to_host(adversary)
-        level_probabilities = np.full(self.depth, np.nan)
-        probability = 1.0
-        relative_variance = 0.0
-        hits = 0
-        for level in range(1, self.depth + 1):
-            reached, first_crossing = self._first_crossings(
-                honest, adversary, level
-            )
-            hits = int(reached.sum())
-            fraction = hits / trials
-            level_probabilities[level - 1] = fraction
-            probability *= fraction
-            if hits == 0:
-                probability = 0.0
-                break
-            relative_variance += (1.0 - fraction) / max(hits, 1)
-            if level == self.depth:
-                break
-            ancestors = np.nonzero(reached)[0][
-                self.rng.integers(0, hits, size=trials)
-            ]
-            crossings = first_crossing[ancestors]
-            fresh_honest, fresh_adversary = draw_mining_traces(
+        with _TRACE.span(
+            "rare.splitting",
+            trials=int(trials),
+            rounds=int(rounds),
+            depth=self.depth,
+        ):
+            honest, adversary = draw_mining_traces(
                 self.params,
                 trials,
                 rounds,
@@ -755,17 +750,50 @@ class RareEventSimulation:
                 backend=xp,
                 policy=self.engine.policy,
             )
-            columns = np.arange(rounds)[None, :]
-            adversary = np.where(
-                columns < crossings[:, None],
-                adversary[ancestors],
-                xp.to_host(fresh_adversary),
-            )
-            honest = np.where(
-                columns < np.minimum(crossings + delta, rounds)[:, None],
-                honest[ancestors],
-                xp.to_host(fresh_honest),
-            )
+            honest = xp.to_host(honest)
+            adversary = xp.to_host(adversary)
+            level_probabilities = np.full(self.depth, np.nan)
+            probability = 1.0
+            relative_variance = 0.0
+            hits = 0
+            for level in range(1, self.depth + 1):
+                reached, first_crossing = self._first_crossings(
+                    honest, adversary, level
+                )
+                hits = int(reached.sum())
+                _METRICS.gauge("rare_events.splitting_level_hits", hits)
+                fraction = hits / trials
+                level_probabilities[level - 1] = fraction
+                probability *= fraction
+                if hits == 0:
+                    probability = 0.0
+                    break
+                relative_variance += (1.0 - fraction) / max(hits, 1)
+                if level == self.depth:
+                    break
+                ancestors = np.nonzero(reached)[0][
+                    self.rng.integers(0, hits, size=trials)
+                ]
+                crossings = first_crossing[ancestors]
+                fresh_honest, fresh_adversary = draw_mining_traces(
+                    self.params,
+                    trials,
+                    rounds,
+                    self.rng,
+                    backend=xp,
+                    policy=self.engine.policy,
+                )
+                columns = np.arange(rounds)[None, :]
+                adversary = np.where(
+                    columns < crossings[:, None],
+                    adversary[ancestors],
+                    xp.to_host(fresh_adversary),
+                )
+                honest = np.where(
+                    columns < np.minimum(crossings + delta, rounds)[:, None],
+                    honest[ancestors],
+                    xp.to_host(fresh_honest),
+                )
         if probability > 0.0:
             standard_error = probability * math.sqrt(relative_variance)
             ci_low = max(probability - 1.96 * standard_error, 0.0)

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
+import time
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Union
 
@@ -38,6 +40,14 @@ from ..backend import (
     get_dtype_policy,
 )
 from ..errors import SimulationError
+from ..observability import (
+    METRICS as _METRICS,
+    TRACE as _TRACE,
+    RunLog,
+    digest_arrays,
+    manifest_record,
+    resolve_run_log,
+)
 from ..params import ProtocolParameters
 from .batch import DRAW_MODES, BatchResult, BatchSimulation
 from .rare_events import (
@@ -61,6 +71,8 @@ from .topology import (
 )
 
 __all__ = ["ENGINE_VERSION", "ExperimentRunner"]
+
+_LOGGER = logging.getLogger(__name__)
 
 #: Bumped whenever the batch engine's draw protocol or statistics change, so
 #: stale cache entries are never reused across incompatible versions.  The
@@ -118,11 +130,50 @@ def _scenario_from_payload(payload: dict) -> Scenario:
     return Scenario(**common)
 
 
+def _batch_result_digest(result: BatchResult) -> str:
+    """Manifest digest of a batch result's persisted arrays."""
+    return digest_arrays(
+        convergence_opportunities=result.convergence_opportunities,
+        honest_blocks=result.honest_blocks,
+        adversary_blocks=result.adversary_blocks,
+        worst_deficits=result.worst_deficits,
+    )
+
+
+def _scenario_result_digest(result: ScenarioResult) -> str:
+    """Manifest digest of a scenario result's persisted per-trial arrays."""
+    return digest_arrays(
+        **{
+            name: getattr(result, name)
+            for name in ExperimentRunner._SCENARIO_ARRAYS
+        }
+    )
+
+
+def _rare_result_digest(result: RareEventResult) -> str:
+    """Manifest digest of a rare-event estimate's headline numbers."""
+    blob = json.dumps(
+        {
+            "probability": result.probability,
+            "ci_low": result.ci_low,
+            "ci_high": result.ci_high,
+            "relative_error": result.relative_error,
+            "effective_sample_size": result.effective_sample_size,
+            "hits": result.hits,
+            "pilot_iterations": result.pilot_iterations,
+            "tilt": None if result.tilt is None else result.tilt.payload(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def _run_point_task(args: tuple) -> tuple:
     """Top-level worker so grid points can be shipped to a process pool.
 
-    Returns ``(result, cache_hits, cache_misses)`` so the parent runner can
-    fold the worker-side cache accounting into its own counters.
+    Returns ``(result, cache_hits, cache_misses, version_skips)`` so the
+    parent runner can fold the worker-side cache accounting into its own
+    counters.
     """
     payload, trials, rounds, base_seed, draw_mode, cache_dir = args
     runner = ExperimentRunner(
@@ -132,7 +183,7 @@ def _run_point_task(args: tuple) -> tuple:
         draw_mode=draw_mode,
     )
     result = runner.run_point(_params_from_payload(payload), trials, rounds)
-    return result, runner.cache_hits, runner.cache_misses
+    return result, runner.cache_hits, runner.cache_misses, runner.version_skips
 
 
 def _run_scenario_point_task(args: tuple) -> tuple:
@@ -150,7 +201,7 @@ def _run_scenario_point_task(args: tuple) -> tuple:
         trials,
         rounds,
     )
-    return result, runner.cache_hits, runner.cache_misses
+    return result, runner.cache_hits, runner.cache_misses, runner.version_skips
 
 
 class ExperimentRunner:
@@ -168,6 +219,12 @@ class ExperimentRunner:
         runs serially in-process.
     draw_mode:
         Forwarded to :class:`~repro.simulation.batch.BatchSimulation`.
+    run_log:
+        Where to append one JSONL run-manifest record per ``run_*`` point
+        call: a path, an open :class:`~repro.observability.RunLog`, or
+        ``None`` to consult the ``REPRO_RUN_LOG`` environment variable
+        (unset means no logging).  The conventional location is
+        ``<cache_dir>/run_log.jsonl`` next to the npz cache.
     """
 
     def __init__(
@@ -176,6 +233,7 @@ class ExperimentRunner:
         cache_dir: Optional[str] = None,
         processes: Optional[int] = None,
         draw_mode: str = "binomial",
+        run_log: Union[None, str, os.PathLike, RunLog] = None,
     ):
         if draw_mode not in DRAW_MODES:
             raise SimulationError(
@@ -187,8 +245,12 @@ class ExperimentRunner:
         self.cache_dir = cache_dir
         self.processes = processes
         self.draw_mode = draw_mode
+        self.run_log = resolve_run_log(run_log)
         self.cache_hits = 0
         self.cache_misses = 0
+        # Warm cache entries skipped because they were written by a different
+        # package release (counted by _cached_run via the sidecar index).
+        self.version_skips = 0
         # One scratch workspace shared across every point this runner
         # executes in-process: repeated (trials, rounds) grid points reuse
         # the engines' hot-kernel buffers instead of re-allocating them.
@@ -236,6 +298,59 @@ class ExperimentRunner:
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def _point_identity_key(
+        self,
+        params: ProtocolParameters,
+        trials: int,
+        rounds: int,
+        scenario: Optional[Union[str, Scenario]] = None,
+        delay_model: Optional[DelayModel] = None,
+        power: Optional[MiningPowerProfile] = None,
+        placement: Optional[AdversaryPlacement] = None,
+        rare_event: Optional[dict] = None,
+    ) -> tuple:
+        """``(identity, key)`` digests for one point.
+
+        The *identity* hashes the version-free point payload — the digest
+        that seeds the point and names its sidecar index file — while the
+        *key* additionally folds in the package version and any non-default
+        backend / dtype-policy, exactly as :meth:`cache_key` documents.
+        """
+        payload = self._point_payload(
+            params,
+            trials,
+            rounds,
+            scenario,
+            delay_model,
+            power,
+            placement,
+            rare_event,
+        )
+        identity = self._digest(payload)
+        versioned = dict(payload)
+        versioned["package_version"] = _version.__version__
+        # Non-default backends and dtype policies get their own cache slots
+        # (compact float statistics differ within a documented tolerance;
+        # accelerator kernels need not be bit-reproducible across devices).
+        # Default-configuration keys are unchanged, so warm caches and the
+        # base_seed=2026 goldens survive this layer.  Seeds deliberately
+        # ignore both: the host-seeded RNG bridge makes one seed produce one
+        # bit stream on every backend (see seed_sequence_for).
+        backend = get_backend()
+        if backend.name != DEFAULT_BACKEND:
+            versioned["backend"] = backend.payload()
+        policy = get_dtype_policy()
+        if policy.name != WIDE_POLICY.name:
+            versioned["dtype_policy"] = policy.payload()
+        return identity, self._digest(versioned)
+
+    def _seed_from_identity(self, identity: str) -> np.random.SeedSequence:
+        """Base seed plus entropy words sliced from the identity digest."""
+        words = [
+            int(identity[index : index + 8], 16) for index in range(0, 32, 8)
+        ]
+        return np.random.SeedSequence([self.base_seed, *words])
+
     def cache_key(
         self,
         params: ProtocolParameters,
@@ -261,31 +376,17 @@ class ExperimentRunner:
         silently reused — an upgrade simply recomputes and re-stores under
         the new key.
         """
-        payload = self._point_payload(
+        _, key = self._point_identity_key(
             params,
             trials,
             rounds,
-            scenario,
-            resolve_delay_model(delay_model),
-            power,
-            placement,
-            rare_event,
+            scenario=scenario,
+            delay_model=resolve_delay_model(delay_model),
+            power=power,
+            placement=placement,
+            rare_event=rare_event,
         )
-        payload["package_version"] = _version.__version__
-        # Non-default backends and dtype policies get their own cache slots
-        # (compact float statistics differ within a documented tolerance;
-        # accelerator kernels need not be bit-reproducible across devices).
-        # Default-configuration keys are unchanged, so warm caches and the
-        # base_seed=2026 goldens survive this layer.  Seeds deliberately
-        # ignore both: the host-seeded RNG bridge makes one seed produce one
-        # bit stream on every backend (see seed_sequence_for).
-        backend = get_backend()
-        if backend.name != DEFAULT_BACKEND:
-            payload["backend"] = backend.payload()
-        policy = get_dtype_policy()
-        if policy.name != WIDE_POLICY.name:
-            payload["dtype_policy"] = policy.payload()
-        return self._digest(payload)
+        return key
 
     def seed_sequence_for(
         self,
@@ -308,20 +409,17 @@ class ExperimentRunner:
         invalidates caches but must not silently reroll every seeded
         experiment.
         """
-        digest = self._digest(
-            self._point_payload(
-                params,
-                trials,
-                rounds,
-                scenario,
-                resolve_delay_model(delay_model),
-                power,
-                placement,
-                rare_event,
-            )
+        identity, _ = self._point_identity_key(
+            params,
+            trials,
+            rounds,
+            scenario=scenario,
+            delay_model=resolve_delay_model(delay_model),
+            power=power,
+            placement=placement,
+            rare_event=rare_event,
         )
-        words = [int(digest[index : index + 8], 16) for index in range(0, 32, 8)]
-        return np.random.SeedSequence([self.base_seed, *words])
+        return self._seed_from_identity(identity)
 
     # ------------------------------------------------------------------
     # Cache persistence
@@ -330,6 +428,135 @@ class ExperimentRunner:
         if self.cache_dir is None:
             return None
         return os.path.join(self.cache_dir, f"{prefix}_{key}.npz")
+
+    def _cache_index_path(self, prefix: str, identity: str) -> Optional[str]:
+        """The sidecar file recording the last key written for one identity.
+
+        The identity digest is version-free (the same digest that seeds the
+        point), so the sidecar survives package upgrades — which is exactly
+        what lets a miss be classified as *stale by version* rather than
+        merely cold.
+        """
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"{prefix}_{identity}.latest.json")
+
+    def _stale_cache_version(self, prefix: str, identity: str) -> Optional[str]:
+        """The writer version of a warm-but-unusable cache slot, if any.
+
+        Returns the package version recorded by the last writer of this
+        point's sidecar index when it differs from the running version —
+        i.e. the miss about to be recomputed had a warm entry that a release
+        bump invalidated.  Missing or unreadable sidecars mean a plain cold
+        miss (``None``).
+        """
+        path = self._cache_index_path(prefix, identity)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as source:
+                index = json.load(source)
+        except (OSError, json.JSONDecodeError):
+            return None
+        version = index.get("package_version")
+        if version is not None and str(version) != _version.__version__:
+            return str(version)
+        return None
+
+    def _write_cache_index(self, prefix: str, identity: str, key: str) -> None:
+        path = self._cache_index_path(prefix, identity)
+        if path is None:
+            return
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        temporary = f"{path}.tmp.{os.getpid()}"
+        with open(temporary, "w", encoding="utf-8") as sink:
+            json.dump(
+                {"key": key, "package_version": _version.__version__},
+                sink,
+                sort_keys=True,
+            )
+        os.replace(temporary, path)
+
+    def _cached_run(
+        self,
+        method: str,
+        prefix: str,
+        identity: str,
+        key: str,
+        load,
+        store,
+        compute,
+        result_digest,
+        params: ProtocolParameters,
+        trials: int,
+        rounds: int,
+        extra: Optional[dict] = None,
+    ):
+        """The shared load-or-compute-and-store path of every ``run_*`` point.
+
+        One place owns the cache consultation, the hit/miss/version-skip
+        accounting (instance counters *and* ``runner.<method>.*`` metrics),
+        the ``runner.<method>`` tracer span, the sidecar index update and
+        the optional run-manifest append — so every engine the runner fronts
+        reports identically.
+        """
+        start = time.perf_counter()
+        path = self._cache_path(key, prefix)
+        stale_version = None
+        with _TRACE.span(
+            f"runner.{method}",
+            prefix=prefix,
+            trials=int(trials),
+            rounds=int(rounds),
+        ) as span:
+            cached = load(path) if path is not None else None
+            if cached is not None:
+                cache_state = "hit"
+                self.cache_hits += 1
+                _METRICS.increment(f"runner.{method}.cache_hits")
+                result = cached
+            else:
+                cache_state = "disabled" if path is None else "miss"
+                self.cache_misses += 1
+                _METRICS.increment(f"runner.{method}.cache_misses")
+                if path is not None:
+                    stale_version = self._stale_cache_version(prefix, identity)
+                    if stale_version is not None:
+                        self.version_skips += 1
+                        _METRICS.increment(f"runner.{method}.version_skips")
+                        _LOGGER.info(
+                            "cache entry for %s point %s was written by repro "
+                            "%s (current %s); recomputing",
+                            prefix,
+                            identity[:12],
+                            stale_version,
+                            _version.__version__,
+                        )
+                result = compute()
+                if path is not None:
+                    store(path, result)
+                    self._write_cache_index(prefix, identity, key)
+            span.set(cache=cache_state)
+            # The manifest write happens inside the span so the span tree
+            # accounts for the full runner call, provenance trail included.
+            if self.run_log is not None:
+                self.run_log.append(
+                    manifest_record(
+                        method=method,
+                        cache_prefix=prefix,
+                        cache_key=key,
+                        cache=cache_state,
+                        duration_s=time.perf_counter() - start,
+                        params=_params_payload(params),
+                        trials=int(trials),
+                        rounds=int(rounds),
+                        base_seed=self.base_seed,
+                        result_digest=result_digest(result),
+                        stale_version=stale_version,
+                        extra=extra,
+                    )
+                )
+        return result
 
     def _load_cached(self, path: str) -> Optional[BatchResult]:
         if not os.path.exists(path):
@@ -441,21 +668,29 @@ class ExperimentRunner:
         self, params: ProtocolParameters, trials: int, rounds: int
     ) -> BatchResult:
         """Run (or fetch from cache) one parameter point."""
-        path = self._cache_path(self.cache_key(params, trials, rounds))
-        if path is not None:
-            cached = self._load_cached(path)
-            if cached is not None:
-                self.cache_hits += 1
-                return cached
-        self.cache_misses += 1
-        rng = np.random.default_rng(self.seed_sequence_for(params, trials, rounds))
-        simulation = BatchSimulation(
-            params, rng=rng, draw_mode=self.draw_mode, workspace=self.workspace
+        identity, key = self._point_identity_key(params, trials, rounds)
+
+        def compute() -> BatchResult:
+            rng = np.random.default_rng(self._seed_from_identity(identity))
+            simulation = BatchSimulation(
+                params, rng=rng, draw_mode=self.draw_mode, workspace=self.workspace
+            )
+            return simulation.run(trials, rounds)
+
+        return self._cached_run(
+            "run_point",
+            "batch",
+            identity,
+            key,
+            self._load_cached,
+            self._store_cached,
+            compute,
+            _batch_result_digest,
+            params,
+            trials,
+            rounds,
+            extra={"draw_mode": self.draw_mode},
         )
-        result = simulation.run(trials, rounds)
-        if path is not None:
-            self._store_cached(path, result)
-        return result
 
     def run_grid(
         self,
@@ -485,9 +720,10 @@ class ExperimentRunner:
         with multiprocessing.Pool(min(self.processes, len(points))) as pool:
             outcomes = pool.map(_run_point_task, tasks)
         results = []
-        for result, hits, misses in outcomes:
+        for result, hits, misses, skips in outcomes:
             self.cache_hits += hits
             self.cache_misses += misses
+            self.version_skips += skips
             results.append(result)
         return results
 
@@ -503,28 +739,38 @@ class ExperimentRunner:
     ) -> ScenarioResult:
         """Run (or fetch from cache) one (parameter point, scenario) pair."""
         scenario = get_scenario(scenario)
-        key = self.cache_key(params, trials, rounds, scenario)
-        path = self._cache_path(key, prefix="scenario")
-        if path is not None:
-            cached = self._load_cached_scenario(path)
-            if cached is not None:
-                self.cache_hits += 1
-                return cached
-        self.cache_misses += 1
-        rng = np.random.default_rng(
-            self.seed_sequence_for(params, trials, rounds, scenario)
+        identity, key = self._point_identity_key(
+            params, trials, rounds, scenario=scenario
         )
-        simulation = ScenarioSimulation(
+
+        def compute() -> ScenarioResult:
+            rng = np.random.default_rng(self._seed_from_identity(identity))
+            simulation = ScenarioSimulation(
+                params,
+                scenario,
+                rng=rng,
+                draw_mode=self.draw_mode,
+                workspace=self.workspace,
+            )
+            return simulation.run(trials, rounds)
+
+        return self._cached_run(
+            "run_scenario_point",
+            "scenario",
+            identity,
+            key,
+            self._load_cached_scenario,
+            self._store_cached_scenario,
+            compute,
+            _scenario_result_digest,
             params,
-            scenario,
-            rng=rng,
-            draw_mode=self.draw_mode,
-            workspace=self.workspace,
+            trials,
+            rounds,
+            extra={
+                "draw_mode": self.draw_mode,
+                "scenario": scenario.payload(),
+            },
         )
-        result = simulation.run(trials, rounds)
-        if path is not None:
-            self._store_cached_scenario(path, result)
-        return result
 
     def run_scenario_grid(
         self,
@@ -560,9 +806,10 @@ class ExperimentRunner:
         with multiprocessing.Pool(min(self.processes, len(points))) as pool:
             outcomes = pool.map(_run_scenario_point_task, tasks)
         results = []
-        for result, hits, misses in outcomes:
+        for result, hits, misses, skips in outcomes:
             self.cache_hits += hits
             self.cache_misses += misses
+            self.version_skips += skips
             results.append(result)
         return results
 
@@ -590,31 +837,40 @@ class ExperimentRunner:
                 "run_topology_point requires a delay model; use run_point for "
                 "the fixed-delta default"
             )
-        key = self.cache_key(params, trials, rounds, delay_model=model, power=power)
-        path = self._cache_path(key, prefix="topology")
-        if path is not None:
-            cached = self._load_cached(path)
-            if cached is not None:
-                self.cache_hits += 1
-                return cached
-        self.cache_misses += 1
-        rng = np.random.default_rng(
-            self.seed_sequence_for(
-                params, trials, rounds, delay_model=model, power=power
+        identity, key = self._point_identity_key(
+            params, trials, rounds, delay_model=model, power=power
+        )
+
+        def compute() -> BatchResult:
+            rng = np.random.default_rng(self._seed_from_identity(identity))
+            simulation = BatchSimulation(
+                params,
+                rng=rng,
+                draw_mode=self.draw_mode,
+                delay_model=model,
+                power=power,
+                workspace=self.workspace,
             )
-        )
-        simulation = BatchSimulation(
+            return simulation.run(trials, rounds)
+
+        return self._cached_run(
+            "run_topology_point",
+            "topology",
+            identity,
+            key,
+            self._load_cached,
+            self._store_cached,
+            compute,
+            _batch_result_digest,
             params,
-            rng=rng,
-            draw_mode=self.draw_mode,
-            delay_model=model,
-            power=power,
-            workspace=self.workspace,
+            trials,
+            rounds,
+            extra={
+                "draw_mode": self.draw_mode,
+                "delay_model": model.payload(),
+                "power": None if power is None else power.payload(),
+            },
         )
-        result = simulation.run(trials, rounds)
-        if path is not None:
-            self._store_cached(path, result)
-        return result
 
     def run_topology_grid(
         self,
@@ -677,35 +933,40 @@ class ExperimentRunner:
                     "adversary placement needs an adversarial scenario; the "
                     "passive batch engine has no releases to delay"
                 )
-            key = self.cache_key(
+            identity, key = self._point_identity_key(
                 params, trials, rounds, delay_model=model, power=power
             )
-            path = self._cache_path(key, prefix="dynamics")
-            if path is not None:
-                cached = self._load_cached(path)
-                if cached is not None:
-                    self.cache_hits += 1
-                    return cached
-            self.cache_misses += 1
-            rng = np.random.default_rng(
-                self.seed_sequence_for(
-                    params, trials, rounds, delay_model=model, power=power
+
+            def compute_passive() -> BatchResult:
+                rng = np.random.default_rng(self._seed_from_identity(identity))
+                simulation = BatchSimulation(
+                    params,
+                    rng=rng,
+                    draw_mode=self.draw_mode,
+                    delay_model=model,
+                    power=power,
+                    workspace=self.workspace,
                 )
-            )
-            simulation = BatchSimulation(
+                return simulation.run(trials, rounds)
+
+            return self._cached_run(
+                "run_dynamics_point",
+                "dynamics",
+                identity,
+                key,
+                self._load_cached,
+                self._store_cached,
+                compute_passive,
+                _batch_result_digest,
                 params,
-                rng=rng,
-                draw_mode=self.draw_mode,
-                delay_model=model,
-                power=power,
-                workspace=self.workspace,
+                trials,
+                rounds,
+                extra={
+                    "draw_mode": self.draw_mode,
+                    "delay_model": model.payload(),
+                    "power": None if power is None else power.payload(),
+                },
             )
-            result: Union[BatchResult, ScenarioResult] = simulation.run(
-                trials, rounds
-            )
-            if path is not None:
-                self._store_cached(path, result)
-            return result
         scenario = get_scenario(scenario)
         cut_fraction = getattr(scenario, "cut_fraction", None)
         if cut_fraction is not None:
@@ -725,7 +986,7 @@ class ExperimentRunner:
                     "a partial-cut scenario runs its own cut schedule; pass "
                     "schedule=None or the scenario's dynamics_schedule()"
                 )
-        key = self.cache_key(
+        identity, key = self._point_identity_key(
             params,
             trials,
             rounds,
@@ -734,40 +995,43 @@ class ExperimentRunner:
             power=power,
             placement=placement,
         )
-        path = self._cache_path(key, prefix="dynamics_scenario")
-        if path is not None:
-            cached = self._load_cached_scenario(path)
-            if cached is not None:
-                self.cache_hits += 1
-                return cached
-        self.cache_misses += 1
-        rng = np.random.default_rng(
-            self.seed_sequence_for(
+
+        def compute_scenario() -> ScenarioResult:
+            rng = np.random.default_rng(self._seed_from_identity(identity))
+            simulation = ScenarioSimulation(
                 params,
-                trials,
-                rounds,
-                scenario=scenario,
-                delay_model=model,
+                scenario,
+                rng=rng,
+                draw_mode=self.draw_mode,
+                # The two-component scan replaces the delay model for partial
+                # cuts; ScenarioSimulation rejects the combination explicitly.
+                delay_model=None if cut_fraction is not None else model,
                 power=power,
                 placement=placement,
+                workspace=self.workspace,
             )
-        )
-        simulation = ScenarioSimulation(
+            return simulation.run(trials, rounds)
+
+        return self._cached_run(
+            "run_dynamics_point",
+            "dynamics_scenario",
+            identity,
+            key,
+            self._load_cached_scenario,
+            self._store_cached_scenario,
+            compute_scenario,
+            _scenario_result_digest,
             params,
-            scenario,
-            rng=rng,
-            draw_mode=self.draw_mode,
-            # The two-component scan replaces the delay model for partial
-            # cuts; ScenarioSimulation rejects the combination explicitly.
-            delay_model=None if cut_fraction is not None else model,
-            power=power,
-            placement=placement,
-            workspace=self.workspace,
+            trials,
+            rounds,
+            extra={
+                "draw_mode": self.draw_mode,
+                "delay_model": model.payload(),
+                "scenario": scenario.payload(),
+                "power": None if power is None else power.payload(),
+                "placement": None if placement is None else placement.payload(),
+            },
         )
-        result = simulation.run(trials, rounds)
-        if path is not None:
-            self._store_cached_scenario(path, result)
-        return result
 
     def run_dynamics_grid(
         self,
@@ -934,26 +1198,20 @@ class ExperimentRunner:
             max_iterations,
             smoothing,
         )
-        key = self.cache_key(params, trials, rounds, rare_event=spec)
-        path = self._cache_path(key, prefix="rare")
-        if path is not None:
-            cached = self._load_cached_rare(path)
-            if cached is not None:
-                self.cache_hits += 1
-                return cached
-        self.cache_misses += 1
-        rng = np.random.default_rng(
-            self.seed_sequence_for(params, trials, rounds, rare_event=spec)
+        identity, key = self._point_identity_key(
+            params, trials, rounds, rare_event=spec
         )
-        estimator = RareEventSimulation(
-            params, depth, rng=rng, workspace=self.workspace
-        )
-        if method == "plain":
-            result = estimator.run_plain(trials, rounds)
-        elif method == "splitting":
-            result = estimator.run_splitting(trials, rounds)
-        else:
-            result = estimator.run_tilted(
+
+        def compute() -> RareEventResult:
+            rng = np.random.default_rng(self._seed_from_identity(identity))
+            estimator = RareEventSimulation(
+                params, depth, rng=rng, workspace=self.workspace
+            )
+            if method == "plain":
+                return estimator.run_plain(trials, rounds)
+            if method == "splitting":
+                return estimator.run_splitting(trials, rounds)
+            return estimator.run_tilted(
                 trials,
                 rounds,
                 tilt=tilt,
@@ -962,9 +1220,21 @@ class ExperimentRunner:
                 max_iterations=max_iterations,
                 smoothing=smoothing,
             )
-        if path is not None:
-            self._store_cached_rare(path, result)
-        return result
+
+        return self._cached_run(
+            "run_rare_event_point",
+            "rare",
+            identity,
+            key,
+            self._load_cached_rare,
+            self._store_cached_rare,
+            compute,
+            _rare_result_digest,
+            params,
+            trials,
+            rounds,
+            extra={"draw_mode": self.draw_mode, "rare_event": spec},
+        )
 
     def run_rare_event_grid(
         self,

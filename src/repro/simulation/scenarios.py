@@ -85,6 +85,7 @@ import numpy as np
 from ..backend import Workspace, get_backend, get_dtype_policy
 from ..core.concat_chain import convergence_opportunity_mask
 from ..errors import SimulationError
+from ..observability import METRICS as _METRICS, TRACE as _TRACE
 from ..params import ProtocolParameters
 from .adversary import (
     AdversaryStrategy,
@@ -1053,45 +1054,57 @@ class ScenarioSimulation:
         minority-split tensor: per round, ``Binomial(honest, cut_fraction)``
         of the honest successes land in the minority component.
         """
-        honest, adversary = draw_mining_traces(
-            self.params,
-            trials,
-            rounds,
-            self.rng,
-            self.draw_mode,
-            power=self.power,
-            backend=self.backend,
-            policy=self.policy,
-        )
-        if self._cut_fraction is not None:
-            split = self.backend.binomial(
-                self.rng,
-                self.backend.to_host(honest),
-                float(self._cut_fraction),
-                honest.shape,
-            )
+        with _TRACE.span(
+            "scenario.run",
+            scenario=self.scenario.name,
+            trials=int(trials),
+            rounds=int(rounds),
+            draw_mode=self.draw_mode,
+        ):
+            with _TRACE.span("scenario.draw"):
+                honest, adversary = draw_mining_traces(
+                    self.params,
+                    trials,
+                    rounds,
+                    self.rng,
+                    self.draw_mode,
+                    power=self.power,
+                    backend=self.backend,
+                    policy=self.policy,
+                )
+                if self._cut_fraction is not None:
+                    split = self.backend.binomial(
+                        self.rng,
+                        self.backend.to_host(honest),
+                        float(self._cut_fraction),
+                        honest.shape,
+                    )
+            if self._cut_fraction is not None:
+                return self.run_traces(
+                    honest,
+                    adversary,
+                    keep_traces=keep_traces,
+                    record_rounds=record_rounds,
+                    split_counts=split,
+                )
+            with _TRACE.span("scenario.draw_delays"):
+                delays = None
+                max_delay = None
+                if self.delay_model is not None and not self.delay_model.trivial:
+                    delays = self.delay_model.draw_delays(
+                        trials, rounds, self.params.delta, self.rng
+                    )
+                    max_delay = self.delay_model.delay_cap(
+                        self.params.delta, rounds
+                    )
             return self.run_traces(
                 honest,
                 adversary,
                 keep_traces=keep_traces,
                 record_rounds=record_rounds,
-                split_counts=split,
+                delays=delays,
+                max_delay=max_delay,
             )
-        delays = None
-        max_delay = None
-        if self.delay_model is not None and not self.delay_model.trivial:
-            delays = self.delay_model.draw_delays(
-                trials, rounds, self.params.delta, self.rng
-            )
-            max_delay = self.delay_model.delay_cap(self.params.delta, rounds)
-        return self.run_traces(
-            honest,
-            adversary,
-            keep_traces=keep_traces,
-            record_rounds=record_rounds,
-            delays=delays,
-            max_delay=max_delay,
-        )
 
     def run_traces(
         self,
@@ -1134,6 +1147,8 @@ class ScenarioSimulation:
         if rounds < 1:
             raise SimulationError("rounds must be positive")
         self.policy.check_rounds(rounds)
+        _METRICS.increment("engine.scenario.trials", trials)
+        _METRICS.increment("engine.scenario.rounds", trials * rounds)
         cap = self.params.delta if max_delay is None else int(max_delay)
         if cap < self.params.delta:
             raise SimulationError(
@@ -1175,55 +1190,61 @@ class ScenarioSimulation:
                     raise SimulationError(
                         "split_counts must lie in [0, honest_counts]"
                     )
-            state = self._scan_partition(
-                honest, adversary, split, record_rounds, windows=cut_windows
-            )
+            with _TRACE.span(
+                "scenario.scan_partition", trials=trials, rounds=rounds
+            ):
+                state = self._scan_partition(
+                    honest, adversary, split, record_rounds, windows=cut_windows
+                )
         elif split_counts is not None:
             raise SimulationError(
                 "split_counts applies only to partial-cut scenarios "
                 "(PartitionScenario with cut_fraction set)"
             )
         else:
-            state = self._scan(
-                honest, adversary, record_rounds, delays=delays, cap=cap
-            )
-        if delays is None:
-            if self.workspace is not None:
-                mask = _opportunity_mask_ws(
-                    self.workspace,
-                    xp,
-                    honest,
-                    self.params.delta,
-                    self.policy.mask_dtype(xp),
-                    index_dtype,
+            with _TRACE.span("scenario.scan", trials=trials, rounds=rounds):
+                state = self._scan(
+                    honest, adversary, record_rounds, delays=delays, cap=cap
                 )
-            else:
-                mask = xp.from_host(
-                    convergence_opportunity_mask(
-                        xp.to_host(honest), self.params.delta
+        with _TRACE.span("scenario.mask", trials=trials, rounds=rounds):
+            if delays is None:
+                if self.workspace is not None:
+                    mask = _opportunity_mask_ws(
+                        self.workspace,
+                        xp,
+                        honest,
+                        self.params.delta,
+                        self.policy.mask_dtype(xp),
+                        index_dtype,
                     )
+                else:
+                    mask = xp.from_host(
+                        convergence_opportunity_mask(
+                            xp.to_host(honest), self.params.delta
+                        )
+                    )
+            else:
+                mask = convergence_opportunity_mask_with_delays(
+                    honest,
+                    delays,
+                    self.params.delta,
+                    max_delay=cap,
+                    backend=xp,
+                    policy=self.policy,
                 )
-        else:
-            mask = convergence_opportunity_mask_with_delays(
-                honest,
-                delays,
-                self.params.delta,
-                max_delay=cap,
+            # During a cut no round is a convergence opportunity — the honest
+            # miners cannot all hear a unique block while the network is split
+            # — so the Lemma 1 window accounting drops those columns entirely.
+            for start, end in cut_windows:
+                mask[:, start:end] = 0
+        with _TRACE.span("scenario.deficits", trials=trials, rounds=rounds):
+            deficits = worst_window_deficits(
+                mask,
+                adversary,
+                workspace=self.workspace,
                 backend=xp,
                 policy=self.policy,
             )
-        # During a cut no round is a convergence opportunity — the honest
-        # miners cannot all hear a unique block while the network is split —
-        # so the Lemma 1 window accounting drops those columns entirely.
-        for start, end in cut_windows:
-            mask[:, start:end] = 0
-        deficits = worst_window_deficits(
-            mask,
-            adversary,
-            workspace=self.workspace,
-            backend=xp,
-            policy=self.policy,
-        )
         return ScenarioResult(
             params=self.params,
             scenario=self.scenario,

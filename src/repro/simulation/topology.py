@@ -53,6 +53,7 @@ import numpy as np
 
 from ..backend import get_backend, get_dtype_policy
 from ..errors import SimulationError
+from ..observability import METRICS as _METRICS, TRACE as _TRACE
 from ..params import ProtocolParameters, coerce_positive_int
 from .rng import SeedLike, resolve_rng
 
@@ -439,18 +440,20 @@ class PeerGraphTopology:
         radii, diameters, quantiles — are host consumers).
         """
         if self._distances is None:
-            xp = get_backend()
-            latencies = xp.from_host(self.latencies)
-            distance = xp.where(latencies > 0, latencies, _UNREACHED)
-            diagonal = xp.arange(self.n_nodes)
-            distance[diagonal, diagonal] = 0
-            for pivot in range(self.n_nodes):
-                xp.minimum(
-                    distance,
-                    distance[:, pivot, None] + distance[None, pivot, :],
-                    out=distance,
-                )
-            self._distances = xp.to_host(distance)
+            _METRICS.increment("engine.topology.distance_computations")
+            with _TRACE.span("topology.distances", nodes=self.n_nodes):
+                xp = get_backend()
+                latencies = xp.from_host(self.latencies)
+                distance = xp.where(latencies > 0, latencies, _UNREACHED)
+                diagonal = xp.arange(self.n_nodes)
+                distance[diagonal, diagonal] = 0
+                for pivot in range(self.n_nodes):
+                    xp.minimum(
+                        distance,
+                        distance[:, pivot, None] + distance[None, pivot, :],
+                        out=distance,
+                    )
+                self._distances = xp.to_host(distance)
         return self._distances
 
     def distances_reference(self) -> np.ndarray:

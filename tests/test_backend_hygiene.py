@@ -12,6 +12,13 @@ Failing this test means a new ``np.<op>`` crept into a hot path — route it
 through :func:`repro.backend.get_backend` (adding the op to
 :data:`repro.backend.ARRAY_OPS` if it is genuinely new) instead of widening
 the allowlist.
+
+The guard also pins the observability layer's cost model: hot paths may
+touch instrumentation only through the module-level no-op handles
+(``_TRACE`` / ``_METRICS`` — one ``None`` check when disabled), never
+through the public names or a live tracer object, and never from inside a
+``for``/``while`` loop, so steady-state kernels stay instrumentation-free
+per iteration even when tracing is on.
 """
 
 from __future__ import annotations
@@ -142,3 +149,124 @@ def test_guard_actually_detects_violations():
     assert any("np.cumsum" in item for item in found)
     assert any("np.asarray" in item for item in found)
     assert not any("np.ndarray" in item for item in found)
+
+
+# ----------------------------------------------------------------------
+# Observability hygiene: handle-only dispatch, no per-iteration calls
+# ----------------------------------------------------------------------
+
+#: The module-level no-op handles hot paths may dispatch through.
+INSTRUMENTATION_HANDLES = {"_TRACE", "_METRICS"}
+
+#: Public observability names whose appearance inside a hot path means the
+#: function bypassed the handle pattern (and with it the zero-overhead
+#: disabled path).
+FORBIDDEN_INSTRUMENTATION_NAMES = {
+    "TRACE",
+    "METRICS",
+    "Tracer",
+    "Metrics",
+    "use_tracer",
+    "use_metrics",
+    "install_from_env",
+}
+
+
+def _instrumentation_violations(node: ast.FunctionDef) -> list:
+    """Hot-path instrumentation must go through ``_TRACE``/``_METRICS``."""
+    violations = []
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Name)
+            and child.id in FORBIDDEN_INSTRUMENTATION_NAMES
+        ):
+            violations.append(f"{child.id} at line {child.lineno}")
+    return violations
+
+
+def _loop_instrumentation_violations(node: ast.FunctionDef) -> list:
+    """No ``_TRACE.span`` / ``_METRICS.*`` call inside a for/while body.
+
+    Spans and counters belong at call boundaries; a per-iteration dispatch
+    would execute trials-times-rounds handle checks and, with tracing on,
+    allocate a span per round — exactly the overhead the layer promises
+    not to add.
+    """
+    violations = []
+    for loop in ast.walk(node):
+        if not isinstance(loop, (ast.For, ast.While, ast.AsyncFor)):
+            continue
+        for child in ast.walk(loop):
+            if child is loop:
+                continue
+            if (
+                isinstance(child, ast.Attribute)
+                and isinstance(child.value, ast.Name)
+                and child.value.id in INSTRUMENTATION_HANDLES
+            ):
+                violations.append(
+                    f"{child.value.id}.{child.attr} inside loop at line "
+                    f"{child.lineno}"
+                )
+    return violations
+
+
+@pytest.mark.parametrize(
+    "module,qualname",
+    HOT_PATHS,
+    ids=[f"{module.__name__.split('.')[-1]}:{name}" for module, name in HOT_PATHS],
+)
+def test_hot_path_instrumentation_is_handle_only_and_loop_free(module, qualname):
+    node = _resolve_function_node(module, qualname)
+    violations = _instrumentation_violations(node)
+    violations += _loop_instrumentation_violations(node)
+    assert not violations, (
+        f"{module.__name__}.{qualname} breaks the zero-overhead "
+        "instrumentation contract: " + ", ".join(violations)
+    )
+
+
+def test_instrumented_modules_bind_private_handles():
+    """Engine modules must hold the handles under the private names the
+    loop guard inspects — a differently-named import would blind it."""
+    import repro.backend.workspace as workspace
+
+    for module in (batch, scenarios, topology, dynamics, rare_events, workspace):
+        bound = INSTRUMENTATION_HANDLES & set(vars(module))
+        assert "_METRICS" in bound, f"{module.__name__} lacks _METRICS handle"
+    from repro.observability import METRICS, TRACE
+
+    for module in (batch, scenarios, topology, dynamics, rare_events):
+        assert vars(module)["_TRACE"] is TRACE
+        assert vars(module)["_METRICS"] is METRICS
+
+
+def test_instrumentation_guard_actually_detects_violations():
+    """Meta-test: the two new detectors must flag planted violations."""
+    source = (
+        "def bad(x):\n"
+        "    with use_tracer() as t:\n"
+        "        for item in x:\n"
+        "            with _TRACE.span('per-item'):\n"
+        "                _METRICS.increment('items')\n"
+        "    return TRACE\n"
+    )
+    node = ast.parse(source).body[0]
+    names = _instrumentation_violations(node)
+    assert any("use_tracer" in item for item in names)
+    assert any("TRACE at" in item for item in names)
+    loops = _loop_instrumentation_violations(node)
+    assert any("_TRACE.span inside loop" in item for item in loops)
+    assert any("_METRICS.increment inside loop" in item for item in loops)
+
+    clean = (
+        "def good(x):\n"
+        "    with _TRACE.span('call'):\n"
+        "        for item in x:\n"
+        "            total = item\n"
+        "    _METRICS.increment('calls')\n"
+        "    return total\n"
+    )
+    clean_node = ast.parse(clean).body[0]
+    assert not _instrumentation_violations(clean_node)
+    assert not _loop_instrumentation_violations(clean_node)
