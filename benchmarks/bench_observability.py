@@ -17,6 +17,11 @@ Three claims are measured, gating the instrumentation subsystem itself:
   validate against the ``repro.bench_trajectory`` schema, and the
   :func:`conftest.record_trajectory` helper must append schema-valid
   records under ``REPRO_BENCH_RECORD=1``.
+* **sharded telemetry** — a ``processes=2`` grid run with tracing, metrics
+  and a run log active must merge every worker's spans / counters /
+  manifest lines into the parent (shard-stamped), and the perf-regression
+  sentinel (:func:`repro.analysis.perf_report.detect_regressions`) must
+  pass on the committed trajectory.
 """
 
 from __future__ import annotations
@@ -224,3 +229,54 @@ def test_committed_trajectory_validates_and_appends(tmp_path, monkeypatch):
         0.002,
     ]
     assert all(entry["benchmark"] == "observability" for entry in appended)
+
+
+def test_sharded_grid_observability_smoke(tmp_path):
+    """Quick cross-process telemetry smoke: the CI-facing acceptance check.
+
+    A ``processes=2`` sharded ``run_grid`` under tracer + metrics + run log
+    must produce one shard-stamped manifest line per point, per-method cache
+    counters in the parent registry, and worker span trees grafted under the
+    ``runner.run_grid`` root.
+    """
+    trials = bench_scale(4, 8)
+    rounds = bench_scale(400, 1_000)
+    points = [
+        parameters_from_c(c=2.0, n=400, delta=delta, nu=0.25)
+        for delta in (3, 4, 5)
+    ]
+    log_path = tmp_path / "run_log.jsonl"
+    runner = ExperimentRunner(
+        base_seed=2026,
+        cache_dir=str(tmp_path / "cache"),
+        processes=2,
+        run_log=log_path,
+    )
+    with use_tracer() as tracer, use_metrics() as metrics:
+        results = runner.run_grid(points, trials, rounds)
+    assert len(results) == len(points)
+
+    records = read_run_log(log_path)
+    assert len(records) == len(points)
+    assert sorted(record["extra"]["shard"] for record in records) == [0, 1, 2]
+    assert all("resources" in record["extra"] for record in records)
+    assert metrics.counter("runner.run_point.cache_misses") == len(points)
+
+    (root,) = tracer.roots
+    assert root.name == "runner.run_grid"
+    assert [child.attributes["shard"] for child in root.children] == [0, 1, 2]
+    assert {record.name for record in root.walk()} >= {
+        "runner.run_grid",
+        "runner.run_point",
+        "batch.run",
+    }
+
+
+def test_perf_sentinel_passes_on_committed_trajectory():
+    """The CI sentinel must hold on the history this revision ships."""
+    from repro.analysis import detect_regressions
+
+    verdicts = detect_regressions(REPO_ROOT / "BENCH_trajectory.json")
+    assert verdicts, "committed trajectory must produce sentinel verdicts"
+    regressed = [verdict for verdict in verdicts if verdict["regressed"]]
+    assert not regressed, f"committed trajectory regressed: {regressed}"

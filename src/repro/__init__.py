@@ -260,6 +260,27 @@ pieces:
   ``BENCH_trajectory.json`` under ``REPRO_BENCH_RECORD=1``, and
   :func:`repro.analysis.perf_trajectory_table` renders the history.
 
+The layer also reaches across process and run boundaries:
+
+* **cross-process capture** — sharded grids ship each pool worker's span
+  trees, metrics snapshot and buffered manifest records back with the
+  result; the parent grafts the spans under its grid-level span
+  (shard-stamped), folds the counters into the ambient registry and
+  appends the manifests to its run log, so a ``processes=N`` grid reports
+  exactly like a sequential one (:mod:`repro.observability.distributed`);
+* **live grid progress** — ``REPRO_PROGRESS=stderr`` (a self-overwriting
+  status line) or ``REPRO_PROGRESS=path.jsonl`` (machine-readable events)
+  reports per-point completions with duration, running cache-hit ratio and
+  ETA; off by default (:mod:`repro.observability.progress`);
+* **resource accounting** — peak RSS and the workspace's high-water byte
+  footprint are sampled at every run boundary and stamped into the
+  manifest's ``extra["resources"]`` (:mod:`repro.observability.resources`);
+* **perf-regression sentinel** —
+  :func:`repro.analysis.detect_regressions` (also ``python -m
+  repro.analysis.perf_report``) compares each benchmark's newest
+  trajectory record against the median of its prior same-mode history and
+  fails CI on a beyond-tolerance slowdown.
+
 >>> from repro.observability import use_metrics, use_tracer
 >>> with use_tracer() as tracer, use_metrics() as metrics:
 ...     _ = BatchSimulation(small, rng=0).run(8, 500)

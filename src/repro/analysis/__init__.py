@@ -25,7 +25,10 @@
   Lundberg-exponent predictions under the corrected and Kiffer
   convergence rates, plus the plain-MC overlap-region agreement table;
 * :mod:`repro.analysis.perf_report` — the persisted benchmark trajectory
-  (``BENCH_trajectory.json``) rendered as diffable plain-text tables.
+  (``BENCH_trajectory.json``) rendered as diffable plain-text tables, plus
+  :func:`~repro.analysis.perf_report.detect_regressions`, the CI perf
+  sentinel that compares each benchmark's newest record to the median of
+  its prior same-mode history.
 """
 
 from .attack_sweeps import ATTACK_SCENARIOS, attack_success_grid, attack_surface_sweep
@@ -57,6 +60,9 @@ from .sweeps import (
     simulation_sweep,
 )
 from .perf_report import (
+    DEFAULT_MIN_HISTORY,
+    DEFAULT_TOLERANCE,
+    detect_regressions,
     latest_by_benchmark,
     perf_trajectory_rows,
     perf_trajectory_table,
@@ -130,4 +136,7 @@ __all__ = [
     "perf_trajectory_rows",
     "perf_trajectory_table",
     "latest_by_benchmark",
+    "detect_regressions",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_MIN_HISTORY",
 ]

@@ -48,6 +48,7 @@ class Workspace:
     def __init__(self, backend: Optional[ArrayBackend] = None):
         self._backend = backend
         self._buffers: Dict[str, object] = {}
+        self._high_water_bytes = 0
 
     @property
     def backend(self) -> Optional[ArrayBackend]:
@@ -107,6 +108,9 @@ class Workspace:
         _METRICS.increment("workspace.allocated")
         buffer = backend.empty(shape, dtype=dtype)
         self._buffers[tag] = buffer
+        # High-water bookkeeping only runs on the (rare) allocation path, so
+        # the steady-state reuse hit stays a dict lookup plus one increment.
+        self._high_water_bytes = max(self._high_water_bytes, self.nbytes)
         return buffer
 
     def zeros(self, tag: str, shape: Tuple[int, ...], dtype):
@@ -133,6 +137,16 @@ class Workspace:
                 nbytes = buffer.element_size() * buffer.numel()
             total += int(nbytes)
         return total
+
+    @property
+    def high_water_bytes(self) -> int:
+        """Largest total byte footprint this workspace has ever held.
+
+        A high-water mark, not a live gauge: :meth:`clear` releases the
+        buffers but keeps the mark, which is what the resource-accounting
+        manifests want to know (how much scratch the run peaked at).
+        """
+        return max(self._high_water_bytes, self.nbytes)
 
     def clear(self) -> None:
         """Drop every buffer (the backend binding is kept)."""

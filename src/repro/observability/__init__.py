@@ -27,7 +27,26 @@ Four pieces, all off by default and all bit-neutral when off:
 * **perf trajectory** (:mod:`repro.observability.trajectory`) — the
   schema-versioned ``BENCH_trajectory.json`` every benchmark module appends
   to, rendered by :func:`repro.analysis.perf_report.perf_trajectory_table`,
-  so throughput history is persisted and diffable instead of folklore.
+  watched by :func:`repro.analysis.perf_report.detect_regressions` (the CI
+  perf sentinel), so throughput history is persisted, diffable *and* acted
+  on instead of folklore.
+
+Three cross-process pieces extend the substrate past one process:
+
+* **distributed capture** (:mod:`repro.observability.distributed`) — grid
+  workers run under :func:`capture_worker_telemetry` and ship their span
+  trees, metrics snapshot and buffered manifest records back with the
+  result; :func:`merge_worker_telemetry` grafts the spans under the
+  parent's grid span (shard-stamped), folds the counters into the ambient
+  registry and appends the manifests to the parent run log, so a sharded
+  grid reports exactly like a sequential one.
+* **grid progress** (:mod:`repro.observability.progress`) — per-point
+  completion events (completed/total, duration, running cache-hit ratio,
+  ETA) to a stderr status line or JSONL file, configured by
+  ``REPRO_PROGRESS`` and off by default.
+* **resource accounting** (:mod:`repro.observability.resources`) — peak-RSS
+  and workspace high-water gauges sampled at run boundaries and stamped
+  into every manifest's ``extra["resources"]``.
 
 Importing this package applies the environment activation exactly once:
 ``REPRO_TRACE=1`` installs a global tracer *and* metrics registry (one
@@ -71,6 +90,24 @@ from .trajectory import (
     trajectory_record,
     validate_trajectory_record,
 )
+from .distributed import (
+    BufferedRunLog,
+    DiscardRunLog,
+    TelemetryCapture,
+    WorkerTelemetry,
+    capture_worker_telemetry,
+    merge_worker_telemetry,
+    span_from_dict,
+)
+from .progress import (
+    PROGRESS_ENV_VAR,
+    PROGRESS_SCHEMA,
+    GridProgress,
+    JsonlProgressSink,
+    StderrProgressSink,
+    resolve_progress_sinks,
+)
+from .resources import peak_rss_bytes, sample_resource_gauges
 
 __all__ = [
     # tracer
@@ -111,6 +148,24 @@ __all__ = [
     "append_trajectory",
     "load_trajectory",
     "migrate_legacy_entries",
+    # distributed
+    "WorkerTelemetry",
+    "BufferedRunLog",
+    "DiscardRunLog",
+    "TelemetryCapture",
+    "capture_worker_telemetry",
+    "span_from_dict",
+    "merge_worker_telemetry",
+    # progress
+    "PROGRESS_ENV_VAR",
+    "PROGRESS_SCHEMA",
+    "GridProgress",
+    "StderrProgressSink",
+    "JsonlProgressSink",
+    "resolve_progress_sinks",
+    # resources
+    "peak_rss_bytes",
+    "sample_resource_gauges",
 ]
 
 # One-switch environment activation: REPRO_TRACE=1 turns on both the global

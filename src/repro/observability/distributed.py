@@ -1,0 +1,240 @@
+"""Cross-process telemetry: observability that survives the pool boundary.
+
+The :class:`~repro.simulation.ExperimentRunner` fans grids out over a
+:mod:`multiprocessing` pool, and before this module every span, counter and
+manifest line produced *inside* a worker died with the worker: the parent
+saw only result tuples, so a sharded grid was an observability blind spot
+exactly where the most work happens.  Three pieces close it:
+
+* **capture** — a worker entrypoint wraps its execution in
+  :func:`capture_worker_telemetry`, which scopes a fresh tracer and metrics
+  registry to the worker (via :func:`~repro.observability.use_tracer` /
+  :func:`~repro.observability.use_metrics`) and hands the worker's runner a
+  :class:`BufferedRunLog` so manifest records accumulate in memory instead
+  of racing other workers for the parent's log file.  Capture is driven by
+  flags the *parent* computes from its own state (tracing enabled, metrics
+  enabled, run log configured), shipped with the task — a worker never
+  guesses from its inherited environment.  When nothing is requested the
+  context degrades to a :class:`DiscardRunLog` (which also suppresses a
+  worker-side ``REPRO_RUN_LOG`` resolution that would double-log points)
+  and :meth:`TelemetryCapture.telemetry` returns ``None``, keeping the
+  disabled path free.
+* **transport** — :class:`WorkerTelemetry` is the picklable envelope: span
+  trees as the dicts :meth:`~repro.observability.SpanRecord.to_dict`
+  produces, one counters/gauges snapshot, and the buffered manifest
+  records.  :func:`span_from_dict` reverses the span serialization on the
+  parent side.
+* **merge** — :func:`merge_worker_telemetry` grafts the worker's span trees
+  under the parent's open grid span (each root stamped with its ``shard``
+  index; worker ``start`` clocks are process-local and only meaningful
+  within a shard's subtree), folds the counters and gauges into the ambient
+  :data:`~repro.observability.METRICS` registry (restoring the per-method
+  cache hit/miss/version-skip accounting the sharded path used to bypass),
+  and appends the manifest records — shard-stamped under
+  ``extra["shard"]`` — to the parent run log, re-emitting the version-skip
+  log line for any record that carries a ``stale_version``.  Counter merges
+  are sums and manifests are appended in shard order, so a sharded grid
+  reports the same totals and the same manifest stream (order aside) as the
+  sequential run of the same points.
+"""
+
+from __future__ import annotations
+
+import logging
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .manifest import RunLog, validate_manifest_record
+from .metrics import METRICS, Metrics, use_metrics
+from .tracer import SpanRecord, Tracer, use_tracer
+
+__all__ = [
+    "WorkerTelemetry",
+    "BufferedRunLog",
+    "DiscardRunLog",
+    "TelemetryCapture",
+    "capture_worker_telemetry",
+    "span_from_dict",
+    "merge_worker_telemetry",
+]
+
+
+@dataclass
+class WorkerTelemetry:
+    """One worker's observability output, shaped for pickling.
+
+    ``spans`` holds root span trees as plain dicts (the
+    :meth:`~repro.observability.SpanRecord.to_dict` form), ``counters`` and
+    ``gauges`` one metrics snapshot, ``manifests`` the validated run-manifest
+    records the worker's runner produced.
+    """
+
+    spans: List[dict] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, object] = field(default_factory=dict)
+    manifests: List[dict] = field(default_factory=list)
+
+
+class BufferedRunLog(RunLog):
+    """An in-memory run log: validates like the file sink, ships as data.
+
+    Worker processes log through one of these so the parent can append
+    every record to the real log itself — one writer, shard-stamped lines,
+    and an identical manifest stream whether a grid ran sharded or not.
+    """
+
+    def __init__(self):
+        self.path = None
+        self.records: List[dict] = []
+
+    def append(self, record: dict) -> dict:
+        validate_manifest_record(record)
+        self.records.append(record)
+        return record
+
+    def read(self) -> List[dict]:
+        return list(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BufferedRunLog(records={len(self.records)})"
+
+
+class DiscardRunLog(RunLog):
+    """A run log that drops every record.
+
+    Handed to worker runners when the parent has no run log configured:
+    passing an explicit sink (rather than ``None``) stops the worker from
+    resolving ``REPRO_RUN_LOG`` on its own and writing lines the parent
+    would not account for.
+    """
+
+    def __init__(self):
+        self.path = None
+
+    def append(self, record: dict) -> dict:
+        return record
+
+    def read(self) -> List[dict]:
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "DiscardRunLog()"
+
+
+class TelemetryCapture:
+    """What :func:`capture_worker_telemetry` yields inside the context.
+
+    Exposes the scoped ``tracer`` / ``metrics`` (``None`` when not
+    requested) and the ``run_log`` the worker's runner must be constructed
+    with; :meth:`telemetry` packages everything once the work is done.
+    """
+
+    def __init__(self, spans: bool, metrics: bool, manifests: bool):
+        self._wants = bool(spans) or bool(metrics) or bool(manifests)
+        self.tracer: Optional[Tracer] = None
+        self.metrics: Optional[Metrics] = None
+        self.run_log: RunLog = (
+            BufferedRunLog() if manifests else DiscardRunLog()
+        )
+
+    def telemetry(self) -> Optional[WorkerTelemetry]:
+        """The captured envelope, or ``None`` when nothing was requested."""
+        if not self._wants:
+            return None
+        snapshot = (
+            {"counters": {}, "gauges": {}}
+            if self.metrics is None
+            else self.metrics.snapshot()
+        )
+        return WorkerTelemetry(
+            spans=[] if self.tracer is None else self.tracer.snapshot(),
+            counters=dict(snapshot["counters"]),
+            gauges=dict(snapshot["gauges"]),
+            manifests=(
+                self.run_log.records
+                if isinstance(self.run_log, BufferedRunLog)
+                else []
+            ),
+        )
+
+
+@contextmanager
+def capture_worker_telemetry(
+    spans: bool = False, metrics: bool = False, manifests: bool = False
+) -> Iterator[TelemetryCapture]:
+    """Scope a worker's observability so it can be shipped to the parent.
+
+    Installs a fresh tracer and/or metrics registry for the block (restoring
+    whatever the worker process inherited afterwards) and provides the
+    buffering run log; read :meth:`TelemetryCapture.telemetry` *after* the
+    block for the complete envelope.
+    """
+    capture = TelemetryCapture(spans, metrics, manifests)
+    with ExitStack() as stack:
+        if spans:
+            capture.tracer = stack.enter_context(use_tracer())
+        if metrics:
+            capture.metrics = stack.enter_context(use_metrics())
+        yield capture
+
+
+def span_from_dict(payload: dict) -> SpanRecord:
+    """Rebuild a :class:`SpanRecord` tree from its ``to_dict`` serialization."""
+    return SpanRecord(
+        name=str(payload["name"]),
+        start=float(payload["start"]),
+        duration=float(payload["duration"]),
+        attributes=dict(payload.get("attributes", {})),
+        children=[span_from_dict(child) for child in payload.get("children", [])],
+    )
+
+
+def merge_worker_telemetry(
+    telemetry: Optional[WorkerTelemetry],
+    shard: int,
+    span=None,
+    run_log: Optional[RunLog] = None,
+    logger: Optional[logging.Logger] = None,
+) -> None:
+    """Fold one worker's telemetry into the parent's observability state.
+
+    ``span`` is the parent's open grid span (the shared
+    :data:`~repro.observability.NULL_SPAN` when tracing is off — it carries
+    no record, so grafting silently skips); ``run_log`` the parent's sink
+    for the shard-stamped manifest records; ``logger`` receives one INFO
+    line per version-skip recorded in a worker, mirroring the sequential
+    path's logging.  ``None`` telemetry (capture was off) is a no-op.
+    """
+    if telemetry is None:
+        return
+    record = getattr(span, "record", None)
+    if record is not None:
+        for root in telemetry.spans:
+            grafted = span_from_dict(root)
+            grafted.attributes["shard"] = int(shard)
+            record.children.append(grafted)
+    registry = METRICS.active
+    if registry is not None:
+        for name, value in telemetry.counters.items():
+            registry.increment(name, value)
+        for name, value in telemetry.gauges.items():
+            registry.gauge(name, value)
+    if run_log is not None:
+        for manifest in telemetry.manifests:
+            stamped = dict(manifest)
+            extra = dict(stamped.get("extra", {}))
+            extra["shard"] = int(shard)
+            stamped["extra"] = extra
+            run_log.append(stamped)
+            stale = stamped.get("stale_version")
+            if stale is not None and logger is not None:
+                logger.info(
+                    "cache entry for %s point %s was written by repro %s "
+                    "(current %s); recomputed in shard %d",
+                    stamped["cache_prefix"],
+                    stamped["cache_key"][:12],
+                    stale,
+                    stamped["repro_version"],
+                    int(shard),
+                )

@@ -1,0 +1,68 @@
+"""Process-level resource accounting sampled at run boundaries.
+
+Two gauges, both cheap enough to sample once per ``ExperimentRunner.run_*``
+call (one ``getrusage`` syscall plus a dict walk over a handful of buffers)
+and both answering the capacity question a serving tier asks first — how
+much memory does one experiment point actually cost?
+
+* **peak RSS** — the process's resident-set high-water mark from
+  :func:`resource.getrusage` (``ru_maxrss``; kibibytes on Linux, bytes on
+  macOS, normalized to bytes here).  Monotone over the process lifetime, so
+  sampling it *after* a point ran bounds that point's footprint from above.
+* **workspace high water** — the largest total byte footprint the runner's
+  :class:`~repro.backend.Workspace` ever held
+  (:attr:`~repro.backend.Workspace.high_water_bytes`): the scratch-buffer
+  half of the memory story the RSS number blends with everything else.
+
+:func:`sample_resource_gauges` records both through the ambient
+:data:`~repro.observability.METRICS` handle (``resource.peak_rss_bytes``,
+``resource.workspace_high_water_bytes``) and returns the sample as a plain
+dict, which :class:`~repro.simulation.ExperimentRunner` stamps into every
+run-manifest record under ``extra["resources"]``.  When neither metrics nor
+a run log is active the runner never calls this module, preserving the
+layer's zero-overhead-when-off contract.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional
+
+from .metrics import METRICS
+
+__all__ = ["peak_rss_bytes", "sample_resource_gauges"]
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """The process's peak resident set size in bytes, or ``None`` if unknown.
+
+    ``resource`` is POSIX-only and ``ru_maxrss`` units are platform-specific
+    (kibibytes on Linux, bytes on macOS); unknown platforms or a zero
+    reading yield ``None`` rather than a misleading number.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if peak <= 0:  # pragma: no cover - degenerate kernel report
+        return None
+    scale = 1 if sys.platform == "darwin" else 1024
+    return int(peak) * scale
+
+
+def sample_resource_gauges(workspace=None) -> Dict[str, Optional[int]]:
+    """Sample the resource gauges, record them, and return the sample.
+
+    ``workspace`` (when given) contributes its
+    :attr:`~repro.backend.Workspace.high_water_bytes`; every non-``None``
+    value is also set as a ``resource.<name>`` gauge on the ambient metrics
+    registry (a no-op while metrics are disabled).
+    """
+    sample: Dict[str, Optional[int]] = {"peak_rss_bytes": peak_rss_bytes()}
+    if workspace is not None:
+        sample["workspace_high_water_bytes"] = int(workspace.high_water_bytes)
+    for name, value in sample.items():
+        if value is not None:
+            METRICS.gauge(f"resource.{name}", value)
+    return sample

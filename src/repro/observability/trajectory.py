@@ -18,7 +18,8 @@ Record shape (``schema_version`` 1)::
       "mode": "quick" | "full",          # REPRO_BENCH_QUICK sizing
       "timestamp": 1754650000.0,         # unix seconds (None for migrated
                                          #   pre-schema entries)
-      "machine": {...} | None,           # platform/python/numpy/cpu_count
+      "machine": {...} | None,           # stable fingerprint: cpu model,
+                                         #   arch, core count, python/numpy
                                          #   (None for migrated entries)
       "metrics": {...}                   # benchmark-specific numbers:
                                          #   speedups, throughputs, gates
@@ -79,16 +80,37 @@ _REQUIRED_FIELDS = {
 }
 
 
+def _cpu_model() -> Optional[str]:
+    """The CPU model string, or ``None`` when the platform hides it."""
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as source:
+            for line in source:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    model = platform.processor()
+    return model or None
+
+
 def machine_info() -> Dict[str, object]:
-    """The host fingerprint stamped into fresh trajectory records."""
+    """A *stable* host fingerprint stamped into fresh trajectory records.
+
+    Deliberately limited to what makes two perf numbers comparable — CPU
+    model and architecture, core count, python/numpy versions — and nothing
+    that churns without changing performance (kernel build strings) or
+    identifies the host (no hostname): trajectory files are committed, and
+    the regression sentinel wants to group records by *capability*, not by
+    machine identity.
+    """
     import numpy
 
     return {
-        "platform": platform.platform(),
+        "cpu": _cpu_model(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "numpy": numpy.__version__,
-        "cpu_count": os.cpu_count(),
     }
 
 

@@ -11,7 +11,14 @@ into sweep-scale tools:
   serially or sharded across processes;
 * **multiprocessing sharding** — grids of parameter points can be fanned out
   over a :mod:`multiprocessing` pool (one point per task; the batch engine
-  already vectorizes over trials within a point);
+  already vectorizes over trials within a point).  Every grid — serial or
+  sharded — runs through one :meth:`ExperimentRunner._run_grid` spine that
+  opens a grid-level tracer span, reports per-point progress to the
+  optional :class:`~repro.observability.GridProgress` sinks, and, on the
+  sharded path, ships each worker's spans / metrics / manifest records back
+  with its result and merges them into the parent's observability state
+  (see :mod:`repro.observability.distributed`), so a sharded grid reports
+  exactly like a sequential one;
 * **on-disk caching** — results are persisted as ``.npz`` files keyed by a
   digest of ``(engine version, parameters, trials, rounds, draw mode, base
   seed[, scenario])``, so repeated sweeps (e.g. re-running a benchmark or
@@ -43,10 +50,16 @@ from ..errors import SimulationError
 from ..observability import (
     METRICS as _METRICS,
     TRACE as _TRACE,
+    GridProgress,
     RunLog,
+    WorkerTelemetry,
+    capture_worker_telemetry,
     digest_arrays,
     manifest_record,
+    merge_worker_telemetry,
+    resolve_progress_sinks,
     resolve_run_log,
+    sample_resource_gauges,
 )
 from ..params import ProtocolParameters
 from .batch import DRAW_MODES, BatchResult, BatchSimulation
@@ -168,40 +181,119 @@ def _rare_result_digest(result: RareEventResult) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def _run_point_task(args: tuple) -> tuple:
-    """Top-level worker so grid points can be shipped to a process pool.
+@dataclass
+class _WorkerOutcome:
+    """One grid point's result plus worker-side accounting, pool-shipped.
 
-    Returns ``(result, cache_hits, cache_misses, version_skips)`` so the
-    parent runner can fold the worker-side cache accounting into its own
-    counters.
+    ``telemetry`` carries the worker's captured spans / metrics snapshot /
+    buffered manifest records (``None`` when the parent requested no
+    capture); the scalar counters always travel so the parent's
+    ``cache_hits`` / ``cache_misses`` / ``version_skips`` attributes stay
+    correct even with observability off.
     """
-    payload, trials, rounds, base_seed, draw_mode, cache_dir = args
-    runner = ExperimentRunner(
+
+    result: object
+    cache_hits: int
+    cache_misses: int
+    version_skips: int
+    duration_s: float
+    telemetry: Optional[WorkerTelemetry]
+
+
+def _worker_runner(capture, base_seed, draw_mode, cache_dir) -> "ExperimentRunner":
+    """A worker-process runner wired into the telemetry capture context."""
+    return ExperimentRunner(
         base_seed=base_seed,
         cache_dir=cache_dir,
         processes=None,
         draw_mode=draw_mode,
+        run_log=capture.run_log,
+        progress=(),
     )
-    result = runner.run_point(_params_from_payload(payload), trials, rounds)
-    return result, runner.cache_hits, runner.cache_misses, runner.version_skips
+
+
+def _worker_outcome(runner, result, started, capture) -> _WorkerOutcome:
+    return _WorkerOutcome(
+        result=result,
+        cache_hits=runner.cache_hits,
+        cache_misses=runner.cache_misses,
+        version_skips=runner.version_skips,
+        duration_s=time.perf_counter() - started,
+        telemetry=capture.telemetry(),
+    )
+
+
+def _run_point_task(args: tuple) -> tuple:
+    """Top-level worker so grid points can be shipped to a process pool.
+
+    Every worker task has the shape ``(index, capture_flags, *payload)``
+    and returns ``(index, _WorkerOutcome)``: the index lets the parent
+    reorder ``imap_unordered`` completions deterministically, and the
+    capture flags (computed by the *parent* from its own observability
+    state) scope a tracer / metrics registry / buffering run log around the
+    point so spans, counters and manifest records survive the pool
+    boundary instead of dying with the worker.
+    """
+    index, flags, payload, trials, rounds, base_seed, draw_mode, cache_dir = args
+    started = time.perf_counter()
+    with capture_worker_telemetry(**flags) as capture:
+        runner = _worker_runner(capture, base_seed, draw_mode, cache_dir)
+        result = runner.run_point(_params_from_payload(payload), trials, rounds)
+    return index, _worker_outcome(runner, result, started, capture)
 
 
 def _run_scenario_point_task(args: tuple) -> tuple:
     """Top-level worker for scenario grid points (process-pool friendly)."""
-    payload, scenario_payload, trials, rounds, base_seed, draw_mode, cache_dir = args
-    runner = ExperimentRunner(
-        base_seed=base_seed,
-        cache_dir=cache_dir,
-        processes=None,
-        draw_mode=draw_mode,
-    )
-    result = runner.run_scenario_point(
-        _params_from_payload(payload),
-        _scenario_from_payload(scenario_payload),
+    (
+        index,
+        flags,
+        payload,
+        scenario_payload,
         trials,
         rounds,
-    )
-    return result, runner.cache_hits, runner.cache_misses, runner.version_skips
+        base_seed,
+        draw_mode,
+        cache_dir,
+    ) = args
+    started = time.perf_counter()
+    with capture_worker_telemetry(**flags) as capture:
+        runner = _worker_runner(capture, base_seed, draw_mode, cache_dir)
+        result = runner.run_scenario_point(
+            _params_from_payload(payload),
+            _scenario_from_payload(scenario_payload),
+            trials,
+            rounds,
+        )
+    return index, _worker_outcome(runner, result, started, capture)
+
+
+def _run_rare_event_point_task(args: tuple) -> tuple:
+    """Top-level worker for rare-event grid points.
+
+    The estimator spec travels as the flat payload dict
+    :meth:`ExperimentRunner._rare_event_spec` builds; an explicit tilt is
+    reconstructed from its payload, so the task tuple stays picklable.
+    """
+    index, flags, payload, spec, trials, rounds, base_seed, draw_mode, cache_dir = args
+    started = time.perf_counter()
+    with capture_worker_telemetry(**flags) as capture:
+        runner = _worker_runner(capture, base_seed, draw_mode, cache_dir)
+        tilt_payload = spec["tilt"]
+        result = runner.run_rare_event_point(
+            _params_from_payload(payload),
+            trials,
+            rounds,
+            spec["depth"],
+            method=spec["method"],
+            tilt=(
+                None if tilt_payload is None else ExponentialTilt(**tilt_payload)
+            ),
+            pilot_trials=spec["pilot_trials"],
+            elite_fraction=spec["elite_fraction"],
+            max_iterations=spec["max_iterations"],
+            smoothing=spec["smoothing"],
+        )
+    return index, _worker_outcome(runner, result, started, capture)
 
 
 class ExperimentRunner:
@@ -225,6 +317,13 @@ class ExperimentRunner:
         ``None`` to consult the ``REPRO_RUN_LOG`` environment variable
         (unset means no logging).  The conventional location is
         ``<cache_dir>/run_log.jsonl`` next to the npz cache.
+    progress:
+        Grid-progress configuration, resolved by
+        :func:`~repro.observability.resolve_progress_sinks`: ``None``
+        consults ``REPRO_PROGRESS`` (unset means no reporting, the
+        default), ``"stderr"``/``"-"`` selects a status line, any other
+        string a JSONL path, and a sink object (or list of sinks) passes
+        through.  Grids emit one event per completed point.
     """
 
     def __init__(
@@ -234,6 +333,7 @@ class ExperimentRunner:
         processes: Optional[int] = None,
         draw_mode: str = "binomial",
         run_log: Union[None, str, os.PathLike, RunLog] = None,
+        progress=None,
     ):
         if draw_mode not in DRAW_MODES:
             raise SimulationError(
@@ -246,6 +346,7 @@ class ExperimentRunner:
         self.processes = processes
         self.draw_mode = draw_mode
         self.run_log = resolve_run_log(run_log)
+        self.progress_sinks = resolve_progress_sinks(progress)
         self.cache_hits = 0
         self.cache_misses = 0
         # Warm cache entries skipped because they were written by a different
@@ -540,6 +641,13 @@ class ExperimentRunner:
             # The manifest write happens inside the span so the span tree
             # accounts for the full runner call, provenance trail included.
             if self.run_log is not None:
+                # Resource accounting rides the run boundary: peak RSS and
+                # the workspace high-water mark, sampled once per point and
+                # stamped into the manifest's free-form extra payload.
+                stamped_extra = dict(extra or {})
+                stamped_extra["resources"] = sample_resource_gauges(
+                    self.workspace
+                )
                 self.run_log.append(
                     manifest_record(
                         method=method,
@@ -553,10 +661,104 @@ class ExperimentRunner:
                         base_seed=self.base_seed,
                         result_digest=result_digest(result),
                         stale_version=stale_version,
-                        extra=extra,
+                        extra=stamped_extra,
                     )
                 )
+            elif _METRICS.enabled:
+                sample_resource_gauges(self.workspace)
         return result
+
+    def _run_grid(
+        self,
+        method: str,
+        points: Sequence[ProtocolParameters],
+        run_one,
+        tasks: Optional[list] = None,
+        worker=None,
+    ) -> list:
+        """The shared spine of every ``run_*_grid`` method.
+
+        ``run_one(point)`` is the serial path; ``tasks`` (one picklable
+        tuple per point) and ``worker`` (a top-level ``(index, flags,
+        *task) -> (index, _WorkerOutcome)`` function) enable the
+        process-pool path — grids whose inputs cannot be rebuilt from a
+        flat payload (topology, dynamics) simply omit them and always run
+        serially.  Both paths run under one ``runner.<method>`` span and
+        feed the configured progress sinks; the sharded path additionally
+        ships each worker's telemetry back and merges it (spans grafted
+        under the grid span shard-stamped, counters folded into the
+        ambient registry, manifests appended to the parent run log), so a
+        sharded grid reports like a sequential one.
+        """
+        points = list(points)
+        if not points:
+            return []
+        sharded = (
+            worker is not None
+            and self.processes is not None
+            and self.processes > 1
+            and len(points) > 1
+        )
+        sinks = self.progress_sinks
+        progress = (
+            GridProgress(f"runner.{method}", len(points), sinks)
+            if sinks
+            else None
+        )
+        with _TRACE.span(
+            f"runner.{method}", points=len(points), sharded=sharded
+        ) as span:
+            if not sharded:
+                if progress is None:
+                    return [run_one(point) for point in points]
+                results = []
+                for point in points:
+                    hits, misses = self.cache_hits, self.cache_misses
+                    started = time.perf_counter()
+                    results.append(run_one(point))
+                    progress.point_done(
+                        time.perf_counter() - started,
+                        cache_hits=self.cache_hits - hits,
+                        cache_misses=self.cache_misses - misses,
+                    )
+                return results
+            # Capture flags come from the *parent's* observability state, so
+            # a worker never guesses from its inherited environment.
+            flags = {
+                "spans": _TRACE.enabled,
+                "metrics": _METRICS.enabled,
+                "manifests": self.run_log is not None,
+            }
+            jobs = [(index, flags, *task) for index, task in enumerate(tasks)]
+            outcomes: List[Optional[_WorkerOutcome]] = [None] * len(jobs)
+            import multiprocessing
+
+            with multiprocessing.Pool(min(self.processes, len(jobs))) as pool:
+                for index, outcome in pool.imap_unordered(worker, jobs):
+                    outcomes[index] = outcome
+                    if progress is not None:
+                        progress.point_done(
+                            outcome.duration_s,
+                            cache_hits=outcome.cache_hits,
+                            cache_misses=outcome.cache_misses,
+                            shard=index,
+                        )
+            # Fold in shard order (not completion order) so counters,
+            # grafted spans and manifest lines land deterministically.
+            results = []
+            for index, outcome in enumerate(outcomes):
+                self.cache_hits += outcome.cache_hits
+                self.cache_misses += outcome.cache_misses
+                self.version_skips += outcome.version_skips
+                merge_worker_telemetry(
+                    outcome.telemetry,
+                    shard=index,
+                    span=span,
+                    run_log=self.run_log,
+                    logger=_LOGGER,
+                )
+                results.append(outcome.result)
+            return results
 
     def _load_cached(self, path: str) -> Optional[BatchResult]:
         if not os.path.exists(path):
@@ -700,32 +902,23 @@ class ExperimentRunner:
     ) -> List[BatchResult]:
         """Run every parameter point, sharded across processes when configured."""
         points = list(points)
-        if not points:
-            return []
-        if self.processes is None or self.processes <= 1 or len(points) == 1:
-            return [self.run_point(point, trials, rounds) for point in points]
-        tasks = [
-            (
-                _params_payload(point),
-                trials,
-                rounds,
-                self.base_seed,
-                self.draw_mode,
-                self.cache_dir,
-            )
-            for point in points
-        ]
-        import multiprocessing
-
-        with multiprocessing.Pool(min(self.processes, len(points))) as pool:
-            outcomes = pool.map(_run_point_task, tasks)
-        results = []
-        for result, hits, misses, skips in outcomes:
-            self.cache_hits += hits
-            self.cache_misses += misses
-            self.version_skips += skips
-            results.append(result)
-        return results
+        return self._run_grid(
+            "run_grid",
+            points,
+            lambda point: self.run_point(point, trials, rounds),
+            tasks=[
+                (
+                    _params_payload(point),
+                    trials,
+                    rounds,
+                    self.base_seed,
+                    self.draw_mode,
+                    self.cache_dir,
+                )
+                for point in points
+            ],
+            worker=_run_point_task,
+        )
 
     # ------------------------------------------------------------------
     # Adversarial scenario execution
@@ -782,36 +975,24 @@ class ExperimentRunner:
         """Run one scenario at every parameter point, sharded when configured."""
         scenario = get_scenario(scenario)
         points = list(points)
-        if not points:
-            return []
-        if self.processes is None or self.processes <= 1 or len(points) == 1:
-            return [
-                self.run_scenario_point(point, scenario, trials, rounds)
+        return self._run_grid(
+            "run_scenario_grid",
+            points,
+            lambda point: self.run_scenario_point(point, scenario, trials, rounds),
+            tasks=[
+                (
+                    _params_payload(point),
+                    scenario.payload(),
+                    trials,
+                    rounds,
+                    self.base_seed,
+                    self.draw_mode,
+                    self.cache_dir,
+                )
                 for point in points
-            ]
-        tasks = [
-            (
-                _params_payload(point),
-                scenario.payload(),
-                trials,
-                rounds,
-                self.base_seed,
-                self.draw_mode,
-                self.cache_dir,
-            )
-            for point in points
-        ]
-        import multiprocessing
-
-        with multiprocessing.Pool(min(self.processes, len(points))) as pool:
-            outcomes = pool.map(_run_scenario_point_task, tasks)
-        results = []
-        for result, hits, misses, skips in outcomes:
-            self.cache_hits += hits
-            self.cache_misses += misses
-            self.version_skips += skips
-            results.append(result)
-        return results
+            ],
+            worker=_run_scenario_point_task,
+        )
 
     # ------------------------------------------------------------------
     # Topology-aware execution
@@ -887,10 +1068,13 @@ class ExperimentRunner:
         pickle-reconstructible from a flat payload, and the batch engine
         already vectorizes all trials within a point.
         """
-        return [
-            self.run_topology_point(point, trials, rounds, delay_model, power=power)
-            for point in points
-        ]
+        return self._run_grid(
+            "run_topology_grid",
+            points,
+            lambda point: self.run_topology_point(
+                point, trials, rounds, delay_model, power=power
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Network-dynamics execution
@@ -1050,8 +1234,10 @@ class ExperimentRunner:
         peer graphs are not pickle-reconstructible from a flat payload, and
         both engines already vectorize all trials within a point.
         """
-        return [
-            self.run_dynamics_point(
+        return self._run_grid(
+            "run_dynamics_grid",
+            points,
+            lambda point: self.run_dynamics_point(
                 point,
                 trials,
                 rounds,
@@ -1060,9 +1246,8 @@ class ExperimentRunner:
                 scenario=scenario,
                 power=power,
                 placement=placement,
-            )
-            for point in points
-        ]
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Rare-event execution
@@ -1251,12 +1436,26 @@ class ExperimentRunner:
     ) -> List[RareEventResult]:
         """Run one rare-event estimate at every parameter point.
 
-        Serial in-process, like the topology grids: each point's chunked
-        estimator already vectorizes all trials, and per-point seeds make
-        the results independent of grid composition anyway.
+        Sharded across processes when the runner is configured for it — the
+        full estimator spec is a flat picklable payload (an explicit tilt
+        travels as ``tilt.payload()``), so rare-event grids fan out exactly
+        like batch grids.  Per-point seeds make every estimate independent
+        of grid composition either way.
         """
-        return [
-            self.run_rare_event_point(
+        spec = self._rare_event_spec(
+            depth,
+            method,
+            tilt,
+            pilot_trials,
+            elite_fraction,
+            max_iterations,
+            smoothing,
+        )
+        points = list(points)
+        return self._run_grid(
+            "run_rare_event_grid",
+            points,
+            lambda point: self.run_rare_event_point(
                 point,
                 trials,
                 rounds,
@@ -1267,6 +1466,18 @@ class ExperimentRunner:
                 elite_fraction=elite_fraction,
                 max_iterations=max_iterations,
                 smoothing=smoothing,
-            )
-            for point in points
-        ]
+            ),
+            tasks=[
+                (
+                    _params_payload(point),
+                    spec,
+                    trials,
+                    rounds,
+                    self.base_seed,
+                    self.draw_mode,
+                    self.cache_dir,
+                )
+                for point in points
+            ],
+            worker=_run_rare_event_point_task,
+        )

@@ -226,6 +226,33 @@ def test_hot_path_instrumentation_is_handle_only_and_loop_free(module, qualname)
     )
 
 
+#: Runner orchestration paths covered by the instrumentation guard only
+#: (they legitimately use NumPy for seeding/persistence, so the tensor-op
+#: guard does not apply): spans/counters at call boundaries, and — since
+#: grid loops run once per *point* — never from inside a loop body.  All
+#: per-item telemetry merging is delegated to
+#: :func:`repro.observability.distributed.merge_worker_telemetry`.
+INSTRUMENTED_ORCHESTRATION_PATHS = [
+    "ExperimentRunner._cached_run",
+    "ExperimentRunner._run_grid",
+]
+
+
+@pytest.mark.parametrize("qualname", INSTRUMENTED_ORCHESTRATION_PATHS)
+def test_runner_orchestration_instrumentation_is_handle_only_and_loop_free(
+    qualname,
+):
+    import repro.simulation.runner as runner
+
+    node = _resolve_function_node(runner, qualname)
+    violations = _instrumentation_violations(node)
+    violations += _loop_instrumentation_violations(node)
+    assert not violations, (
+        f"{runner.__name__}.{qualname} breaks the zero-overhead "
+        "instrumentation contract: " + ", ".join(violations)
+    )
+
+
 def test_instrumented_modules_bind_private_handles():
     """Engine modules must hold the handles under the private names the
     loop guard inspects — a differently-named import would blind it."""

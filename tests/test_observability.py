@@ -266,6 +266,23 @@ class TestTrajectory:
         assert entries[0]["machine"]["python"]
         assert entries[1]["metrics"] == {"speedup": 9.1}
 
+    def test_machine_fingerprint_is_stable_and_anonymous(self):
+        import platform
+
+        from repro.observability import machine_info
+
+        first, second = machine_info(), machine_info()
+        assert first == second  # stable within a process: no clocks, no load
+        assert first["machine"] == platform.machine()
+        assert first["python"] == platform.python_version()
+        assert isinstance(first["cpu_count"], int) and first["cpu_count"] >= 1
+        assert first["numpy"]
+        # Committed trajectories must not leak host identity.
+        node = platform.node()
+        if node:
+            assert node not in (first["cpu"] or "")
+        assert "hostname" not in first and "node" not in first
+
     def test_validation_rejects_bad_mode_and_empty_metrics(self):
         with pytest.raises(ObservabilityError, match="mode"):
             trajectory_record("x", "warm", {"a": 1})
@@ -334,6 +351,34 @@ class TestEngineMetrics:
             workspace.empty("tag", (8, 4), np.int64)
         assert metrics.counter("workspace.allocated") == 2
         assert metrics.counter("workspace.reused") == 1
+
+    def test_workspace_tracks_high_water_bytes(self):
+        workspace = Workspace()
+        assert workspace.high_water_bytes == 0
+        workspace.empty("a", (8, 8), np.int64)
+        first = workspace.high_water_bytes
+        assert first >= 8 * 8 * 8
+        workspace.empty("a", (4, 4), np.int64)  # shrink: mark is sticky
+        assert workspace.high_water_bytes == first
+        workspace.empty("b", (16, 16), np.float64)
+        assert workspace.high_water_bytes > first
+
+    def test_resource_gauges_sample_rss_and_workspace(self):
+        from repro.observability import peak_rss_bytes, sample_resource_gauges
+
+        workspace = Workspace()
+        workspace.empty("a", (8, 8), np.int64)
+        with use_metrics() as metrics:
+            sample = sample_resource_gauges(workspace)
+        assert sample["workspace_high_water_bytes"] == workspace.high_water_bytes
+        rss = peak_rss_bytes()
+        if rss is not None:  # resource module present (always on Linux CI)
+            assert sample["peak_rss_bytes"] > 0
+            assert metrics.gauge_value("resource.peak_rss_bytes") > 0
+        assert (
+            metrics.gauge_value("resource.workspace_high_water_bytes")
+            == workspace.high_water_bytes
+        )
 
     def test_rare_event_pilot_metrics(self):
         with use_metrics() as metrics:
