@@ -197,6 +197,38 @@ tails against the Lundberg-exponent predictions under the corrected
 Eq. (44) and Kiffer convergence rates — plus a plain-MC agreement table in
 the 1e-4-to-1e-6 overlap region; see ``examples/rare_event_tail.py``.
 
+Streaming
+---------
+Dense batch results hold per-trial arrays, so a grid point's memory grows
+linearly with ``trials`` — at ``1e8`` trials the trace tensors alone pass
+100 GB.  :class:`~repro.simulation.StreamingBatchSimulation` (and
+:class:`~repro.simulation.StreamingScenarioSimulation` for attack
+scenarios) drive the *same dense kernels* in bounded chunks: trials are
+carved into fixed seed blocks
+(:data:`~repro.simulation.SEED_BLOCK_CELLS` cells each, every block drawn
+from its own spawned :class:`numpy.random.SeedSequence`), each execution
+chunk groups whole consecutive blocks inside the
+``REPRO_CHUNK_CELLS``/``chunk_cells`` budget, and per-block slices fold
+into online accumulators — exact integer tallies, Chan/Kahan-merged float
+moments, a bounded worst-deficit histogram.  The streamed summary has the
+same keys as the dense ``summary()`` (integer-backed entries exact, float
+moments within :data:`~repro.simulation.STREAM_STAT_RTOL`), and because
+draws are per-block — never per-chunk — it is **bit-identical for every
+chunk size** and for serial versus sharded execution.
+``ExperimentRunner.run_streaming_point`` / ``run_streaming_grid`` cache
+the summary-only results by statistical identity (``chunk_cells`` is
+execution policy and deliberately excluded from the key), and
+``benchmarks/bench_streaming.py`` gates the streamed peak footprint at
+<= 10% of the projected dense peak without giving up throughput.
+
+>>> from repro import StreamingBatchSimulation
+>>> streamed = StreamingBatchSimulation(small, seed=0, chunk_cells=1_000)
+>>> tiny = StreamingBatchSimulation(small, seed=0, chunk_cells=1)
+>>> streamed.run(64, 400, depths=(1,)).summary() == tiny.run(
+...     64, 400, depths=(1,)
+... ).summary()
+True
+
 Array backends
 --------------
 Every tensor operation in the batch, scenario, topology and dynamics
@@ -341,6 +373,10 @@ from .simulation import (
     Scenario,
     ScenarioResult,
     ScenarioSimulation,
+    StreamingBatchResult,
+    StreamingBatchSimulation,
+    StreamingScenarioResult,
+    StreamingScenarioSimulation,
     TimeVaryingDelayModel,
 )
 
@@ -377,6 +413,10 @@ __all__ = [
     "PartitionScenario",
     "RareEventSimulation",
     "RareEventResult",
+    "StreamingBatchSimulation",
+    "StreamingBatchResult",
+    "StreamingScenarioSimulation",
+    "StreamingScenarioResult",
     "get_backend",
     "use_backend",
     "list_backends",

@@ -25,6 +25,10 @@ calls.  The layer has four pieces:
 * **workspace** (:mod:`repro.backend.workspace`) — preallocated scratch
   buffers keyed by tag, reused across repeated (trials, rounds) runs so
   sweeps stop re-allocating in the hot kernels.
+* **chunking** (:mod:`repro.backend.chunking`) — the one chunk-size knob
+  (``REPRO_CHUNK_CELLS``, validated) shared by every bounded-memory
+  execution path: the Bernoulli summation fallback, the rare-event
+  estimators and the streaming trial engine.
 
 The engine boundary is host NumPy: results, caches and the analysis layer
 never see device arrays.
@@ -51,6 +55,13 @@ from .dtypes import (
     list_dtype_policies,
     register_dtype_policy,
     use_dtype_policy,
+)
+from .chunking import (
+    CHUNK_ENV_VAR,
+    DEFAULT_CHUNK_CELLS,
+    chunk_sizes,
+    chunk_trials,
+    resolve_chunk_cells,
 )
 from .numpy_backend import NumpyBackend
 from .array_api import ArrayApiBackend, PREFERRED_ACCELERATORS
@@ -79,6 +90,11 @@ __all__ = [
     "use_dtype_policy",
     "list_dtype_policies",
     "Workspace",
+    "CHUNK_ENV_VAR",
+    "DEFAULT_CHUNK_CELLS",
+    "resolve_chunk_cells",
+    "chunk_trials",
+    "chunk_sizes",
 ]
 
 register_backend("numpy", NumpyBackend)

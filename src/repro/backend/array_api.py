@@ -191,6 +191,9 @@ class ArrayApiBackend(ArrayBackend):  # pragma: no cover - needs accelerator dep
     def logical_or(self, a, b, out=None):
         return self._elementwise(self.xp.logical_or, a, b, out=out)
 
+    def logical_not(self, a, out=None):
+        return self._elementwise(self.xp.logical_not, a, out=out)
+
     def where(self, condition, a, b, out=None):
         return self._elementwise(self.xp.where, condition, a, b, out=out)
 

@@ -77,6 +77,7 @@ ARRAY_OPS = (
     "less_equal",
     "logical_and",
     "logical_or",
+    "logical_not",
     "where",
     "copyto",
     # scans

@@ -59,6 +59,7 @@ class NumpyBackend(ArrayBackend):
     less_equal = staticmethod(np.less_equal)
     logical_and = staticmethod(np.logical_and)
     logical_or = staticmethod(np.logical_or)
+    logical_not = staticmethod(np.logical_not)
     where = staticmethod(np.where)
     copyto = staticmethod(np.copyto)
 

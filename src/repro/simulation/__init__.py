@@ -59,6 +59,17 @@ Components
     :func:`reference_partition_scan`), including the ``equivocation``
     family where the adversary shows conflicting private chains to the two
     components.
+``streaming``
+    The O(chunk)-memory streaming trial engine: the same dense batch and
+    scenario kernels driven in fixed-cell chunks through online
+    accumulators (exact integer tallies, Chan/Kahan float moments, a
+    bounded worst-deficit histogram), producing summary-only results whose
+    entries match the dense ``summary()`` exactly for integer-backed
+    statistics and within :data:`~repro.simulation.streaming.STREAM_STAT_RTOL`
+    for float moments.  Seeding is chunk-invariant: trials are carved into
+    fixed ``SEED_BLOCK_CELLS``-cell seed blocks, each drawn from its own
+    spawned :class:`numpy.random.SeedSequence`, so one seed produces one
+    bit stream regardless of chunk size or serial-versus-sharded execution.
 ``rare_events``
     Rare-event estimation of deep violation tails: exponential tilting of
     the Bernoulli/Binomial mining draws with exact (stopped) per-trial
@@ -148,6 +159,19 @@ from .dynamics import (
     list_placements,
     partition_windows,
     reference_compile_schedule,
+)
+from .streaming import (
+    SEED_BLOCK_CELLS,
+    STREAM_STAT_RTOL,
+    DeficitHistogram,
+    OnlineMoments,
+    ScenarioStreamingAccumulator,
+    StreamingAccumulator,
+    StreamingBatchResult,
+    StreamingBatchSimulation,
+    StreamingScenarioResult,
+    StreamingScenarioSimulation,
+    seed_block_trials,
 )
 from .scenarios import (
     SCENARIO_KINDS,
@@ -242,4 +266,15 @@ __all__ = [
     "list_placements",
     "PartitionScenario",
     "partition_windows",
+    "SEED_BLOCK_CELLS",
+    "STREAM_STAT_RTOL",
+    "seed_block_trials",
+    "OnlineMoments",
+    "DeficitHistogram",
+    "StreamingAccumulator",
+    "ScenarioStreamingAccumulator",
+    "StreamingBatchResult",
+    "StreamingScenarioResult",
+    "StreamingBatchSimulation",
+    "StreamingScenarioSimulation",
 ]

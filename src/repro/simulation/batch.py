@@ -56,7 +56,13 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from ..backend import ArrayBackend, Workspace, get_backend, get_dtype_policy
+from ..backend import (
+    ArrayBackend,
+    Workspace,
+    get_backend,
+    get_dtype_policy,
+    resolve_chunk_cells,
+)
 from ..core.concat_chain import convergence_opportunity_mask
 from ..errors import SimulationError
 from ..observability import METRICS as _METRICS, TRACE as _TRACE
@@ -83,8 +89,6 @@ __all__ = [
 #: Supported ways of drawing the per-round success counts.
 DRAW_MODES = ("binomial", "bernoulli")
 
-#: Trials per chunk when materialising the (trials, rounds, miners) tensor.
-_BERNOULLI_CHUNK_CELLS = 32_000_000
 
 
 def draw_mining_traces(
@@ -185,7 +189,9 @@ def _bernoulli_counts(
         return xp.zeros((trials, rounds), dtype=index_dtype)
     counts = xp.empty((trials, rounds), dtype=index_dtype)
     threshold = xp.asarray(hardness)
-    chunk = max(int(_BERNOULLI_CHUNK_CELLS // max(rounds * miners, 1)), 1)
+    # The chunk size is an execution knob only: ``rng.random`` consumes the
+    # uniform stream contiguously, so any chunking yields identical counts.
+    chunk = max(int(resolve_chunk_cells() // max(rounds * miners, 1)), 1)
     for start in range(0, trials, chunk):
         stop = min(start + chunk, trials)
         draws = xp.random(generator, (stop - start, rounds, miners)) < threshold

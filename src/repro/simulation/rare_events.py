@@ -65,7 +65,13 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..backend import ArrayBackend, Workspace, get_backend, get_dtype_policy
+from ..backend import (
+    ArrayBackend,
+    Workspace,
+    get_backend,
+    get_dtype_policy,
+    resolve_chunk_cells,
+)
 from ..core.concat_chain import convergence_opportunity_mask
 from ..errors import SimulationError
 from ..observability import METRICS as _METRICS, TRACE as _TRACE
@@ -90,9 +96,12 @@ __all__ = [
 #: The estimation methods a :class:`RareEventResult` can carry.
 RARE_EVENT_METHODS = ("plain", "tilted", "splitting")
 
-#: Cells (trials x rounds) per chunk when materialising trace tensors; keeps
-#: the peak memory of a deep-tail hunt bounded regardless of the budget.
-_RARE_CHUNK_CELLS = 16_000_000
+#: Legacy override hook for the per-chunk cell budget.  ``None`` (the
+#: default) defers to :func:`repro.backend.resolve_chunk_cells` — the one
+#: knob the runner and the estimator both read, so a monkeypatched override
+#: here (or ``REPRO_CHUNK_CELLS`` in the environment) reaches every path.
+#: Read at call time, never cached.
+_RARE_CHUNK_CELLS: Optional[int] = None
 
 #: Tilted probabilities are kept strictly inside (0, 1).
 _PROBABILITY_FLOOR = 1e-12
@@ -480,6 +489,15 @@ class RareEventSimulation:
     workspace:
         Optional :class:`~repro.backend.Workspace` shared with the batch
         engine's window kernels.
+    chunk_cells:
+        Optional per-chunk cell budget override; ``None`` defers to the
+        module-level ``_RARE_CHUNK_CELLS`` hook and then to the shared
+        :func:`repro.backend.resolve_chunk_cells` configuration
+        (``REPRO_CHUNK_CELLS``).  An execution knob only for the windowed
+        deficit statistics; for the Binomial draw protocol chunk
+        boundaries are part of the protocol (each chunk is one vectorized
+        draw), so estimates at different budgets agree statistically, not
+        bit-for-bit.
 
     Examples
     --------
@@ -497,6 +515,7 @@ class RareEventSimulation:
         depth: int,
         rng: SeedLike = None,
         workspace: Optional[Workspace] = None,
+        chunk_cells: Optional[int] = None,
     ):
         if depth < 1:
             raise SimulationError(f"depth must be >= 1, got {depth!r}")
@@ -505,16 +524,30 @@ class RareEventSimulation:
             raise SimulationError(
                 "rare-event estimation needs a non-empty adversary (nu n >= 1)"
             )
+        if chunk_cells is not None:
+            chunk_cells = resolve_chunk_cells(chunk_cells)
         self.params = params
         self.depth = int(depth)
+        self.chunk_cells = chunk_cells
         self.rng = resolve_rng(rng)
         self.engine = BatchSimulation(params, rng=self.rng, workspace=workspace)
 
     # ------------------------------------------------------------------
     # Shared plumbing
     # ------------------------------------------------------------------
+    def _chunk_cells(self) -> int:
+        """The active per-chunk cell budget, resolved at call time.
+
+        Precedence: the instance override > the legacy module hook
+        (``_RARE_CHUNK_CELLS``, kept so existing monkeypatches keep
+        working) > the shared chunking config.
+        """
+        if self.chunk_cells is not None:
+            return self.chunk_cells
+        return resolve_chunk_cells(_RARE_CHUNK_CELLS)
+
     def _chunk_sizes(self, trials: int, rounds: int) -> list:
-        chunk = max(int(_RARE_CHUNK_CELLS // max(rounds, 1)), 1)
+        chunk = max(int(self._chunk_cells() // max(rounds, 1)), 1)
         sizes = []
         remaining = int(trials)
         while remaining > 0:
@@ -534,7 +567,7 @@ class RareEventSimulation:
         """Brute-force violation frequency with a Wilson score interval.
 
         Chunked over trials, so large overlap-region budgets never
-        materialise more than ``_RARE_CHUNK_CELLS`` cells at once.  The
+        materialise more than the configured chunk budget at once.  The
         Wilson interval keeps a zero-violation run honest: its upper bound
         is strictly positive (``~3.84 / trials``), never the false
         certainty of a zero-width normal interval.

@@ -76,6 +76,12 @@ from .dynamics import (
     TimeVaryingDelayModel,
 )
 from .scenarios import Scenario, ScenarioResult, ScenarioSimulation, get_scenario
+from .streaming import (
+    StreamingBatchResult,
+    StreamingBatchSimulation,
+    StreamingScenarioResult,
+    StreamingScenarioSimulation,
+)
 from .topology import (
     DelayModel,
     MiningPowerProfile,
@@ -161,6 +167,17 @@ def _scenario_result_digest(result: ScenarioResult) -> str:
             for name in ExperimentRunner._SCENARIO_ARRAYS
         }
     )
+
+
+def _stream_result_digest(result) -> str:
+    """Manifest digest of a streamed result's full statistical state.
+
+    Streamed results are summary-only, so the digest covers the complete
+    accumulator payload rather than per-trial arrays — two runs digest
+    equal exactly when every tallied statistic is bit-identical.
+    """
+    blob = json.dumps(result.payload(), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def _rare_result_digest(result: RareEventResult) -> str:
@@ -296,6 +313,45 @@ def _run_rare_event_point_task(args: tuple) -> tuple:
     return index, _worker_outcome(runner, result, started, capture)
 
 
+def _run_streaming_point_task(args: tuple) -> tuple:
+    """Top-level worker for streamed grid points (process-pool friendly).
+
+    Chunk-invariant per-block seeding makes the shard's streamed summary
+    bit-identical to the serial path's, whatever ``chunk_cells`` either
+    side uses — the worker only needs the point payload, the optional
+    scenario payload and the depth list.
+    """
+    (
+        index,
+        flags,
+        payload,
+        scenario_payload,
+        depths,
+        chunk_cells,
+        trials,
+        rounds,
+        base_seed,
+        draw_mode,
+        cache_dir,
+    ) = args
+    started = time.perf_counter()
+    with capture_worker_telemetry(**flags) as capture:
+        runner = _worker_runner(capture, base_seed, draw_mode, cache_dir)
+        result = runner.run_streaming_point(
+            _params_from_payload(payload),
+            trials,
+            rounds,
+            depths=tuple(depths),
+            scenario=(
+                None
+                if scenario_payload is None
+                else _scenario_from_payload(scenario_payload)
+            ),
+            chunk_cells=chunk_cells,
+        )
+    return index, _worker_outcome(runner, result, started, capture)
+
+
 class ExperimentRunner:
     """Seeded, cached, optionally parallel batch experiments.
 
@@ -372,8 +428,15 @@ class ExperimentRunner:
         power: Optional[MiningPowerProfile] = None,
         placement: Optional[AdversaryPlacement] = None,
         rare_event: Optional[dict] = None,
+        streaming: Optional[dict] = None,
     ) -> dict:
-        """The version-free description of one experiment point."""
+        """The version-free description of one experiment point.
+
+        ``streaming`` marks the point as a streamed run (its own draw
+        protocol, hence its own cache slot and seed stream) and carries
+        only statistics-affecting knobs — ``chunk_cells`` is deliberately
+        excluded because results are bit-identical across chunk sizes.
+        """
         payload = {
             "engine_version": ENGINE_VERSION,
             "params": _params_payload(params),
@@ -392,6 +455,8 @@ class ExperimentRunner:
             payload["placement"] = placement.payload()
         if rare_event is not None:
             payload["rare_event"] = rare_event
+        if streaming is not None:
+            payload["streaming"] = streaming
         return payload
 
     @staticmethod
@@ -409,6 +474,7 @@ class ExperimentRunner:
         power: Optional[MiningPowerProfile] = None,
         placement: Optional[AdversaryPlacement] = None,
         rare_event: Optional[dict] = None,
+        streaming: Optional[dict] = None,
     ) -> tuple:
         """``(identity, key)`` digests for one point.
 
@@ -426,6 +492,7 @@ class ExperimentRunner:
             power,
             placement,
             rare_event,
+            streaming,
         )
         identity = self._digest(payload)
         versioned = dict(payload)
@@ -1480,4 +1547,179 @@ class ExperimentRunner:
                 for point in points
             ],
             worker=_run_rare_event_point_task,
+        )
+
+    # ------------------------------------------------------------------
+    # Streaming execution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _streaming_spec(
+        depths: Iterable[int], scenario: Optional[Scenario]
+    ) -> dict:
+        """The statistics-affecting half of a streamed cache key / seed payload.
+
+        Only knobs that change the *result* belong here: the tracked
+        violation depths (each depth adds an exact hit tally).
+        ``chunk_cells`` is execution policy — streamed summaries are
+        bit-identical across chunk sizes — so it never enters the key, and
+        a sweep can retune its memory budget without invalidating caches.
+        """
+        depths = tuple(sorted({int(depth) for depth in depths}))
+        if scenario is not None and depths:
+            raise SimulationError(
+                "violation depths are a batch statistic; scenario streaming "
+                f"does not track them (got depths={depths!r})"
+            )
+        return {"depths": list(depths)}
+
+    def _load_cached_stream(self, path: str):
+        if not os.path.exists(path):
+            return None
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            params = _params_from_payload(meta["params"])
+            scenario_payload = meta.get("scenario")
+            if scenario_payload is not None:
+                return StreamingScenarioResult.from_payload(
+                    meta["state"],
+                    params,
+                    _scenario_from_payload(scenario_payload),
+                )
+            return StreamingBatchResult.from_payload(meta["state"], params)
+
+    def _store_cached_stream(self, path: str, result) -> None:
+        """Persist a streamed result: pure JSON state, no per-trial arrays."""
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        meta_payload = {
+            "engine_version": ENGINE_VERSION,
+            "package_version": _version.__version__,
+            "params": _params_payload(result.params),
+            "base_seed": self.base_seed,
+            "state": result.payload(),
+        }
+        if isinstance(result, StreamingScenarioResult):
+            meta_payload["scenario"] = result.scenario.payload()
+        meta = json.dumps(meta_payload, sort_keys=True)
+        temporary = f"{path}.tmp.{os.getpid()}"
+        np.savez(temporary, meta=np.asarray(meta))
+        os.replace(f"{temporary}.npz", path)
+
+    def run_streaming_point(
+        self,
+        params: ProtocolParameters,
+        trials: int,
+        rounds: int,
+        depths: Iterable[int] = (),
+        scenario: Union[None, str, Scenario] = None,
+        chunk_cells: Optional[int] = None,
+    ):
+        """Run (or fetch from cache) one streamed, O(chunk)-memory point.
+
+        Executes the point through :class:`StreamingBatchSimulation` (or
+        :class:`StreamingScenarioSimulation` when ``scenario`` is given) —
+        the dense kernels driven in bounded chunks with online accumulation,
+        so ``trials`` can reach ``1e8+`` without materialising per-trial
+        arrays.  Streamed points use their own per-block draw protocol, so
+        they occupy their own cache slots and seed streams — a streamed
+        point is a new seeded experiment, not a re-execution of the dense
+        one.  ``depths`` requests exact violation hit counts (batch runs
+        only); ``chunk_cells`` is pure execution policy and deliberately
+        absent from the cache key — summaries are bit-identical across
+        chunk sizes.
+        """
+        scenario = None if scenario is None else get_scenario(scenario)
+        spec = self._streaming_spec(depths, scenario)
+        identity, key = self._point_identity_key(
+            params, trials, rounds, scenario=scenario, streaming=spec
+        )
+        prefix = "stream" if scenario is None else "stream_scenario"
+
+        def compute():
+            seed = self._seed_from_identity(identity)
+            if scenario is None:
+                simulation = StreamingBatchSimulation(
+                    params,
+                    seed=seed,
+                    draw_mode=self.draw_mode,
+                    workspace=self.workspace,
+                    chunk_cells=chunk_cells,
+                )
+                return simulation.run(
+                    trials,
+                    rounds,
+                    depths=spec["depths"],
+                    progress=self.progress_sinks,
+                )
+            simulation = StreamingScenarioSimulation(
+                params,
+                scenario,
+                seed=seed,
+                draw_mode=self.draw_mode,
+                workspace=self.workspace,
+                chunk_cells=chunk_cells,
+            )
+            return simulation.run(trials, rounds, progress=self.progress_sinks)
+
+        extra = {"draw_mode": self.draw_mode, "streaming": spec}
+        if scenario is not None:
+            extra["scenario"] = scenario.payload()
+        return self._cached_run(
+            "run_streaming_point",
+            prefix,
+            identity,
+            key,
+            self._load_cached_stream,
+            self._store_cached_stream,
+            compute,
+            _stream_result_digest,
+            params,
+            trials,
+            rounds,
+            extra=extra,
+        )
+
+    def run_streaming_grid(
+        self,
+        points: Sequence[ProtocolParameters],
+        trials: int,
+        rounds: int,
+        depths: Iterable[int] = (),
+        scenario: Union[None, str, Scenario] = None,
+        chunk_cells: Optional[int] = None,
+    ) -> list:
+        """Run one streamed point per parameter, sharded when configured.
+
+        Per-point seeds plus chunk-invariant per-block seeding make every
+        streamed summary bit-identical whether the grid runs serially or
+        across a process pool, and whatever chunk size each side uses.
+        """
+        scenario = None if scenario is None else get_scenario(scenario)
+        spec = self._streaming_spec(depths, scenario)
+        points = list(points)
+        return self._run_grid(
+            "run_streaming_grid",
+            points,
+            lambda point: self.run_streaming_point(
+                point,
+                trials,
+                rounds,
+                depths=spec["depths"],
+                scenario=scenario,
+                chunk_cells=chunk_cells,
+            ),
+            tasks=[
+                (
+                    _params_payload(point),
+                    None if scenario is None else scenario.payload(),
+                    spec["depths"],
+                    chunk_cells,
+                    trials,
+                    rounds,
+                    self.base_seed,
+                    self.draw_mode,
+                    self.cache_dir,
+                )
+                for point in points
+            ],
+            worker=_run_streaming_point_task,
         )

@@ -1331,6 +1331,21 @@ class ScenarioSimulation:
         deepest = workspace.zeros("scan.deepest", (trials,), index_dtype)
         orphaned = workspace.zeros("scan.orphaned", (trials,), index_dtype)
         no_release = workspace.zeros("scan.no_release", (trials,), xp.bool_)
+        # Per-round temporaries live in the workspace too, so the steady
+        # state of the round loop performs no allocation at all.  Flags stay
+        # boolean (never the policy mask dtype): the logic needs logical
+        # semantics, and the buffers never escape into results.
+        some_honest = workspace.empty("scan.some_honest", (trials,), xp.bool_)
+        mined_height = workspace.empty("scan.mined_height", (trials,), index_dtype)
+        flag = workspace.empty("scan.flag", (trials,), xp.bool_)
+        scratch = workspace.empty("scan.scratch", (trials,), index_dtype)
+        some_adversary = workspace.empty("scan.some_adversary", (trials,), xp.bool_)
+        starting = workspace.empty("scan.starting", (trials,), xp.bool_)
+        lead = workspace.empty("scan.lead", (trials,), index_dtype)
+        depth = workspace.empty("scan.depth", (trials,), index_dtype)
+        released_flags = workspace.empty("scan.released", (trials,), xp.bool_)
+        abandoned_flags = workspace.empty("scan.abandoned", (trials,), xp.bool_)
+        keep = workspace.empty("scan.keep", (trials,), xp.bool_)
         # Scheduled arrival heights for in-flight honest blocks: slot r % delay
         # holds the height mined at round r, due at the start of round r+delay.
         ring = None
@@ -1399,13 +1414,15 @@ class ScenarioSimulation:
 
             # 2. Honest mining on the delivered public chain; delayed blocks
             #    enter the pipeline, zero-delay blocks land at end of round.
-            some_honest = mined_honest > 0
-            mined_height = public + 1
+            xp.greater(mined_honest, 0, out=some_honest)
+            xp.add(public, 1, out=mined_height)
             if ring is not None:
                 xp.multiply(mined_height, some_honest, out=ring[:, slot])
             elif schedule is not None:
                 round_delays = delay_rows[index]
-                pipelined = xp.nonzero(some_honest & (round_delays > 0))[0]
+                xp.greater(round_delays, 0, out=flag)
+                xp.logical_and(some_honest, flag, out=flag)
+                pipelined = xp.nonzero(flag)[0]
                 if pipelined.size:
                     # Same-delivery-round collisions overwrite an older,
                     # never-larger height (public is monotone), so plain
@@ -1423,8 +1440,9 @@ class ScenarioSimulation:
                 abandoned = no_release
                 public += mined_adversary
             else:
-                some_adversary = mined_adversary > 0
-                starting = some_adversary & ~active
+                xp.greater(mined_adversary, 0, out=some_adversary)
+                xp.logical_not(active, out=starting)
+                xp.logical_and(some_adversary, starting, out=starting)
                 xp.copyto(fork, public, where=starting)
                 xp.copyto(private, public, where=starting)
                 private += mined_adversary
@@ -1434,23 +1452,35 @@ class ScenarioSimulation:
                 # 4. Release decision against the pre-release public height.
                 # Note an inactive trial has private = fork = 0, so lead > 0
                 # (and lead in {0, 1} with public > 0) already implies active.
-                lead = private - public
-                depth = public - fork
+                xp.subtract(private, public, out=lead)
+                xp.subtract(public, fork, out=depth)
                 if kind == "private_chain":
                     if give_up is not None:
-                        abandoned = (lead <= -give_up) & active
+                        xp.less_equal(lead, -give_up, out=abandoned_flags)
+                        xp.logical_and(abandoned_flags, active, out=abandoned_flags)
+                        abandoned = abandoned_flags
                     else:
                         abandoned = no_release
                     # Released and abandoned are mutually exclusive: release
                     # needs lead > 0, abandonment needs lead <= -give_up.
-                    released = (lead > 0) & (depth >= target_depth)
+                    xp.greater(lead, 0, out=released_flags)
+                    xp.greater_equal(depth, target_depth, out=flag)
+                    xp.logical_and(released_flags, flag, out=released_flags)
+                    released = released_flags
                     if release_heights is None:
-                        xp.maximum(deepest, depth * released, out=deepest)
+                        xp.multiply(depth, released, out=scratch)
+                        xp.maximum(deepest, scratch, out=deepest)
                 else:  # selfish_mining
-                    abandoned = (lead <= -1) & active
-                    released = (lead >= 0) & (lead <= 1) & active
+                    xp.less_equal(lead, -1, out=abandoned_flags)
+                    xp.logical_and(abandoned_flags, active, out=abandoned_flags)
+                    abandoned = abandoned_flags
+                    xp.greater_equal(lead, 0, out=released_flags)
+                    xp.less_equal(lead, 1, out=flag)
+                    xp.logical_and(released_flags, flag, out=released_flags)
+                    xp.logical_and(released_flags, active, out=released_flags)
+                    released = released_flags
                     if release_heights is None:
-                        orphan = depth * released
+                        orphan = xp.multiply(depth, released, out=scratch)
                         orphaned += orphan
                         xp.maximum(deepest, orphan, out=deepest)
                 releases += released
@@ -1468,7 +1498,8 @@ class ScenarioSimulation:
                     xp.copyto(
                         release_forks[:, release_slot], fork, where=released
                     )
-                keep = ~(released | abandoned)
+                xp.logical_or(released, abandoned, out=keep)
+                xp.logical_not(keep, out=keep)
                 private *= keep
                 fork *= keep
                 withheld *= keep
@@ -1476,11 +1507,14 @@ class ScenarioSimulation:
 
             # 5. End-of-round delivery of zero-delay honest broadcasts.
             if delay_rows is not None:
-                immediate = some_honest & (round_delays == 0)
+                xp.equal(round_delays, 0, out=flag)
+                immediate = xp.logical_and(some_honest, flag, out=flag)
                 if immediate.any():
-                    xp.maximum(public, mined_height * immediate, out=public)
+                    xp.multiply(mined_height, immediate, out=scratch)
+                    xp.maximum(public, scratch, out=public)
             elif delay == 0:
-                xp.maximum(public, mined_height * some_honest, out=public)
+                xp.multiply(mined_height, some_honest, out=scratch)
+                xp.maximum(public, scratch, out=public)
 
             if record_rounds:
                 public_record[:, index] = public

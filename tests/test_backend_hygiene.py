@@ -32,6 +32,7 @@ import repro.simulation.batch as batch
 import repro.simulation.dynamics as dynamics
 import repro.simulation.rare_events as rare_events
 import repro.simulation.scenarios as scenarios
+import repro.simulation.streaming as streaming
 import repro.simulation.topology as topology
 
 #: Names the engines may import NumPy under.
@@ -67,6 +68,13 @@ HOT_PATHS = [
     (dynamics, "compile_schedule"),
     (dynamics, "TimeVaryingDelayModel.draw_delays"),
     (rare_events, "draw_tilted_traces"),
+    (streaming, "StreamingBatchSimulation._stream"),
+    (streaming, "StreamingScenarioSimulation._stream"),
+    (streaming, "StreamingAccumulator.update"),
+    (streaming, "ScenarioStreamingAccumulator.update"),
+    (streaming, "OnlineMoments.update"),
+    (streaming, "OnlineMoments.combine"),
+    (streaming, "DeficitHistogram.update"),
 ]
 
 
@@ -258,12 +266,20 @@ def test_instrumented_modules_bind_private_handles():
     loop guard inspects — a differently-named import would blind it."""
     import repro.backend.workspace as workspace
 
-    for module in (batch, scenarios, topology, dynamics, rare_events, workspace):
+    engine_modules = (
+        batch,
+        scenarios,
+        topology,
+        dynamics,
+        rare_events,
+        streaming,
+    )
+    for module in (*engine_modules, workspace):
         bound = INSTRUMENTATION_HANDLES & set(vars(module))
         assert "_METRICS" in bound, f"{module.__name__} lacks _METRICS handle"
     from repro.observability import METRICS, TRACE
 
-    for module in (batch, scenarios, topology, dynamics, rare_events):
+    for module in engine_modules:
         assert vars(module)["_TRACE"] is TRACE
         assert vars(module)["_METRICS"] is METRICS
 
